@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper's evaluation has one benchmark
+module.  The heavy work (full NEAT runs across the six-environment
+suite) happens once per session here; individual benches regenerate
+their table/series from the shared results, assert the paper's *shape*
+(who wins, by roughly what factor, where the peaks fall), and write the
+regenerated rows to ``benchmarks/output/``.
+
+Scale note: the paper runs population 200 to each task's required
+fitness on a desktop.  To keep the harness runnable in minutes, the
+suite fixture uses population 100 and per-environment generation caps;
+EXPERIMENTS.md records the effect (evolved networks are smaller than
+the paper's, so measured speedups sit at the lower end of its range).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.experiment import ExperimentResult
+from repro.core.suite import BENCH_SETTINGS, run_suite
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: per-environment generation caps for the benchmark suite runs
+SUITE_GENERATIONS = dict(BENCH_SETTINGS.generations)
+
+SUITE_POPULATION = BENCH_SETTINGS.population_size
+
+
+def write_output(name: str, text: str) -> None:
+    """Persist a regenerated table/series for inspection."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def suite_experiments() -> dict[str, ExperimentResult]:
+    """One capped NEAT run per suite environment, priced on all
+    platforms.  Shared by the Fig 9 / Fig 10 / Fig 11 / Table V benches."""
+    return run_suite(BENCH_SETTINGS)

@@ -1,0 +1,57 @@
+"""Fig 10(b) — FPGA resource utilization of two INAX configurations.
+
+``E3_a`` is the configuration the experiments use (PU=50, PE=#output
+nodes <= 4); ``E3_b`` introduces more resources "for lower latency but
+higher chance of under-utilization and higher energy".  Regenerated
+from the resource model against the ZCU104's XCZU7EV capacities.
+"""
+
+from benchmarks.conftest import write_output
+from repro.core.results import format_table
+from repro.hw.fpga_model import (
+    ZCU104,
+    estimate_fpga_power,
+    estimate_inax_resources,
+)
+
+E3_A = {"num_pus": 50, "num_pes_per_pu": 4}
+E3_B = {"num_pus": 100, "num_pes_per_pu": 8}
+
+
+def _estimates():
+    a = estimate_inax_resources(**E3_A)
+    b = estimate_inax_resources(**E3_B)
+    return a, b
+
+
+def test_fig10b_fpga_resources(benchmark):
+    res_a, res_b = benchmark.pedantic(_estimates, rounds=1, iterations=1)
+
+    util_a = res_a.utilization(ZCU104)
+    util_b = res_b.utilization(ZCU104)
+    table = format_table(
+        ["resource", "E3_a", "E3_b"],
+        [
+            [name, f"{util_a[name] * 100:.1f}%", f"{util_b[name] * 100:.1f}%"]
+            for name in ("LUT", "FF", "BRAM", "DSP")
+        ],
+        title=(
+            "Fig 10(b): FPGA resource utilization on XCZU7EV (modeled); "
+            f"power E3_a={estimate_fpga_power(res_a):.2f}W, "
+            f"E3_b={estimate_fpga_power(res_b):.2f}W"
+        ),
+    )
+    write_output("fig10b_fpga_resources", table)
+
+    # both configurations fit the device
+    assert res_a.fits(ZCU104)
+    assert res_b.fits(ZCU104)
+    # E3_b uses strictly more of every resource class
+    for name in ("LUT", "FF", "BRAM", "DSP"):
+        assert util_b[name] > util_a[name]
+        assert 0 < util_a[name] <= 1
+    # and burns more power (the paper's stated trade-off)
+    assert estimate_fpga_power(res_b) > estimate_fpga_power(res_a)
+    # the experiment config is a modest-footprint design: every class
+    # stays under half the device
+    assert max(util_a.values()) < 0.8

@@ -1,0 +1,52 @@
+"""Fig 1(b) — NEAT's timing profile on the SW-only platform.
+
+The paper's motivating measurement: "evaluate" occupies ~97% of NEAT's
+runtime and "evolve" only ~3% — the opposite of RL's profile (Fig 3).
+Regenerated from the E3-CPU pricing of the suite runs.
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis.timing_profile import neat_profile
+from repro.core.results import format_breakdown, format_table
+
+
+def _profiles(suite_experiments):
+    return {
+        name: neat_profile(result.platforms["cpu"].times)
+        for name, result in suite_experiments.items()
+    }
+
+
+def test_fig1b_neat_profile(benchmark, suite_experiments):
+    profiles = benchmark.pedantic(
+        _profiles, args=(suite_experiments,), rounds=1, iterations=1
+    )
+
+    rows = [
+        [name, f"{p['evaluate'] * 100:.1f}%", f"{p['createnet'] * 100:.2f}%",
+         f"{p['evolve'] * 100:.2f}%"]
+        for name, p in profiles.items()
+    ]
+    table = format_table(
+        ["env", "evaluate", "createnet", "evolve"],
+        rows,
+        title="Fig 1(b): NEAT timing profile on E3-CPU (measured)",
+    )
+    write_output("fig1b_neat_profile", table)
+
+    evaluate_fracs = [p["evaluate"] for p in profiles.values()]
+    evolve_fracs = [p["evolve"] for p in profiles.values()]
+    mean_evaluate = sum(evaluate_fracs) / len(evaluate_fracs)
+    mean_evolve = sum(evolve_fracs) / len(evolve_fracs)
+
+    print(
+        "suite mean: "
+        + format_breakdown(
+            {"evaluate": mean_evaluate, "evolve": mean_evolve}
+        )
+    )
+    # paper: evaluate ~97%, evolve ~3%
+    assert mean_evaluate > 0.90
+    assert mean_evolve < 0.10
+    # the profile holds per environment, not just on average
+    assert min(evaluate_fracs) > 0.80

@@ -1,0 +1,66 @@
+"""Fig 3 — time profiling of the RL baselines.
+
+The paper measures A2C and PPO2 with small and large networks and finds
+the *Training* part (backprop + rule updates) takes the majority —
+around 60% — of runtime, versus the Forward (predict) part.  This is
+the counterpoint to NEAT's evaluate-dominated profile (Fig 1(b)) and
+the argument for accelerating "evaluate" rather than "Training".
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_output
+from repro.analysis.timing_profile import rl_profile
+from repro.core.results import format_table
+from repro.envs.registry import make
+from repro.rl.a2c import A2C
+from repro.rl.policies import LARGE_HIDDEN, SMALL_HIDDEN
+from repro.rl.ppo import PPO
+
+CONFIGS = [
+    ("A2C-small", lambda env: A2C(env, hidden=SMALL_HIDDEN, seed=0)),
+    ("A2C-large", lambda env: A2C(env, hidden=LARGE_HIDDEN, seed=0)),
+    ("PPO2-small", lambda env: PPO(env, hidden=SMALL_HIDDEN, seed=0)),
+    ("PPO2-large", lambda env: PPO(env, hidden=LARGE_HIDDEN, seed=0)),
+]
+
+
+def _profiles():
+    out = {}
+    for name, factory in CONFIGS:
+        env = make("cartpole", seed=0)
+        agent = factory(env)
+        agent.learn(
+            total_timesteps=10**9, eval_every_updates=10**9, time_limit=2.0
+        )
+        out[name] = rl_profile(agent.times)
+    return out
+
+
+def test_fig3_rl_time_profile(benchmark):
+    profiles = benchmark.pedantic(_profiles, rounds=1, iterations=1)
+
+    table = format_table(
+        ["config", "Forward", "Training", "Env"],
+        [
+            [
+                name,
+                f"{p['forward'] * 100:.1f}%",
+                f"{p['training'] * 100:.1f}%",
+                f"{p['env'] * 100:.1f}%",
+            ]
+            for name, p in profiles.items()
+        ],
+        title="Fig 3: RL time profiling (measured)",
+    )
+    write_output("fig3_rl_profile", table)
+
+    trainings = [p["training"] for p in profiles.values()]
+    # Training is the largest slice in every configuration
+    for name, p in profiles.items():
+        assert p["training"] > p["forward"], name
+        assert p["training"] > p["env"], name
+    # and sits in the paper's ~60% band on average (generous margins:
+    # a NumPy backprop is not TF's, but the split direction must hold)
+    mean_training = float(np.mean(trainings))
+    assert 0.40 < mean_training < 0.90

@@ -1,0 +1,79 @@
+"""Fig 8 / §V "Parallelism Across PU and PE" — the combined sweep.
+
+The paper illustrates combined PU+PE parallelism (Fig 8) and reports
+("we do not plot quantitative results in the interest of space") that
+the U(PE) response surface over the (PU, PE) grid follows the expected
+behaviours: runtime falls along both axes, utilization peaks where both
+heuristics align (PU on the population ladder, PE at the output width).
+This bench regenerates that surface.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_output
+from repro.core.results import format_table
+from repro.inax.accelerator import INAXConfig, schedule_generation
+from repro.inax.synthetic import synthetic_population
+
+POPULATION = 120
+NUM_OUTPUTS = 4
+STEPS = 15
+PU_AXIS = (15, 24, 30, 40, 60, 120)  # population ladder points for 120
+PE_AXIS = (1, 2, 3, 4, 5, 6, 8)
+
+
+def _surface():
+    pop = synthetic_population(
+        num_individuals=POPULATION, num_outputs=NUM_OUTPUTS, seed=61
+    )
+    lengths = [STEPS] * POPULATION
+    cycles = {}
+    u_pe = {}
+    for num_pus in PU_AXIS:
+        for num_pes in PE_AXIS:
+            cfg = INAXConfig(num_pus=num_pus, num_pes_per_pu=num_pes)
+            report = schedule_generation(cfg, pop, lengths)
+            cycles[(num_pus, num_pes)] = report.total_cycles
+            u_pe[(num_pus, num_pes)] = report.u_pe
+    return cycles, u_pe
+
+
+def test_fig8_combined_parallelism(benchmark):
+    cycles, u_pe = benchmark.pedantic(_surface, rounds=1, iterations=1)
+
+    rows = []
+    for num_pus in PU_AXIS:
+        rows.append(
+            [num_pus]
+            + [f"{u_pe[(num_pus, num_pes)]:.3f}" for num_pes in PE_AXIS]
+        )
+    table = format_table(
+        ["PU \\ PE"] + [str(p) for p in PE_AXIS],
+        rows,
+        title="Fig 8 / SV: U(PE) response surface over the (PU, PE) grid "
+        f"(population {POPULATION}, {NUM_OUTPUTS} outputs)",
+    )
+    write_output("fig8_combined_parallelism", table)
+
+    # runtime falls (weakly) along both axes
+    for num_pes in PE_AXIS:
+        for a, b in zip(PU_AXIS, PU_AXIS[1:]):
+            assert cycles[(b, num_pes)] <= cycles[(a, num_pes)] * 1.01
+    for num_pus in PU_AXIS:
+        for a, b in zip(PE_AXIS, PE_AXIS[1:]):
+            assert cycles[(num_pus, b)] <= cycles[(num_pus, a)] * 1.01
+
+    # the PE heuristic holds at every PU point: U(PE) at the output
+    # width beats the off-by-one over-provisioned neighbour
+    for num_pus in PU_AXIS:
+        assert (
+            u_pe[(num_pus, NUM_OUTPUTS)] > u_pe[(num_pus, NUM_OUTPUTS + 1)]
+        ), num_pus
+
+    # and over-provisioning both axes yields the worst utilization corner
+    worst_corner = u_pe[(PU_AXIS[-1], PE_AXIS[-1])]
+    assert worst_corner <= min(
+        u_pe[(PU_AXIS[0], PE_AXIS[0])],
+        u_pe[(PU_AXIS[0], PE_AXIS[-1])],
+        u_pe[(PU_AXIS[-1], PE_AXIS[0])],
+    ) + 0.05

@@ -1,0 +1,64 @@
+"""Fig 9(a) — INAX runtime breakdown vs network size.
+
+Normalized runtime split into set-up / PE active / evaluate control
+across increasing hidden-node counts (footnote-3 defaults otherwise).
+
+Paper's shape: the larger the network (more hidden nodes = higher
+computation intensity), the more the control overhead is hidden and the
+higher the PE-active fraction — i.e. U(PE) grows with network size.
+"""
+
+from benchmarks.conftest import write_output
+from repro.core.results import format_table
+from repro.inax.accelerator import INAXConfig, schedule_generation
+from repro.inax.synthetic import synthetic_population
+
+HIDDEN_SWEEP = (5, 10, 20, 30, 50, 80)
+NUM_INDIVIDUALS = 50
+STEPS = 20
+
+
+def _sweep():
+    series = []
+    for num_hidden in HIDDEN_SWEEP:
+        pop = synthetic_population(
+            num_individuals=NUM_INDIVIDUALS,
+            num_hidden=num_hidden,
+            seed=41,
+        )
+        cfg = INAXConfig(num_pus=1, num_pes_per_pu=1)
+        report = schedule_generation(cfg, pop, [STEPS] * NUM_INDIVIDUALS)
+        series.append((num_hidden, report.breakdown()))
+    return series
+
+
+def test_fig9a_inax_breakdown(benchmark):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    table = format_table(
+        ["hidden nodes", "set-up", "PE active", "evaluate control"],
+        [
+            [
+                h,
+                f"{b['setup'] * 100:.1f}%",
+                f"{b['pe_active'] * 100:.1f}%",
+                f"{b['evaluate_control'] * 100:.1f}%",
+            ]
+            for h, b in series
+        ],
+        title="Fig 9(a): normalized INAX runtime breakdown (measured)",
+    )
+    write_output("fig9a_inax_breakdown", table)
+
+    # every breakdown is a valid partition of the normalized runtime
+    for _, b in series:
+        assert abs(sum(b.values()) - 1.0) < 1e-9
+        assert all(v >= 0 for v in b.values())
+
+    # the paper's trend: PE-active fraction grows with network size
+    actives = [b["pe_active"] for _, b in series]
+    assert actives[-1] > actives[0]
+    # and strictly dominates the sweep's small-vs-large endpoints for
+    # control overhead (more compute hides more control)
+    controls = [b["evaluate_control"] for _, b in series]
+    assert controls[-1] < controls[0]

@@ -1,0 +1,65 @@
+"""Fig 9(c) — normalized runtime and per-function breakdown.
+
+Each platform's phase times normalized to the E3-CPU total for the same
+environment.  Paper's shape: the baseline's bar is dominated by
+"evaluate"; E3-INAX's entire bar shrinks to a small fraction, with its
+"evaluate" slice reduced to the same scale as the evolve-side functions
+(E3-GPU is "too large to be displayed in this figure").
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis.timing_profile import normalized_platform_breakdown
+from repro.core.results import format_table
+
+
+def _breakdowns(suite_experiments):
+    out = {}
+    for name, res in suite_experiments.items():
+        out[name] = normalized_platform_breakdown(
+            {p: r.times for p, r in res.platforms.items()}, baseline="cpu"
+        )
+    return out
+
+
+def test_fig9c_normalized_breakdown(benchmark, suite_experiments):
+    breakdowns = benchmark.pedantic(
+        _breakdowns, args=(suite_experiments,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for env, by_platform in breakdowns.items():
+        for platform in ("cpu", "inax", "gpu"):
+            b = by_platform[platform]
+            rows.append(
+                [
+                    env,
+                    f"E3-{platform.upper()}",
+                    f"{b['evaluate']:.4f}",
+                    f"{b['env']:.4f}",
+                    f"{b['createnet']:.4f}",
+                    f"{b['evolve']:.4f}",
+                    f"{sum(b.values()):.4f}",
+                ]
+            )
+    table = format_table(
+        ["env", "platform", "evaluate", "env-step", "createnet",
+         "evolve", "total (vs CPU)"],
+        rows,
+        title="Fig 9(c): runtime normalized to E3-CPU (measured)",
+    )
+    write_output("fig9c_breakdown", table)
+
+    for env, by_platform in breakdowns.items():
+        cpu = by_platform["cpu"]
+        inax = by_platform["inax"]
+        gpu = by_platform["gpu"]
+        # baseline bar sums to 1.0 and is evaluate-dominated
+        assert abs(sum(cpu.values()) - 1.0) < 1e-9
+        assert cpu["evaluate"] > 0.5, env
+        # the accelerated bar is a small fraction of the baseline
+        assert sum(inax.values()) < 0.5, env
+        # E3-INAX's evaluate drops to the scale of the evolve-side work
+        evolve_side = inax["evolve"] + inax["createnet"] + inax["env"]
+        assert inax["evaluate"] < evolve_side, env
+        # E3-GPU's bar is off the chart, exactly as the paper notes
+        assert sum(gpu.values()) > 2.0, env

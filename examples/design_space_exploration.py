@@ -1,0 +1,81 @@
+"""HW design-space exploration with the §V heuristics.
+
+A hardware designer sizing INAX for a task must pick the PU and PE
+counts.  This example sweeps both dimensions on the paper's synthetic
+workload, applies the divisor-ladder heuristics, and checks the chosen
+configuration against the ZCU104's resources — the §V + Fig 10(b)
+workflow end to end.
+
+    python examples/design_space_exploration.py
+"""
+
+from repro.core import format_table
+from repro.hw import ZCU104, estimate_fpga_power, estimate_inax_resources
+from repro.inax import (
+    INAXConfig,
+    pe_candidates,
+    pu_candidates,
+    schedule_generation,
+    synthetic_population,
+)
+
+POPULATION = 120
+NUM_OUTPUTS = 10
+STEPS = 20
+MAX_DSPS_BUDGET = 600  # designer-imposed resource budget
+
+
+def main() -> None:
+    workload = synthetic_population(
+        num_individuals=POPULATION, num_outputs=NUM_OUTPUTS, seed=5
+    )
+    lengths = [STEPS] * POPULATION
+
+    print(f"workload: {POPULATION} individuals, {NUM_OUTPUTS} output nodes\n")
+    print(f"PE heuristic ladder (k={NUM_OUTPUTS}): {pe_candidates(NUM_OUTPUTS)}")
+    print(f"PU heuristic ladder (p={POPULATION}): {pu_candidates(POPULATION)[:6]}\n")
+
+    # sweep the heuristic grid
+    rows = []
+    best = None
+    for num_pus in pu_candidates(POPULATION)[:4]:
+        for num_pes in pe_candidates(NUM_OUTPUTS)[:3]:
+            if num_pus * num_pes > MAX_DSPS_BUDGET:
+                continue
+            cfg = INAXConfig(num_pus=num_pus, num_pes_per_pu=num_pes)
+            report = schedule_generation(cfg, workload, lengths)
+            resources = estimate_inax_resources(num_pus, num_pes)
+            if not resources.fits(ZCU104):
+                continue
+            power = estimate_fpga_power(resources)
+            rows.append(
+                [
+                    num_pus,
+                    num_pes,
+                    f"{report.total_cycles:,.0f}",
+                    f"{report.u_pe:.2f}",
+                    f"{report.u_pu:.2f}",
+                    f"{power:.2f} W",
+                ]
+            )
+            score = (report.total_cycles, power)
+            if best is None or score < best[0]:
+                best = (score, cfg, resources)
+
+    print(
+        format_table(
+            ["#PU", "#PE", "cycles", "U(PE)", "U(PU)", "power"],
+            rows,
+            title="heuristic design points (all fit the XCZU7EV)",
+        )
+    )
+
+    _, cfg, resources = best
+    print(f"\nchosen: PU={cfg.num_pus}, PE={cfg.num_pes_per_pu}")
+    utilization = resources.utilization(ZCU104)
+    for name, frac in utilization.items():
+        print(f"  {name:5s} {frac * 100:5.1f}% of {ZCU104.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Paper-scale reproduction run (long!).
+
+The benchmark harness caps populations and generations so the whole
+suite finishes in ~2 minutes.  This script runs the paper's own scale —
+population 200, evolving until each task's required fitness or a
+generous generation budget — and prints the Fig 9(b)/10(a) rows at that
+scale.  Expect tens of minutes to hours depending on how far the hard
+tasks (bipedal, mountain car) evolve.
+
+    python examples/paper_scale_run.py               # full suite
+    python examples/paper_scale_run.py pendulum pong # chosen tasks
+"""
+
+import sys
+import time
+
+from repro.core import format_seconds, format_table, run_experiment
+from repro.core.suite import PAPER_SETTINGS
+from repro.envs import ENV_SUITE
+from repro.neat import NEATConfig
+
+#: the paper's algorithm-level settings (§VI-C)
+POPULATION = PAPER_SETTINGS.population_size
+MAX_GENERATIONS = dict(PAPER_SETTINGS.generations)
+
+
+def main() -> None:
+    chosen = set(sys.argv[1:]) or {spec.name for spec in ENV_SUITE}
+    rows = []
+    speedups = []
+    for spec in ENV_SUITE:
+        if spec.name not in chosen:
+            continue
+        print(f"running {spec.name} (population {POPULATION}, up to "
+              f"{MAX_GENERATIONS[spec.name]} generations)...", flush=True)
+        t0 = time.perf_counter()
+        result = run_experiment(
+            spec.name,
+            seed=7,
+            neat_config=NEATConfig(population_size=POPULATION),
+            max_generations=MAX_GENERATIONS[spec.name],
+        )
+        wall = time.perf_counter() - t0
+        rows.append(
+            [
+                spec.paper_id,
+                spec.name,
+                "yes" if result.solved else "no",
+                result.generations,
+                format_seconds(result.platforms["cpu"].runtime_seconds),
+                format_seconds(result.platforms["gpu"].runtime_seconds),
+                format_seconds(result.platforms["inax"].runtime_seconds),
+                f"{result.speedup():.1f}x",
+                f"{result.energy_ratio('inax') * 100:.1f}%",
+                f"{wall:.0f}s",
+            ]
+        )
+        speedups.append(result.speedup())
+        print(f"  done in {wall:.0f}s wall "
+              f"(speedup {result.speedup():.1f}x)", flush=True)
+
+    print()
+    print(
+        format_table(
+            ["env", "task", "solved", "gens", "E3-CPU (s)", "E3-GPU (s)",
+             "E3-INAX (s)", "CPU/INAX", "INAX energy", "wall"],
+            rows,
+            title="Fig 9(b) + Fig 10(a) at paper scale (modeled platforms)",
+        )
+    )
+    if speedups:
+        print(f"\naveraged speedup: {sum(speedups) / len(speedups):.1f}x "
+              "(paper: ~30x)")
+
+
+if __name__ == "__main__":
+    main()

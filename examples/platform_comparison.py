@@ -1,0 +1,61 @@
+"""Three-platform comparison on one task: the Fig 9(b)/10(a) headline.
+
+Runs NEAT on the pendulum task once, then prices the identical workload
+on the E3-CPU, E3-GPU, and E3-INAX platform models — reproducing the
+paper's runtime ordering (GPU slower than CPU; INAX an order of
+magnitude faster) and the energy reduction.
+
+    python examples/platform_comparison.py
+"""
+
+from repro.core import format_seconds, format_table, run_experiment
+from repro.neat import NEATConfig
+
+
+def main() -> None:
+    print("running NEAT on pendulum (population 100)...\n")
+    result = run_experiment(
+        "pendulum",
+        seed=1,
+        neat_config=NEATConfig(population_size=100),
+        max_generations=10,
+    )
+
+    rows = []
+    for name in ("cpu", "gpu", "inax"):
+        platform = result.platforms[name]
+        rows.append(
+            [
+                f"E3-{name.upper()}",
+                format_seconds(platform.runtime_seconds),
+                f"{platform.energy_joules:,.1f}",
+                f"{platform.times.fractions()['evaluate'] * 100:.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["platform", "runtime (s)", "energy (J)", "evaluate share"],
+            rows,
+            title=f"pendulum, {result.generations} generations, "
+            f"best fitness {result.best_fitness:.1f}",
+        )
+    )
+
+    gpu_slowdown = (
+        result.platforms["gpu"].runtime_seconds
+        / result.platforms["cpu"].runtime_seconds
+    )
+    print(f"\nspeedup  E3-CPU / E3-INAX : {result.speedup():.1f}x")
+    print(f"slowdown E3-GPU / E3-CPU  : {gpu_slowdown:.1f}x")
+    print(f"energy   E3-INAX vs CPU   : "
+          f"{result.energy_ratio('inax') * 100:.1f}% "
+          f"({(1 - result.energy_ratio('inax')) * 100:.0f}% reduction)")
+
+    report = result.inax_report
+    print(f"\nINAX totals: {report.total_cycles:,.0f} cycles over "
+          f"{report.steps:,} synchronized steps, "
+          f"{report.individuals:,} individual-evaluations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: evolve a CartPole controller on the E3 platform.
+
+Runs the closed evaluate/evolve loop of the paper's Fig 1(a) with the
+evaluate phase on the functional INAX device, then inspects the evolved
+champion.
+
+    python examples/quickstart.py
+"""
+
+from repro.core import E3
+from repro.neat import NEATConfig
+
+
+def main() -> None:
+    platform = E3(
+        "cartpole",
+        backend="inax",  # evaluate on the simulated accelerator
+        neat_config=NEATConfig(population_size=80),
+        episodes_per_genome=2,  # average fitness over 2 episodes: less
+        seed=0,                 # overfitting to one initial condition
+    )
+    result = platform.run(max_generations=20)
+
+    print(f"environment     : {result.env_name}")
+    print(f"backend         : {result.backend_name}")
+    print(f"solved          : {result.solved}")
+    print(f"generations     : {result.generations}")
+    print(f"best fitness    : {result.best_fitness:.1f} "
+          f"(required {platform.required_fitness})")
+
+    champion = result.best_network()
+    print(f"champion size   : {champion.num_evaluated_nodes} nodes, "
+          f"{champion.num_macs} connections, "
+          f"{len(champion.layers)} layers")
+    print(f"density         : {champion.density():.2f} of the dense "
+          f"MLP counterpart")
+
+    # drive the champion through one episode by hand
+    from repro.envs import make, run_episode
+
+    episode = run_episode(make("cartpole", seed=123), champion.activate)
+    print(f"demo episode    : {episode.steps} steps, "
+          f"reward {episode.total_reward:.0f}")
+
+    # what did the accelerator do?
+    report = result.records[-1].cycle_report
+    print(f"last generation : {report.total_cycles:,.0f} INAX cycles, "
+          f"U(PE)={report.u_pe:.2f}, U(PU)={report.u_pu:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Watch a topology evolve: text rendering of the champion network.
+
+Evolves a pendulum controller and, every few generations, renders the
+champion's irregular topology (the Fig 4(c)-style structure) plus a
+sparkline of the fitness trace — all in plain text, as an edge console
+would show it.
+
+    python examples/topology_viewer.py
+"""
+
+from repro.analysis import render_network, sparkline
+from repro.core import E3
+from repro.envs import make
+from repro.neat import FeedForwardNetwork, NEATConfig
+
+
+def main() -> None:
+    platform = E3(
+        "pendulum",
+        backend="inax",
+        neat_config=NEATConfig(population_size=80),
+        seed=5,
+    )
+
+    snapshots = []
+    for round_index in range(4):
+        platform.population.run(
+            platform.backend.evaluate, max_generations=3
+        )
+        best = platform.population.best_genome
+        net = FeedForwardNetwork.create(best, platform.neat_config)
+        snapshots.append((platform.population.generation, best.fitness, net))
+
+    for generation, fitness, net in snapshots:
+        print(f"\n=== generation {generation} | best fitness {fitness:.1f} ===")
+        print(render_network(net))
+
+    history = platform.population.history
+    trace = [stats.best_fitness for stats in history]
+    print("\nbest-fitness trace "
+          f"({len(trace)} generations, higher is better):")
+    print("  " + sparkline(trace, width=60))
+    print(f"  start {trace[0]:.1f} -> end {trace[-1]:.1f} "
+          f"(required {platform.required_fitness})")
+
+    # give the final champion a spin
+    from repro.envs import run_episode
+
+    net = FeedForwardNetwork.create(
+        platform.population.best_genome, platform.neat_config
+    )
+    episode = run_episode(make("pendulum", seed=7), net.activate)
+    print(f"\nfinal champion demo episode: reward {episode.total_reward:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — a reproduction of *E3: A HW/SW Co-design Neuroevolution
+Platform for Autonomous Learning in Edge Device* (ISPASS 2021).
+
+Packages
+--------
+``repro.core``
+    The E3 platform: the evaluate/evolve loop with pluggable backends,
+    plus the three-platform (CPU / GPU / INAX) experiment driver.
+``repro.neat``
+    NEAT from scratch: genomes, innovation tracking, mutation,
+    crossover, speciation, and the CreateNet decoder.
+``repro.envs``
+    The OpenAI-suite environments, reimplemented in NumPy.
+``repro.rl``
+    The A2C / PPO2 profiling baselines on a NumPy autodiff substrate.
+``repro.inax``
+    The INAX irregular-network accelerator as a cycle-level simulator,
+    with the systolic-array baseline and the §V parallelism heuristics.
+``repro.hw``
+    Platform cost models (runtime, energy, FPGA resources) and their
+    calibration constants.
+``repro.analysis``
+    Topology statistics and timing-profile helpers behind Fig 1-4.
+
+Quickstart
+----------
+>>> from repro.core import E3
+>>> result = E3("cartpole", backend="inax", seed=0).run(max_generations=10)
+>>> result.solved, result.best_fitness  # doctest: +SKIP
+(True, 500.0)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

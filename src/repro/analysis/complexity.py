@@ -1,0 +1,88 @@
+"""Network-complexity comparison (Table V) and overhead rows (Table IV).
+
+Table V contrasts, per environment, the node/connection counts of the
+RL baselines' *Small* and *Large* MLPs against the average size of the
+networks NEAT actually evolves — the paper's evidence that "evolve
+inherently incorporates a pruning process".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.rl.policies import LARGE_HIDDEN, SMALL_HIDDEN
+from repro.rl.profiling import mlp_complexity
+
+__all__ = [
+    "ComplexityRow",
+    "neat_average_complexity",
+    "table5_row",
+]
+
+
+@dataclass(frozen=True)
+class ComplexityRow:
+    """One environment's Table V column."""
+
+    env_name: str
+    small_nodes: int
+    small_connections: int
+    large_nodes: int
+    large_connections: int
+    neat_avg_nodes: float
+    neat_avg_connections: float
+
+    @property
+    def small_to_neat_connection_ratio(self) -> float:
+        """How much larger the Small MLP is than the evolved average."""
+        return self.small_connections / max(self.neat_avg_connections, 1e-9)
+
+
+def neat_average_complexity(
+    populations: list[list[Genome]], config: NEATConfig
+) -> tuple[float, float]:
+    """(avg nodes, avg enabled connections) over all generations.
+
+    ``populations`` is one genome list per generation, matching the
+    paper's "Ave. nodes / Ave. connections" rows which average over the
+    whole evolution run.
+    """
+    nodes: list[int] = []
+    conns: list[int] = []
+    for population in populations:
+        for genome in population:
+            nodes.append(genome.num_nodes(config))
+            conns.append(genome.num_enabled_connections)
+    if not nodes:
+        raise ValueError("no genomes supplied")
+    return float(np.mean(nodes)), float(np.mean(conns))
+
+
+def table5_row(
+    env_name: str,
+    num_inputs: int,
+    num_outputs: int,
+    populations: list[list[Genome]],
+    config: NEATConfig,
+) -> ComplexityRow:
+    """Build one Table V column for an environment."""
+    small_nodes, small_conns = mlp_complexity(
+        num_inputs, SMALL_HIDDEN, num_outputs
+    )
+    large_nodes, large_conns = mlp_complexity(
+        num_inputs, LARGE_HIDDEN, num_outputs
+    )
+    avg_nodes, avg_conns = neat_average_complexity(populations, config)
+    return ComplexityRow(
+        env_name=env_name,
+        small_nodes=small_nodes,
+        small_connections=small_conns,
+        large_nodes=large_nodes,
+        large_connections=large_conns,
+        neat_avg_nodes=avg_nodes,
+        neat_avg_connections=avg_conns,
+    )

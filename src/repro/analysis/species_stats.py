@@ -1,0 +1,109 @@
+"""Speciation dynamics: how topology niches rise and fall.
+
+The paper's "Speciate" exists so that "diverse evolved traits survive
+through generations, even if their genomes do not perform well
+initially" (Table III).  This module records how that plays out over a
+run — species births, deaths, sizes, and lifetimes — the evidence that
+fitness sharing actually protects young structural innovations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.neat.population import Population
+
+__all__ = ["SpeciesSnapshot", "SpeciesHistory"]
+
+
+@dataclass(frozen=True)
+class SpeciesSnapshot:
+    """One generation's species partition."""
+
+    generation: int
+    #: species key -> member count
+    sizes: dict[int, int]
+    #: species key -> best member fitness this generation
+    best_fitness: dict[int, float]
+
+
+@dataclass
+class SpeciesHistory:
+    """Per-generation species records with lifetime accounting."""
+
+    snapshots: list[SpeciesSnapshot] = field(default_factory=list)
+
+    def record(self, population: Population) -> None:
+        """Snapshot the population's current species partition."""
+        sizes: dict[int, int] = {}
+        best: dict[int, float] = {}
+        for key, species in population.species_set.species.items():
+            sizes[key] = species.size
+            fitnesses = [
+                g.fitness for g in species.members if g.fitness is not None
+            ]
+            best[key] = max(fitnesses) if fitnesses else float("-inf")
+        self.snapshots.append(
+            SpeciesSnapshot(
+                generation=population.generation,
+                sizes=sizes,
+                best_fitness=best,
+            )
+        )
+
+    # ------------------------------------------------------------- stats
+    @property
+    def generations(self) -> int:
+        return len(self.snapshots)
+
+    def species_seen(self) -> set[int]:
+        keys: set[int] = set()
+        for snap in self.snapshots:
+            keys.update(snap.sizes)
+        return keys
+
+    def lifetimes(self) -> dict[int, int]:
+        """Generations each species appeared in."""
+        out: dict[int, int] = {}
+        for snap in self.snapshots:
+            for key in snap.sizes:
+                out[key] = out.get(key, 0) + 1
+        return out
+
+    def births_and_deaths(self) -> tuple[list[int], list[int]]:
+        """Per-generation counts of species appearing / disappearing."""
+        births, deaths = [], []
+        previous: set[int] = set()
+        for snap in self.snapshots:
+            current = set(snap.sizes)
+            births.append(len(current - previous))
+            deaths.append(len(previous - current))
+            previous = current
+        return births, deaths
+
+    def mean_species_count(self) -> float:
+        if not self.snapshots:
+            return 0.0
+        return float(np.mean([len(s.sizes) for s in self.snapshots]))
+
+    def turnover(self) -> float:
+        """Fraction of observed species that died before the last
+        generation — a measure of how actively niches churn."""
+        seen = self.species_seen()
+        if not seen or not self.snapshots:
+            return 0.0
+        alive_at_end = set(self.snapshots[-1].sizes)
+        return 1.0 - len(alive_at_end & seen) / len(seen)
+
+    def summary(self) -> dict[str, float]:
+        lifetimes = list(self.lifetimes().values())
+        return {
+            "generations": float(self.generations),
+            "species_seen": float(len(self.species_seen())),
+            "mean_species_alive": self.mean_species_count(),
+            "mean_lifetime": float(np.mean(lifetimes)) if lifetimes else 0.0,
+            "max_lifetime": float(max(lifetimes, default=0)),
+            "turnover": self.turnover(),
+        }

@@ -1,0 +1,66 @@
+"""Phase-breakdown profiles (Fig 1(b), Fig 3, Fig 9(c), Fig 9(d)).
+
+Helpers that turn phase-time records into the normalized breakdowns the
+paper plots, with the paper's own bucketings:
+
+* Fig 1(b) groups NEAT's time into "evaluate" (inference + env) vs the
+  evolve sub-functions;
+* Fig 3 groups RL time into "Forward" vs "Training";
+* Fig 9(c) normalizes all platforms to the E3-CPU total;
+* Fig 9(d) is the E3-INAX per-function profile, which should come out
+  *balanced* after acceleration.
+"""
+
+from __future__ import annotations
+
+from repro.hw.cpu_model import PhaseTimes
+from repro.rl.base import TimeBreakdown
+
+__all__ = [
+    "neat_profile",
+    "rl_profile",
+    "normalized_platform_breakdown",
+]
+
+
+def neat_profile(times: PhaseTimes) -> dict[str, float]:
+    """Fig 1(b)-style fractions: evaluate (incl. env) vs evolve parts."""
+    total = times.total or 1.0
+    return {
+        "evaluate": (times.evaluate + times.env) / total,
+        "createnet": times.createnet / total,
+        "evolve": times.evolve / total,
+    }
+
+
+def rl_profile(times: TimeBreakdown) -> dict[str, float]:
+    """Fig 3-style fractions: Forward vs Training (env separate)."""
+    total = times.total or 1.0
+    return {
+        "forward": times.forward / total,
+        "training": times.training / total,
+        "env": times.env / total,
+    }
+
+
+def normalized_platform_breakdown(
+    platform_times: dict[str, PhaseTimes], baseline: str = "cpu"
+) -> dict[str, dict[str, float]]:
+    """Fig 9(c): per-platform phase times normalized to one baseline.
+
+    Every value is a fraction of the *baseline platform's total*, so the
+    baseline's bars sum to 1.0 and an accelerated platform's bars sum to
+    1/speedup.
+    """
+    if baseline not in platform_times:
+        raise KeyError(f"baseline platform {baseline!r} not in results")
+    base_total = platform_times[baseline].total or 1.0
+    out: dict[str, dict[str, float]] = {}
+    for name, times in platform_times.items():
+        out[name] = {
+            "evaluate": times.evaluate / base_total,
+            "env": times.env / base_total,
+            "createnet": times.createnet / base_total,
+            "evolve": times.evolve / base_total,
+        }
+    return out

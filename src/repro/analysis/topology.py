@@ -1,0 +1,129 @@
+"""Topology statistics of evolved networks (Fig 4(e)(f)(g)).
+
+The paper motivates INAX with three measurements over evolved
+populations:
+
+* **node-degree distribution** (Fig 4(e)) — irregular fan-in/out;
+* **layer-size histogram** (Fig 4(f)) — widths vary wildly, so no fixed
+  PE provisioning fits all layers;
+* **density trace** (Fig 4(g)) — connections relative to the dense MLP
+  counterpart, fluctuating across generations and exceeding 100% when
+  skip links abound.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.network import FeedForwardNetwork
+
+__all__ = [
+    "degree_distribution",
+    "layer_size_histogram",
+    "population_density",
+    "DensityTrace",
+    "TopologyStats",
+    "population_topology_stats",
+]
+
+
+def degree_distribution(
+    genomes: list[Genome], config: NEATConfig
+) -> Counter:
+    """Histogram of node degrees (in + out) over decoded networks.
+
+    Counts only the nodes and connections that survive CreateNet's
+    pruning — the traffic the accelerator actually sees.
+    """
+    counts: Counter = Counter()
+    for genome in genomes:
+        net = FeedForwardNetwork.create(genome, config)
+        degree: Counter = Counter()
+        for plan in net.node_evals.values():
+            degree[plan.key] += plan.fan_in
+            for src, _ in plan.ingress:
+                degree[src] += 1
+        counts.update(degree.values())
+    return counts
+
+
+def layer_size_histogram(
+    genomes: list[Genome], config: NEATConfig
+) -> Counter:
+    """Histogram of per-layer node counts across decoded networks."""
+    counts: Counter = Counter()
+    for genome in genomes:
+        net = FeedForwardNetwork.create(genome, config)
+        counts.update(len(layer) for layer in net.layers)
+    return counts
+
+
+def population_density(
+    genomes: list[Genome], config: NEATConfig
+) -> float:
+    """Mean density over a population (Fig 4's footnote definition)."""
+    if not genomes:
+        raise ValueError("need at least one genome")
+    densities = [
+        FeedForwardNetwork.create(g, config).density() for g in genomes
+    ]
+    return float(np.mean(densities))
+
+
+@dataclass
+class DensityTrace:
+    """Density per generation for one environment (one Fig 4(g) line)."""
+
+    env_name: str
+    densities: list[float] = field(default_factory=list)
+
+    def record(self, genomes: list[Genome], config: NEATConfig) -> None:
+        self.densities.append(population_density(genomes, config))
+
+    @property
+    def generations(self) -> int:
+        return len(self.densities)
+
+
+@dataclass(frozen=True)
+class TopologyStats:
+    """Summary statistics of one population's decoded networks."""
+
+    mean_nodes: float
+    mean_connections: float
+    mean_layers: float
+    mean_density: float
+    max_fan_in: int
+    degree_histogram: dict[int, int]
+    layer_size_histogram: dict[int, int]
+
+
+def population_topology_stats(
+    genomes: list[Genome], config: NEATConfig
+) -> TopologyStats:
+    """One-shot computation of every Fig 4 statistic for a population."""
+    if not genomes:
+        raise ValueError("need at least one genome")
+    nodes, conns, layers, densities = [], [], [], []
+    max_fan_in = 0
+    for genome in genomes:
+        net = FeedForwardNetwork.create(genome, config)
+        nodes.append(net.num_evaluated_nodes + len(net.input_keys))
+        conns.append(net.num_macs)
+        layers.append(len(net.layers))
+        densities.append(net.density())
+        max_fan_in = max(max_fan_in, net.max_fan_in)
+    return TopologyStats(
+        mean_nodes=float(np.mean(nodes)),
+        mean_connections=float(np.mean(conns)),
+        mean_layers=float(np.mean(layers)),
+        mean_density=float(np.mean(densities)),
+        max_fan_in=max_fan_in,
+        degree_histogram=dict(degree_distribution(genomes, config)),
+        layer_size_histogram=dict(layer_size_histogram(genomes, config)),
+    )

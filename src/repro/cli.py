@@ -1,0 +1,388 @@
+"""Command-line interface.
+
+Seven subcommands cover the platform's day-to-day workflows::
+
+    python -m repro envs                       # list benchmark tasks
+    python -m repro run --env cartpole ...     # evolve on a backend
+    python -m repro resume --checkpoint ...    # continue a saved run
+    python -m repro compare --env pendulum ... # 3-platform pricing
+    python -m repro sweep --axis pe ...        # SV parallelism sweeps
+    python -m repro resources --pus 50 --pes 4 # FPGA sizing
+    python -m repro dot --checkpoint ...       # champion topology as DOT
+
+Every command prints plain-text tables (the same formatters the
+benchmark harness uses) and exits non-zero on invalid input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.results import format_seconds, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="E3 neuroevolution platform (ISPASS 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # ------------------------------------------------------------- envs
+    sub.add_parser("envs", help="list registered environments")
+
+    # -------------------------------------------------------------- run
+    run = sub.add_parser("run", help="run NEAT on one environment")
+    run.add_argument("--env", required=True, help="environment name")
+    run.add_argument(
+        "--backend", default="inax", choices=("cpu", "gpu", "inax"),
+        help="where the evaluate phase runs",
+    )
+    run.add_argument("--population", type=int, default=100)
+    run.add_argument("--generations", type=int, default=20)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--checkpoint", default=None,
+        help="write a resumable checkpoint here after the run",
+    )
+    run.add_argument(
+        "--csv", default=None, help="write the per-generation CSV log here"
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress per-generation lines"
+    )
+
+    # ----------------------------------------------------------- resume
+    resume = sub.add_parser(
+        "resume", help="continue a checkpointed run for more generations"
+    )
+    resume.add_argument("--checkpoint", required=True)
+    resume.add_argument("--env", required=True, help="environment name")
+    resume.add_argument(
+        "--backend", default="inax", choices=("cpu", "gpu", "inax")
+    )
+    resume.add_argument("--generations", type=int, default=20)
+    resume.add_argument("--seed", type=int, default=0)
+    resume.add_argument("--quiet", action="store_true")
+
+    # ---------------------------------------------------------- compare
+    compare = sub.add_parser(
+        "compare", help="price one run on the CPU/GPU/INAX platforms"
+    )
+    compare.add_argument("--env", required=True)
+    compare.add_argument("--population", type=int, default=100)
+    compare.add_argument("--generations", type=int, default=10)
+    compare.add_argument("--seed", type=int, default=0)
+
+    # ------------------------------------------------------------ sweep
+    sweep = sub.add_parser(
+        "sweep", help="PE or PU parallelism sweep on synthetic workloads"
+    )
+    sweep.add_argument("--axis", required=True, choices=("pe", "pu"))
+    sweep.add_argument("--individuals", type=int, default=100)
+    sweep.add_argument("--outputs", type=int, default=4)
+    sweep.add_argument("--hidden", type=int, default=30)
+    sweep.add_argument("--steps", type=int, default=20)
+    sweep.add_argument("--max", type=int, default=None, dest="max_value",
+                       help="largest PE/PU count to sweep")
+    sweep.add_argument("--seed", type=int, default=0)
+
+    # -------------------------------------------------------------- dot
+    dot = sub.add_parser(
+        "dot", help="render a checkpoint's champion network as Graphviz DOT"
+    )
+    dot.add_argument("--checkpoint", required=True)
+    dot.add_argument(
+        "--out", default=None, help="write here instead of stdout"
+    )
+
+    # -------------------------------------------------------- resources
+    resources = sub.add_parser(
+        "resources", help="FPGA resource/power estimate for an INAX config"
+    )
+    resources.add_argument("--pus", type=int, required=True)
+    resources.add_argument("--pes", type=int, required=True)
+
+    return parser
+
+
+# ---------------------------------------------------------------- commands
+def _cmd_envs(_args) -> int:
+    from repro.envs.registry import ENV_SUITE, registered_names, spec
+
+    suite_names = {s.name for s in ENV_SUITE}
+    rows = []
+    for name in registered_names():
+        entry = spec(name)
+        env = entry.make()
+        rows.append(
+            [
+                entry.paper_id or "-",
+                name,
+                env.num_inputs,
+                env.num_outputs,
+                entry.required_fitness,
+                "suite" if name in suite_names else "extra",
+            ]
+        )
+    print(
+        format_table(
+            ["paper id", "name", "inputs", "outputs", "required fitness", ""],
+            rows,
+            title="registered environments",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.core.platform import E3
+    from repro.neat.checkpoint import save_checkpoint
+    from repro.neat.config import NEATConfig
+    from repro.neat.reporters import ConsoleReporter, CSVReporter
+
+    platform = E3(
+        args.env,
+        backend=args.backend,
+        neat_config=NEATConfig(population_size=args.population),
+        seed=args.seed,
+    )
+    if not args.quiet:
+        platform.population.reporters.add(ConsoleReporter())
+    csv_reporter = None
+    if args.csv:
+        csv_reporter = CSVReporter(args.csv)
+        platform.population.reporters.add(csv_reporter)
+
+    result = platform.run(max_generations=args.generations)
+    if csv_reporter is not None:
+        csv_reporter.close()
+    if args.checkpoint:
+        save_checkpoint(platform.population, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}")
+
+    champion = result.best_network()
+    print(
+        f"\n{args.env}: solved={result.solved} "
+        f"best={result.best_fitness:.1f} "
+        f"(required {platform.required_fitness}) "
+        f"in {result.generations} generations"
+    )
+    print(
+        f"champion: {champion.num_evaluated_nodes} nodes, "
+        f"{champion.num_macs} connections"
+    )
+    return 0 if result.solved else 2
+
+
+def _cmd_resume(args) -> int:
+    from repro.core.backends import CPUBackend, INAXBackend
+    from repro.envs.registry import spec
+    from repro.neat.checkpoint import load_checkpoint, save_checkpoint
+    from repro.neat.reporters import ConsoleReporter
+
+    population = load_checkpoint(args.checkpoint)
+    env_spec = spec(args.env)
+    env = env_spec.make()
+    if (
+        population.config.num_inputs != env.num_inputs
+        or population.config.num_outputs != env.num_outputs
+    ):
+        print(
+            f"error: checkpoint was trained on a "
+            f"{population.config.num_inputs}-in/"
+            f"{population.config.num_outputs}-out task; {args.env} needs "
+            f"{env.num_inputs}-in/{env.num_outputs}-out",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.core.backends import GPUBackend
+
+    backend_cls = {
+        "cpu": CPUBackend,
+        "gpu": GPUBackend,
+        "inax": INAXBackend,
+    }[args.backend]
+    backend = backend_cls(args.env, population.config, base_seed=args.seed)
+    if not args.quiet:
+        population.reporters.add(ConsoleReporter())
+
+    start_generation = population.generation
+    result = population.run(
+        backend.evaluate,
+        max_generations=args.generations,
+        fitness_threshold=env_spec.required_fitness,
+    )
+    save_checkpoint(population, args.checkpoint)
+    print(
+        f"\nresumed {args.env} from generation {start_generation}: "
+        f"now at {population.generation}, best "
+        f"{result.best_genome.fitness:.1f} "
+        f"(required {env_spec.required_fitness}); checkpoint updated"
+    )
+    return 0 if result.solved else 2
+
+
+def _cmd_compare(args) -> int:
+    from repro.core.experiment import run_experiment
+    from repro.neat.config import NEATConfig
+
+    result = run_experiment(
+        args.env,
+        seed=args.seed,
+        neat_config=NEATConfig(population_size=args.population),
+        max_generations=args.generations,
+    )
+    rows = []
+    for name in ("cpu", "gpu", "inax"):
+        platform = result.platforms[name]
+        rows.append(
+            [
+                f"E3-{name.upper()}",
+                format_seconds(platform.runtime_seconds),
+                f"{platform.energy_joules:,.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["platform", "runtime (s)", "energy (J)"],
+            rows,
+            title=f"{args.env}: {result.generations} generations, "
+            f"best fitness {result.best_fitness:.1f}",
+        )
+    )
+    print(f"speedup E3-CPU/E3-INAX: {result.speedup():.1f}x")
+    print(
+        f"energy  E3-INAX vs CPU: {result.energy_ratio('inax') * 100:.1f}%"
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.inax.accelerator import INAXConfig, schedule_generation
+    from repro.inax.heuristics import pe_candidates, pu_candidates
+    from repro.inax.synthetic import synthetic_population
+
+    population = synthetic_population(
+        num_individuals=args.individuals,
+        num_outputs=args.outputs,
+        num_hidden=args.hidden,
+        seed=args.seed,
+    )
+    lengths = [args.steps] * args.individuals
+
+    if args.axis == "pe":
+        limit = args.max_value or 2 * args.outputs
+        points = list(range(1, limit + 1))
+        ladder = pe_candidates(args.outputs, limit)
+        configs = [(1, p) for p in points]
+        util = "U(PE)"
+    else:
+        limit = args.max_value or args.individuals
+        ladder = pu_candidates(args.individuals, limit)
+        points = sorted(
+            {q for p in ladder for q in (p - 1, p, p + 1)}
+            & set(range(1, limit + 1))
+        )
+        configs = [(p, 1) for p in points]
+        util = "U(PU)"
+
+    rows = []
+    for num_pus, num_pes in configs:
+        cfg = INAXConfig(num_pus=num_pus, num_pes_per_pu=num_pes)
+        report = schedule_generation(cfg, population, lengths)
+        value = report.u_pe if args.axis == "pe" else report.u_pu
+        point = num_pes if args.axis == "pe" else num_pus
+        rows.append(
+            [
+                point,
+                f"{report.total_cycles:,.0f}",
+                f"{value:.3f}",
+                "*" if point in ladder else "",
+            ]
+        )
+    print(
+        format_table(
+            [f"#{args.axis.upper()}", "cycles", util, "heuristic"],
+            rows,
+            title=f"{args.axis.upper()} sweep "
+            f"(individuals={args.individuals}, outputs={args.outputs}); "
+            f"heuristic ladder {ladder}",
+        )
+    )
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    from repro.analysis.render import to_dot
+    from repro.neat.checkpoint import load_checkpoint
+    from repro.neat.network import FeedForwardNetwork
+
+    population = load_checkpoint(args.checkpoint)
+    champion = population.best_genome
+    if champion is None:
+        # a fresh checkpoint has no evaluated champion yet; fall back to
+        # the first individual so there is always something to draw
+        champion = population.population[0]
+    net = FeedForwardNetwork.create(champion, population.config)
+    dot = to_dot(net, name="champion")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(dot + "\n")
+        print(f"wrote {args.out} ({net.num_evaluated_nodes} nodes, "
+              f"{net.num_macs} connections)")
+    else:
+        print(dot)
+    return 0
+
+
+def _cmd_resources(args) -> int:
+    from repro.hw.fpga_model import (
+        ZCU104,
+        estimate_fpga_power,
+        estimate_inax_resources,
+    )
+
+    try:
+        estimate = estimate_inax_resources(args.pus, args.pes)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = [
+        [name, f"{frac * 100:.1f}%"]
+        for name, frac in estimate.utilization(ZCU104).items()
+    ]
+    fits = estimate.fits(ZCU104)
+    print(
+        format_table(
+            ["resource", f"% of {ZCU104.name}"],
+            rows,
+            title=f"INAX PU={args.pus} PE={args.pes}: "
+            f"{'fits' if fits else 'DOES NOT FIT'}, "
+            f"~{estimate_fpga_power(estimate):.2f} W",
+        )
+    )
+    return 0 if fits else 3
+
+
+_COMMANDS = {
+    "envs": _cmd_envs,
+    "run": _cmd_run,
+    "resume": _cmd_resume,
+    "dot": _cmd_dot,
+    "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
+    "resources": _cmd_resources,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

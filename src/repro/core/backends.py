@@ -1,0 +1,293 @@
+"""Evaluation backends: where the "evaluate" phase actually runs.
+
+The E3 platform (Fig 5) keeps "evolve" on the CPU and chooses where to
+run "evaluate":
+
+* :class:`CPUBackend` — the SW-only baseline (E3-CPU): decode each
+  genome and run its episodes with the software forward pass;
+* :class:`INAXBackend` — the co-designed path (E3-INAX): compile each
+  genome to a HW configuration, dispatch the population in waves to the
+  functional INAX device, and drive the closed CPU<->FPGA loop: the CPU
+  scatters observations, the device infers, the CPU steps the envs with
+  the returned actions, until every individual's episode terminates.
+
+Both backends evaluate episodes under the same per-genome seeds, so a
+NEAT run's fitness trajectory is identical regardless of backend — the
+property the integration tests pin down.
+
+Every backend also records the generation's *workload* (for the
+CPU/GPU cost models) and, when an INAX configuration is attached, the
+analytic cycle report (for E3-INAX pricing) — this is what the Fig 9/10
+benchmark harnesses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.envs.base import Environment
+from repro.envs.registry import make
+from repro.envs.rollout import decode_action
+from repro.hw.workload import GenerationWorkload, IndividualWork
+from repro.inax.accelerator import INAX, INAXConfig, schedule_generation
+from repro.inax.compiler import HWNetConfig, compile_genome
+from repro.inax.pu import BufferOverflowError
+from repro.inax.timing import CycleReport
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.network import FeedForwardNetwork
+
+__all__ = ["GenerationRecord", "EvaluationBackend", "CPUBackend", "INAXBackend"]
+
+
+@dataclass
+class GenerationRecord:
+    """Everything recorded while evaluating one generation."""
+
+    workload: GenerationWorkload
+    #: compiled individuals, aligned with workload.individuals
+    configs: list[HWNetConfig]
+    episode_lengths: list[int]
+    #: analytic INAX cycles (filled when an INAX config is attached)
+    cycle_report: CycleReport | None = None
+
+
+class EvaluationBackend:
+    """Base backend: owns env construction, seeding, and recording."""
+
+    name = "backend"
+
+    def __init__(
+        self,
+        env_name: str,
+        neat_config: NEATConfig,
+        episodes_per_genome: int = 1,
+        base_seed: int = 0,
+        inax_config: INAXConfig | None = None,
+        env_kwargs: dict | None = None,
+    ):
+        self.env_name = env_name
+        self.neat_config = neat_config
+        self.episodes_per_genome = episodes_per_genome
+        self.base_seed = base_seed
+        self.inax_config = inax_config
+        self.env_kwargs = dict(env_kwargs or {})
+        self.records: list[GenerationRecord] = []
+        self._generation = 0
+
+    # ------------------------------------------------------------ hooks
+    def evaluate(self, genomes: list[Genome]) -> None:
+        """Set ``fitness`` on every genome; record the workload."""
+        raise NotImplementedError
+
+    # ---------------------------------------------------------- helpers
+    def _episode_seed(self, genome: Genome, episode: int) -> int:
+        # deterministic per (run, genome, episode); independent of backend
+        return (self.base_seed * 1_000_003 + genome.key * 31 + episode) % (2**31)
+
+    def _make_env(self) -> Environment:
+        return make(self.env_name, **self.env_kwargs)
+
+    def _record(
+        self,
+        configs: list[HWNetConfig],
+        episode_lengths: list[int],
+    ) -> GenerationRecord:
+        workload = GenerationWorkload(
+            individuals=[
+                IndividualWork.from_config(cfg, steps)
+                for cfg, steps in zip(configs, episode_lengths)
+            ]
+        )
+        report = None
+        if self.inax_config is not None:
+            report = schedule_generation(
+                self.inax_config, configs, episode_lengths
+            )
+        record = GenerationRecord(
+            workload=workload,
+            configs=configs,
+            episode_lengths=episode_lengths,
+            cycle_report=report,
+        )
+        self.records.append(record)
+        self._generation += 1
+        return record
+
+
+class CPUBackend(EvaluationBackend):
+    """SW-only evaluation: the E3-CPU baseline."""
+
+    name = "cpu"
+
+    def evaluate(self, genomes: list[Genome]) -> None:
+        configs: list[HWNetConfig] = []
+        lengths: list[int] = []
+        for genome in genomes:
+            net = FeedForwardNetwork.create(genome, self.neat_config)
+            configs.append(compile_genome(genome, self.neat_config))
+            total_reward = 0.0
+            total_steps = 0
+            for episode in range(self.episodes_per_genome):
+                env = self._make_env()
+                obs = env.reset(seed=self._episode_seed(genome, episode))
+                done = False
+                while not done:
+                    action = decode_action(env, net.activate(obs))
+                    obs, reward, done, _ = env.step(action)
+                    total_reward += reward
+                    total_steps += 1
+            genome.fitness = total_reward / self.episodes_per_genome
+            lengths.append(total_steps)
+        self._record(configs, lengths)
+
+
+class GPUBackend(CPUBackend):
+    """The E3-GPU reference setting (§VI-A).
+
+    Functionally identical to the CPU backend — a GPU computes the same
+    forward passes, just (per the paper) *slower* for this workload —
+    so evaluation reuses the software path while the platform pricing
+    (:class:`repro.hw.gpu_model.GPUModel`) charges GPU rates.  Exists so
+    all three of the paper's settings are addressable as backends.
+    """
+
+    name = "gpu"
+
+
+class INAXBackend(EvaluationBackend):
+    """HW/SW co-designed evaluation on the functional INAX device.
+
+    Episodes run in lock-step across a wave of PUs: each synchronized
+    device step infers every still-alive individual, then the CPU steps
+    each individual's environment with the decoded action.  Early
+    terminations drop out of subsequent steps (the §V-B2 idle-PU
+    effect), and the device's cycle report reflects it.
+    """
+
+    name = "inax"
+
+    def __init__(
+        self,
+        env_name: str,
+        neat_config: NEATConfig,
+        inax_config: INAXConfig | None = None,
+        episodes_per_genome: int = 1,
+        base_seed: int = 0,
+        env_kwargs: dict | None = None,
+        oversize_policy: str = "raise",
+        oversize_penalty: float = -1e9,
+    ):
+        """``oversize_policy`` decides what happens when an evolved
+        genome no longer fits the PUs' weight/value buffers (a real
+        failure mode once buffer capacities are finite): ``"raise"``
+        aborts the run; ``"penalize"`` assigns ``oversize_penalty`` as
+        the fitness without evaluating, so selection prunes oversized
+        topologies — the resource pressure a deployed E3 would apply."""
+        if oversize_policy not in ("raise", "penalize"):
+            raise ValueError(
+                f"unknown oversize_policy {oversize_policy!r}; "
+                "use 'raise' or 'penalize'"
+            )
+        inax_config = inax_config or INAXConfig()
+        super().__init__(
+            env_name,
+            neat_config,
+            episodes_per_genome=episodes_per_genome,
+            base_seed=base_seed,
+            inax_config=inax_config,
+            env_kwargs=env_kwargs,
+        )
+        self.device = INAX(inax_config)
+        self.oversize_policy = oversize_policy
+        self.oversize_penalty = oversize_penalty
+        self.oversize_count = 0
+
+    def _fits_buffers(self, config: HWNetConfig) -> bool:
+        limits = self.inax_config
+        if (
+            limits.weight_buffer_capacity is not None
+            and config.weight_buffer_words > limits.weight_buffer_capacity
+        ):
+            return False
+        if (
+            limits.value_buffer_capacity is not None
+            and config.value_buffer_words > limits.value_buffer_capacity
+        ):
+            return False
+        return True
+
+    def evaluate(self, genomes: list[Genome]) -> None:
+        assert self.inax_config is not None
+        all_configs = [compile_genome(g, self.neat_config) for g in genomes]
+
+        # buffer-capacity gate (§IV-D: finite weight/value buffers)
+        runnable: list[Genome] = []
+        configs: list[HWNetConfig] = []
+        for genome, config in zip(genomes, all_configs):
+            if self._fits_buffers(config):
+                runnable.append(genome)
+                configs.append(config)
+            elif self.oversize_policy == "raise":
+                raise BufferOverflowError(
+                    f"genome {genome.key} needs {config.weight_buffer_words} "
+                    "weight-buffer words; raise the capacity or use "
+                    "oversize_policy='penalize'"
+                )
+            else:
+                genome.fitness = self.oversize_penalty
+                self.oversize_count += 1
+
+        lengths = [0] * len(runnable)
+        rewards = [0.0] * len(runnable)
+        num_pus = self.inax_config.num_pus
+
+        self.device.reset_report()
+        for start in range(0, len(runnable), num_pus):
+            wave_genomes = runnable[start : start + num_pus]
+            wave_configs = configs[start : start + num_pus]
+            for episode in range(self.episodes_per_genome):
+                self._run_wave_episode(
+                    start, wave_genomes, wave_configs, episode, lengths, rewards
+                )
+
+        for genome, reward in zip(runnable, rewards):
+            genome.fitness = reward / self.episodes_per_genome
+        record = self._record(configs, lengths)
+        # the functional device's own report supersedes the analytic one
+        record.cycle_report = self.device.report
+
+    def _run_wave_episode(
+        self,
+        offset: int,
+        genomes: list[Genome],
+        configs: list[HWNetConfig],
+        episode: int,
+        lengths: list[int],
+        rewards: list[float],
+    ) -> None:
+        self.device.begin_wave(configs)
+        envs: list[Environment] = []
+        observations: list[np.ndarray] = []
+        for genome in genomes:
+            env = self._make_env()
+            envs.append(env)
+            observations.append(
+                env.reset(seed=self._episode_seed(genome, episode))
+            )
+        alive = set(range(len(genomes)))
+        while alive:
+            inputs = {slot: observations[slot] for slot in alive}
+            outputs = self.device.step(inputs)
+            for slot, raw in outputs.items():
+                env = envs[slot]
+                action = decode_action(env, raw)
+                obs, reward, done, _ = env.step(action)
+                observations[slot] = obs
+                rewards[offset + slot] += reward
+                lengths[offset + slot] += 1
+                if done:
+                    alive.discard(slot)
+        self.device.end_wave()

@@ -1,0 +1,104 @@
+"""Energy accounting (Fig 10(a)).
+
+Energy = sum over phases of (phase power x phase seconds).  Each
+platform assigns different power to the "evaluate" phase (that is where
+the platforms differ); env/CreateNet/evolve always run on a CPU.
+
+The E3-INAX preset prices its host phases at the desktop-CPU power by
+default, matching the paper's measurement setup (the SW program ran on
+the desktop i7 even in the E3-INAX configuration); an edge preset with
+the ZCU104's ARM cores is provided for the deployment scenario the
+intro motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw import calibration as cal
+from repro.hw.cpu_model import PhaseTimes
+
+__all__ = ["PhasePower", "EnergyReport", "energy_report", "PLATFORM_POWER"]
+
+
+@dataclass(frozen=True)
+class PhasePower:
+    """Watts per E3 phase."""
+
+    evaluate: float
+    env: float
+    createnet: float
+    evolve: float
+
+
+#: Per-platform phase power presets (see module docstring).
+PLATFORM_POWER: dict[str, PhasePower] = {
+    "cpu": PhasePower(
+        evaluate=cal.CPU_POWER_WATTS,
+        env=cal.CPU_POWER_WATTS,
+        createnet=cal.CPU_POWER_WATTS,
+        evolve=cal.CPU_POWER_WATTS,
+    ),
+    "gpu": PhasePower(
+        evaluate=cal.GPU_PLATFORM_POWER_WATTS,
+        env=cal.CPU_POWER_WATTS,
+        createnet=cal.CPU_POWER_WATTS,
+        evolve=cal.CPU_POWER_WATTS,
+    ),
+    "inax": PhasePower(
+        evaluate=cal.FPGA_POWER_WATTS,
+        env=cal.CPU_POWER_WATTS,
+        createnet=cal.CPU_POWER_WATTS,
+        evolve=cal.CPU_POWER_WATTS,
+    ),
+    "inax-edge": PhasePower(
+        evaluate=cal.FPGA_POWER_WATTS,
+        env=cal.EDGE_CPU_POWER_WATTS,
+        createnet=cal.EDGE_CPU_POWER_WATTS,
+        evolve=cal.EDGE_CPU_POWER_WATTS,
+    ),
+}
+
+
+@dataclass
+class EnergyReport:
+    """Joules per phase plus the total."""
+
+    evaluate: float
+    env: float
+    createnet: float
+    evolve: float
+
+    @property
+    def total(self) -> float:
+        return self.evaluate + self.env + self.createnet + self.evolve
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total or 1.0
+        return {
+            "evaluate": self.evaluate / total,
+            "env": self.env / total,
+            "createnet": self.createnet / total,
+            "evolve": self.evolve / total,
+        }
+
+
+def energy_report(times: PhaseTimes, power: PhasePower | str) -> EnergyReport:
+    """Integrate phase times against phase powers.
+
+    ``power`` may be a preset name from :data:`PLATFORM_POWER`.
+    """
+    if isinstance(power, str):
+        try:
+            power = PLATFORM_POWER[power]
+        except KeyError:
+            known = ", ".join(sorted(PLATFORM_POWER))
+            raise KeyError(
+                f"unknown power preset {power!r}; known: {known}"
+            ) from None
+    return EnergyReport(
+        evaluate=times.evaluate * power.evaluate,
+        env=times.env * power.env,
+        createnet=times.createnet * power.createnet,
+        evolve=times.evolve * power.evolve,
+    )

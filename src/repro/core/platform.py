@@ -1,0 +1,151 @@
+"""The E3 platform (Eval-Evol-Engine, §IV-B).
+
+``E3`` wires the pieces of Fig 5 together: a NEAT population ("evolve",
+on the CPU), an evaluation backend ("evaluate", on the CPU or on the
+INAX device), and an interactive environment (on the CPU).  One call to
+:meth:`E3.run` executes the full closed loop of Fig 1(a) until the
+task's required fitness is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.backends import (
+    CPUBackend,
+    EvaluationBackend,
+    GenerationRecord,
+    GPUBackend,
+    INAXBackend,
+)
+from repro.core.profiler import PhaseProfiler
+from repro.envs.registry import make, spec
+from repro.inax.accelerator import INAXConfig
+from repro.inax.heuristics import choose_num_pes
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.network import FeedForwardNetwork
+from repro.neat.population import GenerationStats, Population
+
+__all__ = ["E3", "E3RunResult", "default_inax_config"]
+
+
+def default_inax_config(num_outputs: int, num_pus: int = 50) -> INAXConfig:
+    """The paper's §VI-C configuration: PU=50, PE=#output nodes."""
+    return INAXConfig(
+        num_pus=num_pus, num_pes_per_pu=choose_num_pes(num_outputs)
+    )
+
+
+@dataclass
+class E3RunResult:
+    """Everything a finished E3 run produced."""
+
+    env_name: str
+    backend_name: str
+    best_genome: Genome
+    best_fitness: float
+    solved: bool
+    generations: int
+    neat_config: NEATConfig
+    history: list[GenerationStats] = field(default_factory=list)
+    records: list[GenerationRecord] = field(default_factory=list)
+    profiler: PhaseProfiler = field(default_factory=PhaseProfiler)
+
+    def best_network(self) -> FeedForwardNetwork:
+        """Decode the champion genome into an executable network."""
+        return FeedForwardNetwork.create(self.best_genome, self.neat_config)
+
+
+class E3:
+    """The HW/SW co-designed autonomous-learning platform."""
+
+    def __init__(
+        self,
+        env_name: str,
+        backend: str | EvaluationBackend = "cpu",
+        neat_config: NEATConfig | None = None,
+        inax_config: INAXConfig | None = None,
+        episodes_per_genome: int = 1,
+        seed: int = 0,
+        env_kwargs: dict | None = None,
+        seed_genome=None,
+    ):
+        """``env_kwargs`` override the environment's physics (the
+        model-tuning plant perturbation); ``seed_genome`` warm-starts
+        the population from a deployed champion (§I's model-tuning
+        use-case — see ``examples/model_tuning.py``)."""
+        env_spec = spec(env_name)  # validates the name early
+        env_kwargs = dict(env_kwargs or {})
+        env = make(env_name, **env_kwargs)
+        self.env_name = env_name
+        self.required_fitness = env_spec.required_fitness
+        base = neat_config or NEATConfig()
+        self.neat_config = replace(
+            base,
+            num_inputs=env.num_inputs,
+            num_outputs=env.num_outputs,
+            fitness_threshold=env_spec.required_fitness,
+        )
+        if inax_config is None:
+            inax_config = default_inax_config(env.num_outputs)
+        self.inax_config = inax_config
+        self.profiler = PhaseProfiler()
+
+        if isinstance(backend, EvaluationBackend):
+            self.backend = backend
+        elif backend in ("cpu", "gpu"):
+            backend_cls = CPUBackend if backend == "cpu" else GPUBackend
+            self.backend = backend_cls(
+                env_name,
+                self.neat_config,
+                episodes_per_genome=episodes_per_genome,
+                base_seed=seed,
+                inax_config=inax_config,
+                env_kwargs=env_kwargs,
+            )
+        elif backend == "inax":
+            self.backend = INAXBackend(
+                env_name,
+                self.neat_config,
+                inax_config=inax_config,
+                episodes_per_genome=episodes_per_genome,
+                base_seed=seed,
+                env_kwargs=env_kwargs,
+            )
+        else:
+            raise ValueError(
+                f"unknown backend {backend!r}; use 'cpu', 'gpu', 'inax', "
+                "or an EvaluationBackend instance"
+            )
+        self.population = Population(
+            self.neat_config,
+            seed=seed,
+            profiler=self.profiler,
+            seed_genome=seed_genome,
+        )
+
+    # ------------------------------------------------------------- run
+    def run(
+        self,
+        max_generations: int | None = None,
+        fitness_threshold: float | None = None,
+    ) -> E3RunResult:
+        """Run evaluate/evolve until solved or out of generations."""
+        result = self.population.run(
+            self.backend.evaluate,
+            max_generations=max_generations,
+            fitness_threshold=fitness_threshold,
+        )
+        return E3RunResult(
+            env_name=self.env_name,
+            backend_name=self.backend.name,
+            best_genome=result.best_genome,
+            best_fitness=float(result.best_genome.fitness or 0.0),
+            solved=result.solved,
+            generations=result.generations,
+            neat_config=self.neat_config,
+            history=result.history,
+            records=list(self.backend.records),
+            profiler=self.profiler,
+        )

@@ -1,0 +1,64 @@
+"""Phase profiler for the E3 timing breakdowns.
+
+Accumulates wall-clock seconds per named phase.  The NEAT population
+reports "evaluate" / "speciate" / "reproduce" into it; backends report
+their sub-phases.  Fig 1(b) (NEAT's evaluate-dominated profile) and
+Fig 9(d) (E3's balanced profile after acceleration) are both just
+:meth:`PhaseProfiler.fractions` over different platforms.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["PhaseProfiler"]
+
+
+class PhaseProfiler:
+    """Accumulates seconds per named phase."""
+
+    def __init__(self):
+        self._seconds: dict[str, float] = {}
+
+    def record(self, phase: str, seconds: float) -> None:
+        """Add ``seconds`` to ``phase`` (creates the phase on first use)."""
+        if seconds < 0:
+            raise ValueError(f"negative duration for {phase!r}: {seconds}")
+        self._seconds[phase] = self._seconds.get(phase, 0.0) + seconds
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager timing a block into ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - t0)
+
+    # -------------------------------------------------------------- views
+    @property
+    def phases(self) -> dict[str, float]:
+        """Copy of the phase -> seconds mapping."""
+        return dict(self._seconds)
+
+    def seconds(self, phase: str) -> float:
+        return self._seconds.get(phase, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Phase fractions of total time (a Fig 1(b)-style pie)."""
+        total = self.total
+        if total <= 0:
+            return {k: 0.0 for k in self._seconds}
+        return {k: v / total for k, v in self._seconds.items()}
+
+    def merge(self, other: "PhaseProfiler") -> None:
+        for phase, seconds in other.phases.items():
+            self.record(phase, seconds)
+
+    def reset(self) -> None:
+        self._seconds.clear()

@@ -1,0 +1,72 @@
+"""Result formatting: the tables and series the paper prints.
+
+The benchmark harnesses use these helpers so every regenerated table
+and figure prints the same row/series structure the paper reports
+(Fig 9(b)'s runtime table, normalized-breakdown bars, Fig 10(a)'s
+energy bars, Fig 11's cycle series).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "format_table",
+    "format_seconds",
+    "format_breakdown",
+    "to_json",
+]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human scale: '0.02 (s)' style used in Fig 9(b)."""
+    if seconds >= 100:
+        return f"{seconds:,.0f}"
+    if seconds >= 1:
+        return f"{seconds:.1f}"
+    return f"{seconds:.2g}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_breakdown(fractions: Mapping[str, float]) -> str:
+    """'evaluate 96.7% | evolve 2.1% | ...' one-liner."""
+    return " | ".join(f"{k} {v * 100:.1f}%" for k, v in fractions.items())
+
+
+def to_json(obj: object, indent: int = 2) -> str:
+    """Serialize results (dataclasses included) to JSON."""
+
+    def default(o: object):
+        if is_dataclass(o) and not isinstance(o, type):
+            return asdict(o)
+        if hasattr(o, "tolist"):
+            return o.tolist()
+        raise TypeError(f"cannot serialize {type(o).__name__}")
+
+    return json.dumps(obj, indent=indent, default=default)

@@ -1,0 +1,89 @@
+"""Suite runner: the paper's Env1..Env7 evaluation in one call.
+
+Both the benchmark harness (capped, ~2 minutes) and the paper-scale
+example (population 200, long) are the same loop with different knobs;
+this module is that loop, so there is exactly one definition of "run
+the suite and price it on all platforms".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.experiment import ExperimentResult, run_experiment
+from repro.envs.registry import ENV_SUITE
+from repro.neat.config import NEATConfig
+
+__all__ = ["SuiteSettings", "run_suite", "BENCH_SETTINGS", "PAPER_SETTINGS"]
+
+
+@dataclass(frozen=True)
+class SuiteSettings:
+    """Scale knobs for a suite run."""
+
+    population_size: int
+    #: per-environment generation caps; envs not listed are skipped
+    generations: dict[str, int] = field(default_factory=dict)
+    seed: int = 7
+    episodes_per_genome: int = 1
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        unknown = set(self.generations) - {s.name for s in ENV_SUITE}
+        if unknown:
+            raise ValueError(f"unknown suite environments: {sorted(unknown)}")
+
+
+#: the benchmark harness's capped scale (finishes in ~2 minutes)
+BENCH_SETTINGS = SuiteSettings(
+    population_size=100,
+    generations={
+        "cartpole": 15,
+        "acrobot": 8,
+        "mountain_car": 8,
+        "bipedal_walker": 3,
+        "lunar_lander": 5,
+        "pendulum": 8,
+        "pong": 5,
+    },
+)
+
+#: the paper's own scale (§VI-C population 200; expect a long run)
+PAPER_SETTINGS = SuiteSettings(
+    population_size=200,
+    generations={
+        "cartpole": 50,
+        "acrobot": 50,
+        "mountain_car": 80,
+        "bipedal_walker": 40,
+        "lunar_lander": 60,
+        "pendulum": 60,
+        "pong": 60,
+    },
+)
+
+
+def run_suite(
+    settings: SuiteSettings = BENCH_SETTINGS,
+    environments: list[str] | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run NEAT on every (selected) suite env, priced on all platforms.
+
+    Returns ``{env_name: ExperimentResult}`` in suite order.
+    """
+    chosen = set(environments) if environments is not None else None
+    results: dict[str, ExperimentResult] = {}
+    for spec in ENV_SUITE:
+        if spec.name not in settings.generations:
+            continue
+        if chosen is not None and spec.name not in chosen:
+            continue
+        results[spec.name] = run_experiment(
+            spec.name,
+            seed=settings.seed,
+            neat_config=NEATConfig(population_size=settings.population_size),
+            max_generations=settings.generations[spec.name],
+            episodes_per_genome=settings.episodes_per_genome,
+        )
+    return results

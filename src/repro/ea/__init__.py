@@ -1,0 +1,22 @@
+"""Fixed-topology evolutionary baselines: OpenAI-ES [35] and deep-GA [43].
+
+The paper's "EA (ES/GA)" column (Table I, Table IV): gradient-free like
+NEAT, but over a manually-chosen network topology.  Used to quantify
+the middle ground between RL (backprop, manual topology) and NEAT
+(no backprop, automatic topology).
+"""
+
+from repro.ea.es import ESConfig, ESResult, OpenAIES, centered_ranks
+from repro.ea.ga import GAConfig, GAResult, SimpleGA
+from repro.ea.policy import FixedTopologyPolicy
+
+__all__ = [
+    "ESConfig",
+    "ESResult",
+    "FixedTopologyPolicy",
+    "GAConfig",
+    "GAResult",
+    "OpenAIES",
+    "SimpleGA",
+    "centered_ranks",
+]

@@ -1,0 +1,157 @@
+"""OpenAI-style Evolution Strategies [35].
+
+The gradient-free weight optimizer the paper groups under "EA (ES/GA)":
+perturb a central parameter vector with mirrored Gaussian noise,
+evaluate every perturbation (pure inference — exactly the workload E3
+accelerates), and move the center along the rank-weighted noise
+average.  No backprop, ~2x-parameter memory (Table IV's EA column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["ESConfig", "ESResult", "OpenAIES", "centered_ranks"]
+
+FitnessFn = Callable[[np.ndarray, int], float]
+
+
+def centered_ranks(values: np.ndarray) -> np.ndarray:
+    """Rank-transform fitnesses to [-0.5, 0.5] (OpenAI-ES shaping).
+
+    Robust to fitness scale and outliers; constant inputs map to zeros.
+    """
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if values.size == 1:
+        return np.zeros(1)
+    ranks = np.empty(values.size, dtype=np.float64)
+    ranks[np.argsort(values)] = np.arange(values.size)
+    return ranks / (values.size - 1) - 0.5
+
+
+@dataclass
+class ESConfig:
+    """OpenAI-ES hyperparameters."""
+
+    population_size: int = 64  # noise pairs = population_size // 2
+    sigma: float = 0.1
+    learning_rate: float = 0.02
+    #: L2 decay toward zero, as in the reference implementation
+    weight_decay: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2 or self.population_size % 2:
+            raise ValueError("population_size must be an even number >= 2")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be > 0")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be > 0")
+
+
+@dataclass
+class ESResult:
+    """Outcome of an ES run."""
+
+    best_params: np.ndarray
+    best_fitness: float
+    generations: int
+    solved: bool
+    history: list[float] = field(default_factory=list)
+    evaluations: int = 0
+
+
+class OpenAIES:
+    """Mirrored-sampling evolution strategy over a flat parameter vector."""
+
+    def __init__(
+        self,
+        num_parameters: int,
+        config: ESConfig | None = None,
+        seed: int | None = None,
+    ):
+        self.config = config or ESConfig()
+        self.rng = np.random.default_rng(seed)
+        self.theta = np.zeros(num_parameters)
+        self.evaluations = 0
+
+    def ask(self) -> np.ndarray:
+        """Sample the generation's candidate parameter vectors.
+
+        Returns an array of shape ``(population_size, num_parameters)``
+        built from mirrored noise: row 2i uses +eps_i, row 2i+1 uses
+        -eps_i.  The noise is recoverable from the candidates, so only
+        the center vector and one half of the noise table live in
+        memory — the EA column's light footprint.
+        """
+        half = self.config.population_size // 2
+        self._noise = self.rng.standard_normal((half, self.theta.size))
+        candidates = np.empty((self.config.population_size, self.theta.size))
+        candidates[0::2] = self.theta + self.config.sigma * self._noise
+        candidates[1::2] = self.theta - self.config.sigma * self._noise
+        return candidates
+
+    def tell(self, fitnesses: np.ndarray) -> None:
+        """Update the center from the candidates' fitnesses."""
+        fitnesses = np.asarray(fitnesses, dtype=np.float64).reshape(-1)
+        if fitnesses.shape[0] != self.config.population_size:
+            raise ValueError(
+                f"expected {self.config.population_size} fitnesses, "
+                f"got {fitnesses.shape[0]}"
+            )
+        shaped = centered_ranks(fitnesses)
+        # mirrored estimator: (f+ - f-) weights the shared noise row
+        pair_weights = shaped[0::2] - shaped[1::2]
+        gradient = pair_weights @ self._noise
+        gradient /= self.config.population_size * self.config.sigma
+        self.theta = (
+            self.theta * (1.0 - self.config.weight_decay)
+            + self.config.learning_rate * gradient
+        )
+
+    # ------------------------------------------------------------- run
+    def run(
+        self,
+        fitness_fn: FitnessFn,
+        max_generations: int = 100,
+        fitness_threshold: float | None = None,
+        eval_seed: int = 0,
+    ) -> ESResult:
+        """Optimize until the threshold or the generation cap.
+
+        ``fitness_fn(params, seed)`` must return the episode fitness of
+        one candidate.
+        """
+        best_params = self.theta.copy()
+        best_fitness = float("-inf")
+        history: list[float] = []
+        solved = False
+        for generation in range(max_generations):
+            candidates = self.ask()
+            fitnesses = np.array(
+                [
+                    fitness_fn(candidate, eval_seed + generation)
+                    for candidate in candidates
+                ]
+            )
+            self.evaluations += len(candidates)
+            self.tell(fitnesses)
+
+            gen_best = float(fitnesses.max())
+            history.append(gen_best)
+            if gen_best > best_fitness:
+                best_fitness = gen_best
+                best_params = candidates[int(fitnesses.argmax())].copy()
+            if fitness_threshold is not None and gen_best >= fitness_threshold:
+                solved = True
+                break
+        return ESResult(
+            best_params=best_params,
+            best_fitness=best_fitness,
+            generations=len(history),
+            solved=solved,
+            history=history,
+            evaluations=self.evaluations,
+        )

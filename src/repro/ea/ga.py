@@ -1,0 +1,148 @@
+"""Deep-GA-style fixed-topology genetic algorithm [43].
+
+Uber AI's "deep neuroevolution" GA: a population of parameter vectors
+evolved by truncation selection plus Gaussian mutation (no crossover in
+the reference method; an optional uniform crossover is provided).  Like
+ES it is gradient-free and evaluation-dominated — the workload class E3
+targets — but unlike NEAT the topology is fixed by hand (Table I's
+"Manual" row for EA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["GAConfig", "GAResult", "SimpleGA"]
+
+FitnessFn = Callable[[np.ndarray, int], float]
+
+
+@dataclass
+class GAConfig:
+    """Fixed-topology GA hyperparameters."""
+
+    population_size: int = 64
+    #: top fraction that survives truncation selection
+    truncation: float = 0.25
+    mutation_sigma: float = 0.05
+    #: elite individuals copied unchanged
+    elitism: int = 1
+    #: probability a child mixes two parents (0 = reference deep-GA)
+    crossover_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 0.0 < self.truncation <= 1.0:
+            raise ValueError("truncation must be in (0, 1]")
+        if self.mutation_sigma <= 0:
+            raise ValueError("mutation_sigma must be > 0")
+        if not 0 <= self.elitism < self.population_size:
+            raise ValueError("elitism must be in [0, population_size)")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+
+
+@dataclass
+class GAResult:
+    """Outcome of a GA run."""
+
+    best_params: np.ndarray
+    best_fitness: float
+    generations: int
+    solved: bool
+    history: list[float] = field(default_factory=list)
+    evaluations: int = 0
+
+
+class SimpleGA:
+    """Truncation-selection GA over flat parameter vectors."""
+
+    def __init__(
+        self,
+        num_parameters: int,
+        config: GAConfig | None = None,
+        seed: int | None = None,
+        init_sigma: float = 0.5,
+    ):
+        self.config = config or GAConfig()
+        self.rng = np.random.default_rng(seed)
+        self.population = (
+            self.rng.standard_normal(
+                (self.config.population_size, num_parameters)
+            )
+            * init_sigma
+        )
+        self.evaluations = 0
+
+    def _make_child(self, parents: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        if parents.shape[0] >= 2 and self.rng.random() < cfg.crossover_rate:
+            i, j = self.rng.choice(parents.shape[0], size=2, replace=False)
+            mask = self.rng.random(parents.shape[1]) < 0.5
+            child = np.where(mask, parents[i], parents[j])
+        else:
+            child = parents[int(self.rng.integers(parents.shape[0]))].copy()
+        child += self.rng.standard_normal(child.shape) * cfg.mutation_sigma
+        return child
+
+    def step(self, fitnesses: np.ndarray) -> None:
+        """Produce the next generation from the current fitnesses."""
+        cfg = self.config
+        fitnesses = np.asarray(fitnesses).reshape(-1)
+        if fitnesses.shape[0] != cfg.population_size:
+            raise ValueError(
+                f"expected {cfg.population_size} fitnesses, "
+                f"got {fitnesses.shape[0]}"
+            )
+        order = np.argsort(fitnesses)[::-1]
+        survivors = max(1, int(np.ceil(cfg.truncation * cfg.population_size)))
+        parents = self.population[order[:survivors]]
+
+        next_population = np.empty_like(self.population)
+        for e in range(cfg.elitism):
+            next_population[e] = self.population[order[e]]
+        for i in range(cfg.elitism, cfg.population_size):
+            next_population[i] = self._make_child(parents)
+        self.population = next_population
+
+    # ------------------------------------------------------------- run
+    def run(
+        self,
+        fitness_fn: FitnessFn,
+        max_generations: int = 100,
+        fitness_threshold: float | None = None,
+        eval_seed: int = 0,
+    ) -> GAResult:
+        best_params = self.population[0].copy()
+        best_fitness = float("-inf")
+        history: list[float] = []
+        solved = False
+        for generation in range(max_generations):
+            fitnesses = np.array(
+                [
+                    fitness_fn(candidate, eval_seed + generation)
+                    for candidate in self.population
+                ]
+            )
+            self.evaluations += len(fitnesses)
+            gen_best = float(fitnesses.max())
+            history.append(gen_best)
+            if gen_best > best_fitness:
+                best_fitness = gen_best
+                best_params = self.population[int(fitnesses.argmax())].copy()
+            if fitness_threshold is not None and gen_best >= fitness_threshold:
+                solved = True
+                break
+            self.step(fitnesses)
+        return GAResult(
+            best_params=best_params,
+            best_fitness=best_fitness,
+            generations=len(history),
+            solved=solved,
+            history=history,
+            evaluations=self.evaluations,
+        )

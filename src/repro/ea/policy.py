@@ -1,0 +1,80 @@
+"""Fixed-topology policy for the ES/GA baselines.
+
+The paper's EA column (Table IV, §II-B) covers methods like OpenAI-ES
+[35] and deep-GA [43] that evolve only the *weights* of a human-defined
+topology.  This wrapper exposes an MLP policy as a flat parameter
+vector so those optimizers can treat it as a black box, and as an
+env-compatible policy function for fitness evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.envs.base import Environment
+from repro.envs.rollout import evaluate_policy
+from repro.rl.nn import MLP
+
+__all__ = ["FixedTopologyPolicy"]
+
+
+class FixedTopologyPolicy:
+    """An MLP policy with a flat-parameter view."""
+
+    def __init__(
+        self,
+        env: Environment,
+        hidden: tuple[int, ...] = (64, 64),
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng()
+        self.env_type = type(env)
+        self.net = MLP([env.num_inputs, *hidden, env.num_outputs], rng=rng)
+        self._shapes = [p.shape for p in self.net.parameters]
+        self._sizes = [p.size for p in self.net.parameters]
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(self._sizes)
+
+    # ------------------------------------------------------- flat params
+    def get_flat(self) -> np.ndarray:
+        return np.concatenate([p.reshape(-1) for p in self.net.parameters])
+
+    def set_flat(self, flat: np.ndarray) -> None:
+        flat = np.asarray(flat, dtype=np.float64).reshape(-1)
+        if flat.shape[0] != self.num_parameters:
+            raise ValueError(
+                f"expected {self.num_parameters} parameters, got {flat.shape[0]}"
+            )
+        offset = 0
+        for param, size, shape in zip(
+            self.net.parameters, self._sizes, self._shapes
+        ):
+            param[...] = flat[offset : offset + size].reshape(shape)
+            offset += size
+
+    # ---------------------------------------------------------- evaluate
+    def policy_fn(self):
+        """A raw-output policy function for :mod:`repro.envs.rollout`."""
+
+        def policy(obs: np.ndarray) -> np.ndarray:
+            return self.net.predict(obs[None, :]).reshape(-1)
+
+        return policy
+
+    def fitness(
+        self,
+        flat: np.ndarray,
+        episodes: int = 1,
+        seed: int = 0,
+        max_steps: int | None = None,
+    ) -> float:
+        """Episode-averaged reward of parameter vector ``flat``."""
+        self.set_flat(flat)
+        env = self.env_type(seed=seed)
+        seeds = [seed + i for i in range(episodes)]
+        return evaluate_policy(
+            env, self.policy_fn(), episodes=episodes, seeds=seeds,
+            max_steps=max_steps,
+        )

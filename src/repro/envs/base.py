@@ -1,0 +1,127 @@
+"""Base environment protocol.
+
+All environments in this substrate follow the classic Gym episodic
+interface::
+
+    obs = env.reset(seed=0)
+    obs, reward, done, info = env.step(action)
+
+Each environment also publishes the metadata the rest of the system needs:
+
+* ``observation_space`` / ``action_space`` — used by NEAT to size the
+  initial genome (inputs = observation dim, outputs = action dim) and by
+  the RL baselines to build their MLP policies;
+* ``max_episode_steps`` — the episode cap (Gym's ``TimeLimit`` wrapper is
+  folded into the environment here);
+* ``reward_threshold`` — the paper's "required fitness" per task; a NEAT
+  or RL run stops once the averaged episode reward reaches it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.envs.spaces import Space
+
+__all__ = ["Environment", "StepResult"]
+
+StepResult = tuple[np.ndarray, float, bool, dict[str, Any]]
+
+
+class Environment:
+    """Abstract episodic environment.
+
+    Subclasses implement :meth:`_reset` and :meth:`_step`; this base class
+    owns seeding, step counting, and the episode time limit so each
+    environment's physics code stays free of bookkeeping.
+    """
+
+    #: Environment identifier used by the registry.
+    name: str = "environment"
+    observation_space: Space
+    action_space: Space
+    #: Hard cap on episode length (Gym TimeLimit equivalent).
+    max_episode_steps: int = 1000
+    #: Episode reward at which the task counts as solved.
+    reward_threshold: float = 0.0
+
+    def __init__(self, seed: int | None = None):
+        self._rng = np.random.default_rng(seed)
+        self._elapsed_steps = 0
+        self._needs_reset = True
+
+    # ------------------------------------------------------------------ API
+    def reset(self, seed: int | None = None) -> np.ndarray:
+        """Start a new episode and return the initial observation."""
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        self._elapsed_steps = 0
+        self._needs_reset = False
+        obs = self._reset()
+        return np.asarray(obs, dtype=np.float64)
+
+    def step(self, action: Any) -> StepResult:
+        """Advance one timestep.
+
+        Returns ``(observation, reward, done, info)``.  ``info["truncated"]``
+        is set when the episode ended only because of the time limit.
+        """
+        if self._needs_reset:
+            raise RuntimeError(
+                f"{self.name}: step() called before reset() or after the "
+                "episode terminated"
+            )
+        obs, reward, done, info = self._step(action)
+        self._elapsed_steps += 1
+        truncated = False
+        if not done and self._elapsed_steps >= self.max_episode_steps:
+            done = True
+            truncated = True
+        info.setdefault("truncated", truncated)
+        if done:
+            self._needs_reset = True
+        return np.asarray(obs, dtype=np.float64), float(reward), bool(done), info
+
+    @property
+    def elapsed_steps(self) -> int:
+        return self._elapsed_steps
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    # ------------------------------------------------- subclass extension
+    def _reset(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def _step(self, action: Any) -> StepResult:
+        raise NotImplementedError
+
+    # ----------------------------------------------------------- helpers
+    @property
+    def num_inputs(self) -> int:
+        """Network input width implied by the observation space."""
+        return self.observation_space.flat_dim
+
+    @property
+    def num_outputs(self) -> int:
+        """Network output width implied by the action space.
+
+        Discrete action spaces get one output node per action (argmax
+        policy); continuous spaces get one node per action dimension.
+        This matches the paper's per-environment PE counts (Fig 10's
+        footnote: cartpole 3 outputs, pendulum 1, ...).
+        """
+        from repro.envs.spaces import Discrete
+
+        if isinstance(self.action_space, Discrete):
+            return self.action_space.n
+        return self.action_space.flat_dim
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(obs={self.observation_space}, "
+            f"act={self.action_space})"
+        )

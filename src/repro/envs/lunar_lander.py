@@ -1,0 +1,154 @@
+"""Lunar-lander task (paper's Env5) — Box2D substitution.
+
+Gym's ``LunarLander-v2`` simulates a rigid lander with two legs in Box2D.
+Box2D is unavailable offline, so this module implements a simplified
+rigid-body lander with the **same interface**: an 8-dimensional
+observation ``(x, y, vx, vy, angle, angular velocity, left-leg contact,
+right-leg contact)``, four discrete actions (no-op / left thruster /
+main engine / right thruster), and the same reward structure (potential
+shaping on position/velocity/angle, fuel cost per engine firing, +/-100
+terminal bonus, +10 per leg touching down).
+
+The dynamics are 2-D rigid-body mechanics integrated explicitly: gravity,
+a main engine thrusting along the body axis, and side thrusters that
+apply lateral force plus torque.  This preserves what the paper's
+workload needs from the environment — an 8-input/4-output control task
+whose episode lengths vary strongly across individuals — while replacing
+the contact solver with an analytic touchdown test.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.envs.base import Environment, StepResult
+from repro.envs.spaces import Box, Discrete
+
+__all__ = ["LunarLander"]
+
+
+class LunarLander(Environment):
+    """Simplified rigid-body lunar lander with discrete thruster actions."""
+
+    name = "lunar_lander"
+    max_episode_steps = 400
+    reward_threshold = 200.0
+
+    DT = 1.0 / 50.0
+    GRAVITY = -1.6  # lunar gravity, scaled units
+    MAIN_ENGINE_ACCEL = 4.0
+    SIDE_ENGINE_ACCEL = 1.2
+    SIDE_ENGINE_TORQUE = 1.6
+    ANGULAR_DAMPING = 0.12
+    LEG_SPAN = 0.18  # half-distance between the two leg tips
+    HELIPAD_HALF_WIDTH = 0.25
+    SAFE_LANDING_SPEED = 0.6
+    SAFE_LANDING_ANGLE = 0.35
+    FIELD_HALF_WIDTH = 1.5
+    START_ALTITUDE = 1.4
+
+    NOOP, LEFT_THRUSTER, MAIN_ENGINE, RIGHT_THRUSTER = range(4)
+
+    def __init__(self, seed: int | None = None):
+        super().__init__(seed)
+        high = np.array([1.5, 1.5, 5.0, 5.0, math.pi, 5.0, 1.0, 1.0])
+        self.observation_space = Box(-high, high)
+        self.action_space = Discrete(4)
+        # state: x, y, vx, vy, angle, angular velocity
+        self._state = np.zeros(6)
+        self._prev_shaping: float | None = None
+
+    # ------------------------------------------------------------- reset
+    def _reset(self) -> np.ndarray:
+        x = self._rng.uniform(-0.3, 0.3)
+        vx = self._rng.uniform(-0.4, 0.4)
+        vy = self._rng.uniform(-0.4, 0.0)
+        angle = self._rng.uniform(-0.1, 0.1)
+        self._state = np.array([x, self.START_ALTITUDE, vx, vy, angle, 0.0])
+        self._prev_shaping = None
+        return self._observation()
+
+    def _observation(self) -> np.ndarray:
+        x, y, vx, vy, angle, omega = self._state
+        left, right = self._leg_contacts()
+        return np.array([x, y, vx, vy, angle, omega, float(left), float(right)])
+
+    def _leg_contacts(self) -> tuple[bool, bool]:
+        x, y, _, _, angle, _ = self._state
+        # leg tips at +/- LEG_SPAN along the body's lateral axis, below hull
+        lx = x - self.LEG_SPAN * math.cos(angle)
+        rx = x + self.LEG_SPAN * math.cos(angle)
+        ly = y - self.LEG_SPAN * math.sin(-angle)
+        ry = y + self.LEG_SPAN * math.sin(-angle)
+        del lx, rx  # legs only sense vertical proximity in this model
+        return ly <= 0.01, ry <= 0.01
+
+    # -------------------------------------------------------------- step
+    def _step(self, action: Any) -> StepResult:
+        if not self.action_space.contains(action):
+            raise ValueError(f"invalid action {action!r} for {self.action_space}")
+        action = int(action)
+        x, y, vx, vy, angle, omega = self._state
+
+        ax, ay = 0.0, self.GRAVITY
+        fuel_cost = 0.0
+        if action == self.MAIN_ENGINE:
+            # main engine thrusts along the body's "up" axis
+            ax += -math.sin(angle) * self.MAIN_ENGINE_ACCEL
+            ay += math.cos(angle) * self.MAIN_ENGINE_ACCEL
+            fuel_cost = 0.30
+        elif action == self.LEFT_THRUSTER:
+            ax += self.SIDE_ENGINE_ACCEL * math.cos(angle)
+            omega += self.SIDE_ENGINE_TORQUE * self.DT
+            fuel_cost = 0.03
+        elif action == self.RIGHT_THRUSTER:
+            ax += -self.SIDE_ENGINE_ACCEL * math.cos(angle)
+            omega -= self.SIDE_ENGINE_TORQUE * self.DT
+            fuel_cost = 0.03
+
+        vx += ax * self.DT
+        vy += ay * self.DT
+        x += vx * self.DT
+        y += vy * self.DT
+        omega *= 1.0 - self.ANGULAR_DAMPING * self.DT
+        angle += omega * self.DT
+        angle = ((angle + math.pi) % (2 * math.pi)) - math.pi
+        self._state = np.array([x, y, vx, vy, angle, omega])
+
+        # --- reward shaping (mirrors Gym's potential-based shaping) ---
+        shaping = (
+            -100.0 * math.sqrt(x * x + y * y)
+            - 100.0 * math.sqrt(vx * vx + vy * vy)
+            - 100.0 * abs(angle)
+            + 10.0 * sum(self._leg_contacts())
+        )
+        reward = 0.0
+        if self._prev_shaping is not None:
+            reward = shaping - self._prev_shaping
+        self._prev_shaping = shaping
+        reward -= fuel_cost
+
+        done = False
+        if y <= 0.0:
+            done = True
+            if self._is_safe_landing():
+                reward += 100.0
+            else:
+                reward -= 100.0
+        elif abs(x) > self.FIELD_HALF_WIDTH or y > 2.0 * self.START_ALTITUDE:
+            done = True
+            reward -= 100.0
+
+        return self._observation(), reward, done, {}
+
+    def _is_safe_landing(self) -> bool:
+        x, _, vx, vy, angle, _ = self._state
+        speed = math.sqrt(vx * vx + vy * vy)
+        return (
+            abs(x) <= self.HELIPAD_HALF_WIDTH
+            and speed <= self.SAFE_LANDING_SPEED
+            and abs(angle) <= self.SAFE_LANDING_ANGLE
+        )

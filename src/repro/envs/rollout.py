@@ -1,0 +1,122 @@
+"""Episode rollouts and fitness evaluation.
+
+This module is the "Evaluate" glue from the paper's Table III: given a
+policy (any callable mapping an observation vector to a raw output
+vector), it runs episodes against an environment, converts raw network
+outputs into environment actions, and reports the fitness along with the
+step counts the hardware cost models need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.envs.base import Environment
+from repro.envs.spaces import Box, Discrete
+
+__all__ = [
+    "PolicyFn",
+    "EpisodeRecord",
+    "decode_action",
+    "run_episode",
+    "evaluate_policy",
+]
+
+PolicyFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class EpisodeRecord:
+    """Outcome of one episode: fitness plus workload accounting."""
+
+    total_reward: float
+    steps: int
+    truncated: bool
+    #: Per-step rewards, kept for convergence-trace benches.
+    rewards: list[float] = field(default_factory=list)
+
+
+def decode_action(env: Environment, raw_output: np.ndarray):
+    """Convert a raw network output vector into an environment action.
+
+    * ``Discrete(n)`` — argmax over the ``n`` output nodes (the standard
+      NEAT policy head, and how the paper sizes INAX's PE count per env);
+    * ``Box`` — squash each output with tanh and scale to the bounds.
+    """
+    raw = np.asarray(raw_output, dtype=np.float64).reshape(-1)
+    space = env.action_space
+    if isinstance(space, Discrete):
+        if raw.shape[0] < space.n:
+            raise ValueError(
+                f"policy produced {raw.shape[0]} outputs but {env.name} "
+                f"needs {space.n}"
+            )
+        return int(np.argmax(raw[: space.n]))
+    if isinstance(space, Box):
+        dim = space.flat_dim
+        if raw.shape[0] < dim:
+            raise ValueError(
+                f"policy produced {raw.shape[0]} outputs but {env.name} "
+                f"needs {dim}"
+            )
+        squashed = np.tanh(raw[:dim])
+        center = (space.high + space.low) / 2.0
+        half_range = (space.high - space.low) / 2.0
+        # unbounded dims pass through un-scaled
+        half_range = np.where(np.isfinite(half_range), half_range, 1.0)
+        center = np.where(np.isfinite(center), center, 0.0)
+        return center + half_range * squashed.reshape(space.shape)
+    raise TypeError(f"unsupported action space {space!r}")
+
+
+def run_episode(
+    env: Environment,
+    policy: PolicyFn,
+    seed: int | None = None,
+    max_steps: int | None = None,
+    keep_rewards: bool = False,
+) -> EpisodeRecord:
+    """Run one episode of ``policy`` in ``env`` and return its record."""
+    obs = env.reset(seed=seed)
+    total = 0.0
+    steps = 0
+    truncated = False
+    rewards: list[float] = []
+    limit = max_steps if max_steps is not None else env.max_episode_steps
+    while True:
+        action = decode_action(env, policy(obs))
+        obs, reward, done, info = env.step(action)
+        total += reward
+        steps += 1
+        if keep_rewards:
+            rewards.append(reward)
+        if done or steps >= limit:
+            truncated = bool(info.get("truncated", False)) or steps >= limit
+            break
+    return EpisodeRecord(
+        total_reward=total, steps=steps, truncated=truncated, rewards=rewards
+    )
+
+
+def evaluate_policy(
+    env: Environment,
+    policy: PolicyFn,
+    episodes: int = 1,
+    seeds: Sequence[int] | None = None,
+    max_steps: int | None = None,
+) -> float:
+    """Average episode reward of ``policy`` over ``episodes`` runs.
+
+    This is the fitness function NEAT maximizes; it is also used to
+    check a trained RL policy against the task's required fitness.
+    """
+    if seeds is not None and len(seeds) != episodes:
+        raise ValueError("seeds, when given, must have one entry per episode")
+    total = 0.0
+    for i in range(episodes):
+        seed = seeds[i] if seeds is not None else None
+        total += run_episode(env, policy, seed=seed, max_steps=max_steps).total_reward
+    return total / episodes

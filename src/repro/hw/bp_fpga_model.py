@@ -1,0 +1,89 @@
+"""BP-on-FPGA accelerator model — the FA3C / PPO-FPGA class (Table VI).
+
+Those systems put *training* (inference + backprop + optimizer) on the
+FPGA for a fixed MLP policy.  The paper's Table VI claim is that "the
+BP step costs more buffer and high demand of resources owing to the
+need of high complexity calculation".  This model makes the claim
+checkable: given the policy MLP and the training batch, it estimates
+the on-chip state a BP datapath must hold and the MAC engines it must
+provision, for comparison against INAX's footprint.
+
+State a BP accelerator keeps on chip (per §II-A's description of BP):
+
+* weights (forward + the transposed access pattern for backward);
+* **all forward activations for the whole batch** — the defining
+  backward-path cost;
+* weight gradients, plus optimizer state (2 Adam moments per weight).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.fpga_model import (
+    ResourceEstimate,
+    _BRAM36_WORDS,
+    _PE_DSPS,
+    _PE_FFS,
+    _PE_LUTS,
+    _TOP_BRAM,
+    _TOP_FFS,
+    _TOP_LUTS,
+)
+
+__all__ = ["BPAcceleratorSpec", "estimate_bp_accelerator_resources"]
+
+
+@dataclass(frozen=True)
+class BPAcceleratorSpec:
+    """A FA3C-class training accelerator for one MLP policy."""
+
+    #: MLP layer sizes, inputs first (e.g. [4, 64, 64, 2])
+    layer_sizes: tuple[int, ...]
+    #: training minibatch held on chip
+    batch_size: int = 32
+    #: MAC engines (the systolic/PE array doing fwd + bwd GEMMs)
+    num_macs: int = 256
+
+    def __post_init__(self) -> None:
+        if len(self.layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.num_macs < 1:
+            raise ValueError("num_macs must be >= 1")
+
+    @property
+    def num_weights(self) -> int:
+        return sum(
+            a * b for a, b in zip(self.layer_sizes, self.layer_sizes[1:])
+        ) + sum(self.layer_sizes[1:])
+
+    @property
+    def activation_words(self) -> int:
+        """Forward activations stored for backward, whole batch."""
+        return self.batch_size * sum(self.layer_sizes)
+
+    @property
+    def onchip_words(self) -> int:
+        """Total resident words: weights + grads + 2 Adam moments +
+        batch activations."""
+        return 4 * self.num_weights + self.activation_words
+
+
+def estimate_bp_accelerator_resources(
+    spec: BPAcceleratorSpec,
+) -> ResourceEstimate:
+    """Resource estimate for a FA3C-class BP accelerator.
+
+    Uses the same per-MAC fabric costs as INAX's PEs (they are both
+    DSP-slice MAC engines), so the comparison isolates what BP itself
+    adds: the batch-activation buffers and the 4x weight-state."""
+    bram = _TOP_BRAM + math.ceil(spec.onchip_words / _BRAM36_WORDS)
+    return ResourceEstimate(
+        luts=_TOP_LUTS + spec.num_macs * _PE_LUTS,
+        ffs=_TOP_FFS + spec.num_macs * _PE_FFS,
+        bram36=bram,
+        dsps=spec.num_macs * _PE_DSPS,
+    )

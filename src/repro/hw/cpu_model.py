@@ -1,0 +1,90 @@
+"""CPU runtime model — the E3-CPU (SW-only) baseline platform.
+
+Prices a workload the way neat-python on a desktop i7 pays for it:
+an interpreted per-node, per-connection forward pass, a CPython env
+step, per-connection CreateNet decoding, and amortized per-genome
+evolve costs.  Every constant is documented in
+:mod:`repro.hw.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw import calibration as cal
+from repro.hw.workload import GenerationWorkload, RunWorkload
+
+__all__ = ["PhaseTimes", "CPUModel"]
+
+
+@dataclass
+class PhaseTimes:
+    """Seconds per E3 phase (the Fig 9(c)/(d) breakdown buckets)."""
+
+    evaluate: float = 0.0
+    env: float = 0.0
+    createnet: float = 0.0
+    evolve: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.evaluate + self.env + self.createnet + self.evolve
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total or 1.0
+        return {
+            "evaluate": self.evaluate / total,
+            "env": self.env / total,
+            "createnet": self.createnet / total,
+            "evolve": self.evolve / total,
+        }
+
+    def merge(self, other: "PhaseTimes") -> None:
+        self.evaluate += other.evaluate
+        self.env += other.env
+        self.createnet += other.createnet
+        self.evolve += other.evolve
+
+
+class CPUModel:
+    """Prices workloads at interpreted-CPU rates."""
+
+    def __init__(
+        self,
+        seconds_per_mac: float = cal.CPU_SECONDS_PER_MAC,
+        seconds_per_node: float = cal.CPU_SECONDS_PER_NODE,
+        seconds_per_call: float = cal.CPU_SECONDS_PER_ACTIVATE_CALL,
+        seconds_per_env_step: float = cal.CPU_SECONDS_PER_ENV_STEP,
+        seconds_per_genome_evolve: float = cal.CPU_SECONDS_PER_GENOME_EVOLVE,
+        seconds_per_conn_createnet: float = cal.CPU_SECONDS_PER_CONN_CREATENET,
+        power_watts: float = cal.CPU_POWER_WATTS,
+    ):
+        self.seconds_per_mac = seconds_per_mac
+        self.seconds_per_node = seconds_per_node
+        self.seconds_per_call = seconds_per_call
+        self.seconds_per_env_step = seconds_per_env_step
+        self.seconds_per_genome_evolve = seconds_per_genome_evolve
+        self.seconds_per_conn_createnet = seconds_per_conn_createnet
+        self.power_watts = power_watts
+
+    # ----------------------------------------------------------- pricing
+    def generation_times(self, gen: GenerationWorkload) -> PhaseTimes:
+        evaluate = (
+            gen.total_inference_macs * self.seconds_per_mac
+            + gen.total_inference_nodes * self.seconds_per_node
+            + gen.total_env_steps * self.seconds_per_call
+        )
+        env = gen.total_env_steps * self.seconds_per_env_step
+        createnet = sum(
+            w.macs * self.seconds_per_conn_createnet for w in gen.individuals
+        )
+        evolve = gen.population_size * self.seconds_per_genome_evolve
+        return PhaseTimes(
+            evaluate=evaluate, env=env, createnet=createnet, evolve=evolve
+        )
+
+    def run_times(self, run: RunWorkload) -> PhaseTimes:
+        total = PhaseTimes()
+        for gen in run.generations:
+            total.merge(self.generation_times(gen))
+        return total

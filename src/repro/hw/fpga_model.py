@@ -1,0 +1,172 @@
+"""FPGA platform model — resources, power, and E3-INAX pricing.
+
+Covers three needs of the evaluation section:
+
+* **Fig 10(b)** — FPGA resource utilization of an INAX configuration on
+  the ZCU104's XCZU7EV device (LUT/FF/BRAM/DSP percentages for configs
+  ``E3_a`` and ``E3_b``);
+* **Fig 9(b-d)** — converting INAX cycle reports to seconds and
+  attaching the host-CPU phases (env, CreateNet, evolve) to form the
+  E3-INAX platform times;
+* **Fig 10(a)** — the per-phase power numbers the energy comparison
+  integrates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw import calibration as cal
+from repro.hw.cpu_model import CPUModel, PhaseTimes
+from repro.hw.workload import GenerationWorkload
+from repro.inax.accelerator import INAXConfig
+from repro.inax.timing import CycleReport
+
+__all__ = [
+    "FPGADevice",
+    "ZCU104",
+    "ResourceEstimate",
+    "estimate_inax_resources",
+    "estimate_fpga_power",
+    "INAXPlatformModel",
+]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Resource capacities of one FPGA part."""
+
+    name: str
+    luts: int
+    ffs: int
+    bram36: int
+    dsps: int
+
+
+#: Zynq UltraScale+ XCZU7EV (the ZCU104's device, 16 nm).
+ZCU104 = FPGADevice(
+    name="XCZU7EV", luts=230_400, ffs=460_800, bram36=312, dsps=1_728
+)
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated resource usage of a design."""
+
+    luts: int
+    ffs: int
+    bram36: int
+    dsps: int
+
+    def utilization(self, device: FPGADevice = ZCU104) -> dict[str, float]:
+        """Fractional utilization per resource class (Fig 10(b) bars)."""
+        return {
+            "LUT": self.luts / device.luts,
+            "FF": self.ffs / device.ffs,
+            "BRAM": self.bram36 / device.bram36,
+            "DSP": self.dsps / device.dsps,
+        }
+
+    def fits(self, device: FPGADevice = ZCU104) -> bool:
+        return all(v <= 1.0 for v in self.utilization(device).values())
+
+
+# per-block component estimates (post-synthesis class numbers for a
+# 32-bit fixed-point datapath at 200 MHz; the DSP slice carries the
+# arithmetic, fabric only sequences and holds the activation LUT)
+_PE_LUTS = 200  # MAC sequencing + activation lookup
+_PE_FFS = 300
+_PE_DSPS = 1
+_PU_LUTS = 300  # layer sequencer, buffer addressing
+_PU_FFS = 500
+_TOP_LUTS = 6_000  # controller, DMA engines, AXI plumbing
+_TOP_FFS = 8_000
+_TOP_BRAM = 4
+_BRAM36_WORDS = 1_024  # 36 Kb / 32-bit words (ECC bits unused)
+
+
+def estimate_inax_resources(
+    num_pus: int,
+    num_pes_per_pu: int,
+    weight_buffer_words: int = 2_048,
+    value_buffer_words: int = 512,
+    overlap_io: bool = False,
+) -> ResourceEstimate:
+    """Resource estimate for an INAX configuration.
+
+    Each PU owns a weight buffer and a value buffer sized in 32-bit
+    words (§IV-D); both round up to whole BRAM36 blocks.  Double-
+    buffered I/O (``overlap_io``) duplicates the value buffer so the
+    next step's inputs stream in behind the current compute.
+    """
+    if num_pus < 1 or num_pes_per_pu < 1:
+        raise ValueError("need at least one PU and one PE per PU")
+    value_buffers = 2 if overlap_io else 1
+    bram_per_pu = math.ceil(
+        weight_buffer_words / _BRAM36_WORDS
+    ) + value_buffers * math.ceil(value_buffer_words / _BRAM36_WORDS)
+    total_pes = num_pus * num_pes_per_pu
+    return ResourceEstimate(
+        luts=_TOP_LUTS + num_pus * _PU_LUTS + total_pes * _PE_LUTS,
+        ffs=_TOP_FFS + num_pus * _PU_FFS + total_pes * _PE_FFS,
+        bram36=_TOP_BRAM + num_pus * bram_per_pu,
+        dsps=total_pes * _PE_DSPS,
+    )
+
+
+def estimate_fpga_power(resources: ResourceEstimate) -> float:
+    """Watts for a design at 200 MHz (static + per-resource dynamic)."""
+    static = 0.7
+    dynamic = (
+        resources.luts * 6e-6
+        + resources.ffs * 2e-6
+        + resources.bram36 * 4e-3
+        + resources.dsps * 2.5e-3
+    )
+    return static + dynamic
+
+
+class INAXPlatformModel:
+    """The E3-INAX platform: INAX cycles + host CPU for evolve/env.
+
+    In the E3 deployment the "CPU" side is the board's embedded ARM
+    cores, so host phases are priced at the edge-CPU power; the fabric
+    is priced at the design's estimated power.
+    """
+
+    def __init__(
+        self,
+        inax_config: INAXConfig,
+        clock_hz: float = cal.FPGA_CLOCK_HZ,
+        host: CPUModel | None = None,
+        fpga_power_watts: float | None = None,
+        host_power_watts: float = cal.CPU_POWER_WATTS,
+    ):
+        self.inax_config = inax_config
+        self.clock_hz = clock_hz
+        self.host = host or CPUModel()
+        if fpga_power_watts is None:
+            resources = estimate_inax_resources(
+                inax_config.num_pus, inax_config.num_pes_per_pu
+            )
+            fpga_power_watts = estimate_fpga_power(resources)
+        self.fpga_power_watts = fpga_power_watts
+        self.host_power_watts = host_power_watts
+
+    # ----------------------------------------------------------- pricing
+    def evaluate_seconds(self, report: CycleReport) -> float:
+        """Wall seconds INAX spends on a cycle report."""
+        return report.total_cycles / self.clock_hz
+
+    def generation_times(
+        self, gen: GenerationWorkload, report: CycleReport
+    ) -> PhaseTimes:
+        """E3-INAX phase times: evaluate on fabric, the rest on host."""
+        host = self.host.generation_times(gen)
+        return PhaseTimes(
+            evaluate=self.evaluate_seconds(report),
+            env=host.env,
+            createnet=host.createnet,
+            evolve=host.evolve,
+        )

@@ -1,0 +1,77 @@
+"""GPU runtime model — the E3-GPU reference platform (§VI-A).
+
+"NEAT algorithm is generally not efficient on GPUs [36], because of
+small batch size and dynamic topology."  The model captures why: every
+individual is a distinct tiny computation graph, so each env step costs
+one kernel launch per layer plus a PCIe round-trip for the observation
+and the action, and the actual MACs are negligible.  Weights are
+uploaded once per individual per generation.
+"""
+
+from __future__ import annotations
+
+from repro.hw import calibration as cal
+from repro.hw.cpu_model import CPUModel, PhaseTimes
+from repro.hw.workload import GenerationWorkload, RunWorkload
+
+__all__ = ["GPUModel"]
+
+_FLOAT_BYTES = 4
+
+
+class GPUModel:
+    """Prices the evaluate phase at GPU (launch-bound) rates.
+
+    Env, CreateNet, and evolve stay on the host CPU, priced by a
+    :class:`~repro.hw.cpu_model.CPUModel`.
+    """
+
+    def __init__(
+        self,
+        dispatch_seconds: float = cal.GPU_DISPATCH_SECONDS,
+        kernel_launch_seconds: float = cal.GPU_KERNEL_LAUNCH_SECONDS,
+        transfer_seconds_per_byte: float = cal.GPU_TRANSFER_SECONDS_PER_BYTE,
+        seconds_per_mac: float = cal.GPU_SECONDS_PER_MAC,
+        power_watts: float = cal.GPU_PLATFORM_POWER_WATTS,
+        host: CPUModel | None = None,
+    ):
+        self.dispatch_seconds = dispatch_seconds
+        self.kernel_launch_seconds = kernel_launch_seconds
+        self.transfer_seconds_per_byte = transfer_seconds_per_byte
+        self.seconds_per_mac = seconds_per_mac
+        self.power_watts = power_watts
+        self.host = host or CPUModel()
+
+    # ----------------------------------------------------------- pricing
+    def generation_times(self, gen: GenerationWorkload) -> PhaseTimes:
+        host = self.host.generation_times(gen)
+        evaluate = 0.0
+        for w in gen.individuals:
+            # one-time weight upload for the generation
+            evaluate += (
+                w.config_words * _FLOAT_BYTES * self.transfer_seconds_per_byte
+            )
+            # per env step: framework dispatch on the individual's dynamic
+            # graph, a kernel chain (one launch per layer), and the
+            # observation upload / action download round-trip
+            per_step = (
+                self.dispatch_seconds
+                + max(w.layers, 1) * self.kernel_launch_seconds
+                + (w.num_inputs + w.num_outputs)
+                * _FLOAT_BYTES
+                * self.transfer_seconds_per_byte
+                + w.macs * self.seconds_per_mac
+            )
+            evaluate += w.steps * per_step
+        return PhaseTimes(
+            evaluate=evaluate,
+            env=host.env,
+            createnet=host.createnet,
+            evolve=host.evolve,
+        )
+
+    def run_times(self, run: RunWorkload) -> PhaseTimes:
+        total = PhaseTimes()
+        for gen in run.generations:
+            total.merge(self.generation_times(gen))
+        return total

@@ -1,0 +1,92 @@
+"""Workload accounting shared by all platform cost models.
+
+A *workload* is the platform-independent record of what one NEAT run
+actually computed: per individual per generation, the decoded network's
+size (MACs, nodes, layers, config words) and how many environment steps
+its episode lasted.  The CPU, GPU, and INAX models each price the same
+workload in seconds — that is what makes the Fig 9/10 comparisons
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.inax.compiler import HWNetConfig
+
+__all__ = ["IndividualWork", "GenerationWorkload", "RunWorkload"]
+
+
+@dataclass(frozen=True)
+class IndividualWork:
+    """One individual's evaluation workload in one generation."""
+
+    macs: int
+    nodes: int
+    layers: int
+    config_words: int
+    num_inputs: int
+    num_outputs: int
+    steps: int
+
+    @classmethod
+    def from_config(cls, net: HWNetConfig, steps: int) -> "IndividualWork":
+        return cls(
+            macs=net.num_connections,
+            nodes=net.num_nodes,
+            layers=net.num_layers,
+            config_words=net.config_words,
+            num_inputs=net.num_inputs,
+            num_outputs=net.num_outputs,
+            steps=steps,
+        )
+
+
+@dataclass
+class GenerationWorkload:
+    """All individuals of one generation."""
+
+    individuals: list[IndividualWork] = field(default_factory=list)
+
+    @property
+    def population_size(self) -> int:
+        return len(self.individuals)
+
+    @property
+    def total_env_steps(self) -> int:
+        return sum(w.steps for w in self.individuals)
+
+    @property
+    def total_inference_macs(self) -> int:
+        return sum(w.steps * w.macs for w in self.individuals)
+
+    @property
+    def total_inference_nodes(self) -> int:
+        return sum(w.steps * w.nodes for w in self.individuals)
+
+    @property
+    def total_config_words(self) -> int:
+        return sum(w.config_words for w in self.individuals)
+
+
+@dataclass
+class RunWorkload:
+    """A full run: one workload record per generation."""
+
+    generations: list[GenerationWorkload] = field(default_factory=list)
+
+    @property
+    def num_generations(self) -> int:
+        return len(self.generations)
+
+    @property
+    def total_env_steps(self) -> int:
+        return sum(g.total_env_steps for g in self.generations)
+
+    @property
+    def total_inference_macs(self) -> int:
+        return sum(g.total_inference_macs for g in self.generations)
+
+    @property
+    def total_individuals(self) -> int:
+        return sum(g.population_size for g in self.generations)

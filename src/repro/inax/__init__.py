@@ -1,0 +1,81 @@
+"""INAX: the paper's irregular-network accelerator, as a cycle-level model.
+
+The package mirrors the hardware hierarchy of §IV: PEs (output-stationary
+MAC + activation pipelines) cluster into PUs (per-individual inference
+engines with weight/value buffers), PUs cluster into the INAX device
+behind a controller and shared DMA channels.  A systolic-array baseline
+(GeneSys-style) and the §V parallelism heuristics round out what the
+evaluation section needs.
+"""
+
+from repro.inax.accelerator import (
+    INAX,
+    INAXConfig,
+    schedule_generation,
+    waves_required,
+)
+from repro.inax.compiler import HWNetConfig, compile_genome, compile_network
+from repro.inax.datapath import FixedPointFormat, Q8_8, Q16
+from repro.inax.dma import DMAModel
+from repro.inax.heuristics import (
+    choose_num_pes,
+    choose_num_pus,
+    divisor_ladder,
+    pe_candidates,
+    pu_candidates,
+)
+from repro.inax.pe import PECosts, ProcessingElement
+from repro.inax.pu import (
+    BufferOverflowError,
+    ProcessingUnit,
+    PUCosts,
+    StepTiming,
+)
+from repro.inax.synthetic import (
+    PAPER_DEFAULTS,
+    random_irregular_genome,
+    synthetic_population,
+)
+from repro.inax.systolic import (
+    SACosts,
+    dense_counterpart_widths,
+    sa_pe_active_cycles,
+    sa_step_cycles,
+    schedule_generation_sa,
+)
+from repro.inax.timing import CycleReport, utilization
+
+__all__ = [
+    "BufferOverflowError",
+    "CycleReport",
+    "DMAModel",
+    "FixedPointFormat",
+    "HWNetConfig",
+    "Q16",
+    "Q8_8",
+    "INAX",
+    "INAXConfig",
+    "PAPER_DEFAULTS",
+    "PECosts",
+    "PUCosts",
+    "ProcessingElement",
+    "ProcessingUnit",
+    "SACosts",
+    "StepTiming",
+    "choose_num_pes",
+    "choose_num_pus",
+    "compile_genome",
+    "compile_network",
+    "dense_counterpart_widths",
+    "divisor_ladder",
+    "pe_candidates",
+    "pu_candidates",
+    "random_irregular_genome",
+    "sa_pe_active_cycles",
+    "sa_step_cycles",
+    "schedule_generation",
+    "schedule_generation_sa",
+    "synthetic_population",
+    "utilization",
+    "waves_required",
+]

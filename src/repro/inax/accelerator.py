@@ -1,0 +1,297 @@
+"""The INAX accelerator (§IV-C): a PU array behind a central controller.
+
+Two execution paths are provided:
+
+* the **stepwise device** (:class:`INAX`) — a functional simulator the
+  E3 platform drives one synchronized inference at a time, exactly like
+  the FPGA: ``begin_wave`` (set-up phase over the weight channel), then
+  repeated ``step`` calls (input scatter, parallel PU inference, output
+  gather), with early-terminated individuals simply dropping out of
+  subsequent steps;
+* the **analytic scheduler** (:func:`schedule_generation`) — a
+  closed-form cycle-count evaluation for timing-only studies (the Fig
+  6/7/9(a)/11 sweeps), exploiting the fact that an individual's
+  per-inference latency is input-independent.
+
+Both paths share the same per-PU timing semantics, and the tests assert
+they agree cycle-for-cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.inax.compiler import HWNetConfig
+from repro.inax.dma import DMAModel
+from repro.inax.pe import PECosts
+from repro.inax.pu import ProcessingUnit, PUCosts, _static_step_cycles
+from repro.inax.timing import CycleReport
+
+__all__ = ["INAXConfig", "INAX", "schedule_generation", "waves_required"]
+
+
+@dataclass(frozen=True)
+class INAXConfig:
+    """Design-time accelerator configuration (the §V knobs)."""
+
+    num_pus: int = 50
+    num_pes_per_pu: int = 4
+    pe_costs: PECosts = PECosts()
+    pu_costs: PUCosts = PUCosts()
+    dma: DMAModel = DMAModel()
+    weight_buffer_capacity: int | None = None
+    value_buffer_capacity: int | None = None
+    #: controller cost to synchronize a wave step (start/done via sig)
+    step_sync_cycles: int = 2
+    #: double-buffered I/O: the input scatter / output gather DMA for
+    #: step t+1/t-1 overlaps with step t's compute, so a step costs
+    #: max(compute, io) instead of compute + io.  Costs one extra input
+    #: and output buffer per PU (modeled in the resource estimate as a
+    #: second value-buffer-class BRAM) — the ablation bench quantifies
+    #: the trade
+    overlap_io: bool = False
+    #: None = float64 reference; a FixedPointFormat models the FPGA's
+    #: quantized arithmetic (functional only; cycle costs are unchanged)
+    datapath: object | None = None
+    #: §VII future work: skip MACs on zero-valued activations.  Only the
+    #: functional device honours this (cycles become data-dependent);
+    #: the analytic scheduler keeps the dense-timing assumption.
+    skip_zero_activations: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_pus < 1:
+            raise ValueError("INAX needs at least one PU")
+        if self.num_pes_per_pu < 1:
+            raise ValueError("INAX needs at least one PE per PU")
+
+
+class INAX:
+    """Functional stepwise model of the accelerator."""
+
+    def __init__(self, config: INAXConfig | None = None, **overrides):
+        if config is None:
+            config = INAXConfig(**overrides)
+        elif overrides:
+            raise TypeError("pass either a config object or keyword overrides")
+        self.config = config
+        self.pus = [
+            ProcessingUnit(
+                config.num_pes_per_pu,
+                pe_costs=config.pe_costs,
+                pu_costs=config.pu_costs,
+                weight_buffer_capacity=config.weight_buffer_capacity,
+                value_buffer_capacity=config.value_buffer_capacity,
+                datapath=config.datapath,
+                skip_zero_activations=config.skip_zero_activations,
+            )
+            for _ in range(config.num_pus)
+        ]
+        self.report = CycleReport()
+        self._wave_slots: list[HWNetConfig] = []
+
+    # -------------------------------------------------------------- wave
+    def begin_wave(self, configs: list[HWNetConfig]) -> None:
+        """Set-up phase: dispatch up to ``num_pus`` individuals.
+
+        The batch "is controlled to match the number of PUs" (§IV-C2).
+        Configuration words stream over the shared weight channel
+        (serialized); each PU decodes its own individual in parallel.
+        """
+        if self._wave_slots:
+            raise RuntimeError(
+                "a wave is already in progress; the controller requires "
+                "end_wave() before the next set-up phase (sig-channel "
+                "handshake order)"
+            )
+        if len(configs) > self.config.num_pus:
+            raise ValueError(
+                f"wave of {len(configs)} exceeds {self.config.num_pus} PUs"
+            )
+        if not configs:
+            raise ValueError("a wave needs at least one individual")
+        self._wave_slots = list(configs)
+        decode_cycles = []
+        for pu, cfg in zip(self.pus, configs):
+            decode_cycles.append(pu.load(cfg))
+        dma_cycles = self.config.dma.transfer_cycles(
+            sum(c.config_words for c in configs)
+        )
+        setup_wall = dma_cycles + max(decode_cycles)
+        self.report.setup_cycles += setup_wall
+        self.report.pu_provisioned_cycles += self.config.num_pus * setup_wall
+        self.report.pu_active_cycles += len(configs) * setup_wall
+        self.report.individuals += len(configs)
+
+    def step(self, inputs: dict[int, np.ndarray]) -> dict[int, np.ndarray]:
+        """One synchronized inference across the wave's live slots.
+
+        ``inputs`` maps slot index -> observation vector; slots whose
+        episode already terminated are simply omitted and idle.  Returns
+        slot index -> output vector.
+        """
+        if not self._wave_slots:
+            raise RuntimeError("no wave in progress; call begin_wave() first")
+        if not inputs:
+            raise ValueError("step() needs at least one live slot")
+        cfg = self.config
+        outputs: dict[int, np.ndarray] = {}
+        slowest = 0
+        pe_active = 0
+        pu_active = 0
+        in_words = 0
+        out_words = 0
+        for slot, x in inputs.items():
+            if not 0 <= slot < len(self._wave_slots):
+                raise IndexError(f"slot {slot} outside the current wave")
+            out, timing = self.pus[slot].infer(x)
+            outputs[slot] = out
+            slowest = max(slowest, timing.cycles)
+            pe_active += timing.pe_active_cycles
+            pu_active += timing.cycles
+            in_words += self._wave_slots[slot].num_inputs
+            out_words += self._wave_slots[slot].num_outputs
+            self.report.layer_iterations.extend(timing.iterations_per_layer)
+
+        io = cfg.dma.transfer_cycles(in_words) + cfg.dma.transfer_cycles(out_words)
+        if cfg.overlap_io:
+            step_wall = max(slowest, io) + cfg.step_sync_cycles
+        else:
+            step_wall = slowest + io + cfg.step_sync_cycles
+        self.report.compute_cycles += step_wall
+        self.report.io_cycles += io
+        self.report.pe_active_cycles += pe_active
+        self.report.pe_provisioned_cycles += (
+            cfg.num_pus * cfg.num_pes_per_pu * step_wall
+        )
+        self.report.pu_active_cycles += pu_active
+        self.report.pu_provisioned_cycles += cfg.num_pus * step_wall
+        self.report.steps += 1
+        return outputs
+
+    def end_wave(self) -> None:
+        if not self._wave_slots:
+            raise RuntimeError(
+                "no wave in progress; end_wave() must pair with begin_wave()"
+            )
+        self._wave_slots = []
+
+    def reset_report(self) -> None:
+        self.report = CycleReport()
+
+
+StepCycleFn = "Callable[[HWNetConfig], int]"
+
+
+def schedule_generation(
+    config: INAXConfig,
+    net_configs: list[HWNetConfig],
+    episode_lengths: list[int],
+    step_cycles_fn=None,
+    pe_active_fn=None,
+) -> CycleReport:
+    """Closed-form cycle count for evaluating a population.
+
+    Individuals are dispatched in waves of ``num_pus``; within a wave,
+    step ``t`` runs every individual whose episode outlives ``t``, and
+    the wave's wall clock follows the slowest live PU each step.  This
+    reproduces exactly what the stepwise device would report, without
+    functional execution — per-inference latency is input-independent.
+
+    ``step_cycles_fn`` / ``pe_active_fn`` override the per-inference
+    latency/activity models; the defaults are INAX's.  The systolic-array
+    baseline (Fig 11) passes its own latency model through here so both
+    accelerators share the identical wave/episode schedule.
+    """
+    if len(net_configs) != len(episode_lengths):
+        raise ValueError("need one episode length per individual")
+    if any(length < 1 for length in episode_lengths):
+        raise ValueError("episode lengths must be >= 1")
+    if step_cycles_fn is None:
+        step_cycles_fn = lambda c: _static_step_cycles(  # noqa: E731
+            c, config.num_pes_per_pu, config.pe_costs, config.pu_costs
+        )
+    if pe_active_fn is None:
+        pe_active_fn = lambda c: _static_pe_active(c, config.pe_costs)  # noqa: E731
+    report = CycleReport()
+    report.individuals = len(net_configs)
+    num_pus = config.num_pus
+
+    for start in range(0, len(net_configs), num_pus):
+        wave = net_configs[start : start + num_pus]
+        lengths = episode_lengths[start : start + num_pus]
+        _schedule_wave(config, wave, lengths, report, step_cycles_fn, pe_active_fn)
+    return report
+
+
+def _schedule_wave(
+    config: INAXConfig,
+    wave: list[HWNetConfig],
+    lengths: list[int],
+    report: CycleReport,
+    step_cycles_fn,
+    pe_active_fn,
+) -> None:
+    pu_costs, dma = config.pu_costs, config.dma
+
+    # --- set-up phase ---
+    decode = [
+        c.config_words * pu_costs.decode_cycles_per_word for c in wave
+    ]
+    setup_wall = dma.transfer_cycles(sum(c.config_words for c in wave)) + max(
+        decode
+    )
+    report.setup_cycles += setup_wall
+    report.pu_provisioned_cycles += config.num_pus * setup_wall
+    report.pu_active_cycles += len(wave) * setup_wall
+
+    # --- compute phase: group steps by the set of live individuals ---
+    per_step_cycles = [step_cycles_fn(c) for c in wave]
+    per_step_active = [pe_active_fn(c) for c in wave]
+
+    order = sorted(range(len(wave)), key=lambda i: lengths[i])
+    live = list(order)  # indices still alive, shortest-lived first
+    t = 0
+    while live:
+        horizon = lengths[live[0]]  # all of `live` survive through horizon
+        n_steps = horizon - t
+        slowest = max(per_step_cycles[i] for i in live)
+        in_words = sum(wave[i].num_inputs for i in live)
+        out_words = sum(wave[i].num_outputs for i in live)
+        io = dma.transfer_cycles(in_words) + dma.transfer_cycles(out_words)
+        if config.overlap_io:
+            step_wall = max(slowest, io) + config.step_sync_cycles
+        else:
+            step_wall = slowest + io + config.step_sync_cycles
+
+        report.compute_cycles += n_steps * step_wall
+        report.io_cycles += n_steps * io
+        report.pe_active_cycles += n_steps * sum(
+            per_step_active[i] for i in live
+        )
+        report.pe_provisioned_cycles += (
+            n_steps * config.num_pus * config.num_pes_per_pu * step_wall
+        )
+        report.pu_active_cycles += n_steps * sum(
+            per_step_cycles[i] for i in live
+        )
+        report.pu_provisioned_cycles += n_steps * config.num_pus * step_wall
+        report.steps += n_steps
+        t = horizon
+        live = [i for i in live if lengths[i] > t]
+
+
+def _static_pe_active(net: HWNetConfig, pe_costs: PECosts) -> int:
+    """Sum of PE-active cycles for one inference of ``net``."""
+    return sum(
+        pe_costs.node_cycles(plan.fan_in)
+        for layer in net.layers
+        for plan in layer
+    )
+
+
+def waves_required(population: int, num_pus: int) -> int:
+    """Number of dispatch waves, ``ceil(p / num_pus)`` (§V-B)."""
+    return math.ceil(population / num_pus)

@@ -1,0 +1,76 @@
+"""Fixed-point datapath model for the INAX PEs.
+
+The paper's FPGA prototype computes in fixed-point (the DSP48 slices of
+the XCZU7EV are integer MAC units); the software reference computes in
+float64.  This module models the quantized datapath so the reproduction
+can quantify the numeric gap the real HW/SW split would have had:
+
+* weights, biases, and activations are stored in a Q(integer.fraction)
+  two's-complement format with saturation;
+* the MAC accumulates in a wide register (no intermediate rounding,
+  matching DSP-slice behaviour);
+* the activation unit's output is re-quantized before the value-buffer
+  write-back.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["FixedPointFormat", "Q16", "Q8_8"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A saturating signed fixed-point format Q(integer).(fraction)."""
+
+    integer_bits: int = 8  # includes the sign bit
+    fraction_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 1:
+            raise ValueError("integer_bits must be >= 1 (sign bit)")
+        if self.fraction_bits < 0:
+            raise ValueError("fraction_bits must be >= 0")
+
+    @property
+    def word_bits(self) -> int:
+        return self.integer_bits + self.fraction_bits
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable step."""
+        return 2.0 ** -self.fraction_bits
+
+    @property
+    def max_value(self) -> float:
+        return 2.0 ** (self.integer_bits - 1) - self.resolution
+
+    @property
+    def min_value(self) -> float:
+        return -(2.0 ** (self.integer_bits - 1))
+
+    def quantize(self, value: float) -> float:
+        """Round-to-nearest with saturation."""
+        if math.isnan(value):
+            raise ValueError("cannot quantize NaN")
+        scaled = round(value / self.resolution)
+        quantized = scaled * self.resolution
+        if quantized > self.max_value:
+            return self.max_value
+        if quantized < self.min_value:
+            return self.min_value
+        return quantized
+
+    def quantization_error_bound(self) -> float:
+        """Worst-case rounding error for in-range values."""
+        return self.resolution / 2.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Q{self.integer_bits}.{self.fraction_bits}"
+
+
+#: 16-bit formats commonly used for edge inference datapaths
+Q8_8 = FixedPointFormat(integer_bits=8, fraction_bits=8)
+Q16 = FixedPointFormat(integer_bits=8, fraction_bits=8)  # alias

@@ -1,0 +1,34 @@
+"""DMA channel model (§IV-B).
+
+E3 moves data between the CPU's DRAM and INAX over DMA with three data
+channels — weight (NN configurations), input (observations), output
+(action values) — plus a sig channel for start/done handshakes.  Each
+transfer pays a fixed initiation latency plus a bandwidth-limited
+streaming cost; the channels are shared across PUs, which is why
+population-wide set-up is serialized while per-PU decode is parallel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["DMAModel"]
+
+
+@dataclass(frozen=True)
+class DMAModel:
+    """Cycle cost model for one shared DMA channel."""
+
+    #: words moved per cycle once streaming
+    words_per_cycle: float = 4.0
+    #: fixed initiation cost per transfer (descriptor + handshake)
+    latency_cycles: int = 8
+
+    def transfer_cycles(self, words: int) -> int:
+        """Cycles to move ``words`` words (0 words -> 0 cycles)."""
+        if words < 0:
+            raise ValueError(f"negative transfer size: {words}")
+        if words == 0:
+            return 0
+        return self.latency_cycles + math.ceil(words / self.words_per_cycle)

@@ -1,0 +1,74 @@
+"""Design-time parallelism heuristics (§V).
+
+Two practical rules the paper derives and validates:
+
+* **PE count** (§V-A): the input/output layer shapes are the only
+  topology constants across generations, and the OS dataflow makes the
+  output layer the anchor — so provision ``k`` PEs per PU where ``k`` is
+  the number of output nodes, or ``ceil(k/2)``, ``ceil(k/3)``, ... when
+  resource-restricted.  These are the local peaks of Fig 6's U(PE).
+* **PU count** (§V-B): the population size ``p`` is a predefined
+  algorithm parameter — provision ``p`` PUs, or ``ceil(p/2)``,
+  ``ceil(p/3)``, ... so every dispatch wave is full (the local peaks of
+  Fig 7's U(PU); 100 PUs finish 200 individuals in 2 full waves where 99
+  PUs need 3 with the last almost empty).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "divisor_ladder",
+    "pe_candidates",
+    "pu_candidates",
+    "choose_num_pes",
+    "choose_num_pus",
+]
+
+
+def divisor_ladder(k: int, max_value: int | None = None) -> list[int]:
+    """The heuristic ladder ``[k, ceil(k/2), ceil(k/3), ...]``.
+
+    Deduplicated and descending; values above ``max_value`` are dropped.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    ladder: list[int] = []
+    for divisor in range(1, k + 1):
+        value = math.ceil(k / divisor)
+        if max_value is not None and value > max_value:
+            continue
+        if not ladder or ladder[-1] != value:
+            ladder.append(value)
+    return ladder
+
+
+def pe_candidates(num_outputs: int, max_pes: int | None = None) -> list[int]:
+    """Good PE-per-PU counts for a task with ``num_outputs`` actions."""
+    return divisor_ladder(num_outputs, max_pes)
+
+
+def pu_candidates(population: int, max_pus: int | None = None) -> list[int]:
+    """Good PU counts for a population of ``population`` individuals."""
+    return divisor_ladder(population, max_pus)
+
+
+def choose_num_pes(num_outputs: int, max_pes: int | None = None) -> int:
+    """Largest heuristic-sanctioned PE count within the resource budget.
+
+    With no budget this is ``num_outputs`` itself — the configuration
+    the paper uses in §VI-C ("we picked PE=output nodes").
+    """
+    candidates = pe_candidates(num_outputs, max_pes)
+    if not candidates:
+        return 1
+    return candidates[0]
+
+
+def choose_num_pus(population: int, max_pus: int | None = None) -> int:
+    """Largest heuristic-sanctioned PU count within the resource budget."""
+    candidates = pu_candidates(population, max_pus)
+    if not candidates:
+        return 1
+    return candidates[0]

@@ -1,0 +1,117 @@
+"""Processing Element (PE) model (§IV-E).
+
+Each PE is a DSP plus an activation-function unit, executing an
+**output-stationary** dataflow: the PE owns one node at a time,
+accumulates the node's partial sums locally over its ingress
+connections, adds the bias, applies the activation, and writes the
+result to the PU's value buffer.
+
+The cycle model follows directly: one MAC cycle per ingress connection,
+plus a fixed pipeline tail for the bias add, the activation unit, and
+the value-buffer write-back.  "The time taken to compute each output can
+be variable at each PE, depending on the node size" — that variability
+is exactly ``fan_in`` here, and it is what creates the synchronization
+stalls §V-A3 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.neat.activations import activations, aggregations
+from repro.neat.network import NodeEval
+
+__all__ = ["PECosts", "ProcessingElement"]
+
+
+@dataclass(frozen=True)
+class PECosts:
+    """Per-PE timing parameters (cycles)."""
+
+    #: cycles per multiply-accumulate (one ingress connection)
+    mac_cycles: int = 1
+    #: fixed tail: bias add + activation unit + value write-back
+    pipeline_depth: int = 4
+
+    def node_cycles(self, fan_in: int) -> int:
+        """Cycles for a PE to fully compute one node."""
+        return self.mac_cycles * fan_in + self.pipeline_depth
+
+
+class ProcessingElement:
+    """Functional + timing model of one PE.
+
+    With ``datapath=None`` (default) the PE computes in float64 with the
+    same activation registry as the software forward pass, so HW and SW
+    agree bit-for-bit.  With a
+    :class:`~repro.inax.datapath.FixedPointFormat` attached, weights and
+    value-buffer reads are quantized, the MAC accumulates wide, and the
+    activation output is re-quantized — the FPGA's actual arithmetic.
+    """
+
+    def __init__(
+        self,
+        costs: PECosts | None = None,
+        datapath=None,
+        skip_zero_activations: bool = False,
+    ):
+        self.costs = costs or PECosts()
+        self.datapath = datapath
+        #: §VII future work: "Irregular NNs also have activation
+        #: sparsity" — when enabled, the MAC skips ingress whose source
+        #: value is exactly zero (ReLU/step networks produce many), so
+        #: per-node cycles become data-dependent.
+        self.skip_zero_activations = skip_zero_activations
+        self.active_cycles = 0
+        self.nodes_computed = 0
+
+    def compute(self, plan: NodeEval, values: dict[int, float]) -> float:
+        """Execute one node: MAC over ingress, bias, activation."""
+        result, _ = self.compute_with_cycles(plan, values)
+        return result
+
+    def compute_with_cycles(
+        self, plan: NodeEval, values: dict[int, float]
+    ) -> tuple[float, int]:
+        """Execute one node and return (result, cycles taken).
+
+        ``values`` is the PU's value buffer (inputs + earlier nodes).
+        With zero-skipping enabled the cycle count reflects only the
+        non-zero ingress actually multiplied.
+        """
+        q = self.datapath
+        effective_fan_in = plan.fan_in
+        # skipping a zero term is only exact for additive aggregation
+        if self.skip_zero_activations and plan.aggregation == "sum":
+            ingress = [
+                (src, w) for src, w in plan.ingress if values[src] != 0.0
+            ]
+            effective_fan_in = len(ingress)
+        else:
+            ingress = list(plan.ingress)
+
+        if q is None:
+            weighted = [values[src] * w for src, w in ingress]
+            agg = aggregations.get(plan.aggregation)(weighted)
+            result = activations.get(plan.activation)(agg + plan.bias)
+        else:
+            weighted = [
+                q.quantize(values[src]) * q.quantize(w) for src, w in ingress
+            ]
+            agg = aggregations.get(plan.aggregation)(weighted)
+            pre_activation = agg + q.quantize(plan.bias)
+            result = q.quantize(
+                activations.get(plan.activation)(pre_activation)
+            )
+        cycles = self.costs.node_cycles(effective_fan_in)
+        self.active_cycles += cycles
+        self.nodes_computed += 1
+        return result, cycles
+
+    def cycles_for(self, plan: NodeEval) -> int:
+        """Timing-only query (no functional execution)."""
+        return self.costs.node_cycles(plan.fan_in)
+
+    def reset_counters(self) -> None:
+        self.active_cycles = 0
+        self.nodes_computed = 0

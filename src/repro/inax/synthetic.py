@@ -1,0 +1,153 @@
+"""Synthetic irregular-network workloads for the HW sweeps.
+
+The paper's parallelism studies (Fig 6, 7, 9(a); footnote 3) run on
+synthetic populations with controlled shape: "num individuals: 200,
+num inputs: 8, num outputs: 4, num hidden nodes: 30, sparsity rate:
+0.2".  This module generates random irregular feed-forward genomes with
+exactly those knobs, so the sweeps are reproducible without running
+evolution first.
+
+The generated genomes are irregular sparse MLPs in the sense of
+Fig 4(a): hidden nodes sit in ``num_hidden_layers`` wide layers, but
+connections are sampled between *any* earlier/later pair — links
+routinely skip layers, fan-in varies node to node, and density can
+exceed the dense counterpart's.  Structural anchors keep the decoded
+(ASAP) layering equal to the generated one: every node keeps at least
+one ingress from the directly preceding layer, and every output is fed
+from the last hidden layer, so the output layer's width is exactly
+``num_outputs`` — the constant §V-A's PE heuristic keys on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.inax.compiler import HWNetConfig, compile_genome
+from repro.neat.config import NEATConfig
+from repro.neat.genes import ConnectionGene, NodeGene
+from repro.neat.genome import Genome
+from repro.neat.innovation import InnovationTracker
+
+__all__ = ["random_irregular_genome", "synthetic_population", "PAPER_DEFAULTS"]
+
+#: Footnote 3 defaults for the §V sweeps.
+PAPER_DEFAULTS = {
+    "num_individuals": 200,
+    "num_inputs": 8,
+    "num_outputs": 4,
+    "num_hidden": 30,
+    "sparsity": 0.2,
+}
+
+
+def random_irregular_genome(
+    key: int,
+    config: NEATConfig,
+    num_hidden: int,
+    sparsity: float,
+    rng: np.random.Generator,
+    tracker: InnovationTracker | None = None,
+    num_hidden_layers: int = 1,
+) -> Genome:
+    """A random irregular feed-forward genome.
+
+    Hidden nodes are split across ``num_hidden_layers`` layers; every
+    (earlier, later) node pair — including pairs that skip layers — is
+    connected with probability ``sparsity``.  Anchoring connections are
+    then added so the decoded network keeps the generated layer widths
+    (see module docstring).
+    """
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+    if num_hidden < 0:
+        raise ValueError("num_hidden must be >= 0")
+    if num_hidden_layers < 1:
+        raise ValueError("num_hidden_layers must be >= 1")
+    num_hidden_layers = min(num_hidden_layers, num_hidden) or 1
+
+    tracker = tracker or InnovationTracker(config.num_outputs)
+    genome = Genome(key=key)
+    for out_key in config.output_keys:
+        genome.nodes[out_key] = NodeGene.random(out_key, config, rng)
+    hidden_keys = [tracker.fresh_node_key() for _ in range(num_hidden)]
+    for h in hidden_keys:
+        genome.nodes[h] = NodeGene.random(h, config, rng)
+
+    # layer assignment: inputs at 0, hidden at 1..L, outputs at L + 1
+    layer_of: dict[int, int] = {k: 0 for k in config.input_keys}
+    layers: list[list[int]] = [list(config.input_keys)]
+    per_layer = -(-num_hidden // num_hidden_layers)  # ceil division
+    for l in range(num_hidden_layers):
+        members = hidden_keys[l * per_layer : (l + 1) * per_layer]
+        layers.append(members)
+        for h in members:
+            layer_of[h] = l + 1
+    layers = [layer for layer in layers if layer]  # drop empty hidden layers
+    output_layer = len(layers)
+    for out_key in config.output_keys:
+        layer_of[out_key] = output_layer
+    layers.append(list(config.output_keys))
+
+    def add(src: int, dst: int) -> None:
+        conn_key = (src, dst)
+        if conn_key in genome.connections:
+            return
+        genome.connections[conn_key] = ConnectionGene.random(
+            conn_key, tracker.connection_innovation(conn_key), config, rng
+        )
+
+    # sparse irregular connectivity: any earlier -> any later
+    all_keys = [k for layer in layers for k in layer]
+    for src in all_keys:
+        for dst in all_keys:
+            if layer_of[src] < layer_of[dst] and rng.random() < sparsity:
+                add(src, dst)
+
+    # anchors: every non-input node keeps an ingress from the previous
+    # layer (preserves ASAP depth); every hidden node keeps an egress
+    # (avoids dead-branch pruning)
+    for depth in range(1, len(layers)):
+        prev = layers[depth - 1]
+        for node in layers[depth]:
+            has_prev_ingress = any(
+                (src, node) in genome.connections for src in prev
+            )
+            if not has_prev_ingress:
+                add(prev[int(rng.integers(len(prev)))], node)
+    for depth in range(1, len(layers) - 1):
+        later = [k for layer in layers[depth + 1 :] for k in layer]
+        for node in layers[depth]:
+            has_egress = any(
+                (node, dst) in genome.connections for dst in later
+            )
+            if not has_egress:
+                add(node, later[int(rng.integers(len(later)))])
+    return genome
+
+
+def synthetic_population(
+    num_individuals: int = PAPER_DEFAULTS["num_individuals"],
+    num_inputs: int = PAPER_DEFAULTS["num_inputs"],
+    num_outputs: int = PAPER_DEFAULTS["num_outputs"],
+    num_hidden: int = PAPER_DEFAULTS["num_hidden"],
+    sparsity: float = PAPER_DEFAULTS["sparsity"],
+    num_hidden_layers: int = 1,
+    seed: int | None = 0,
+) -> list[HWNetConfig]:
+    """A population of compiled synthetic individuals (footnote 3 setup)."""
+    rng = np.random.default_rng(seed)
+    config = NEATConfig(num_inputs=num_inputs, num_outputs=num_outputs)
+    tracker = InnovationTracker(num_outputs)
+    population = []
+    for i in range(num_individuals):
+        genome = random_irregular_genome(
+            i,
+            config,
+            num_hidden,
+            sparsity,
+            rng,
+            tracker,
+            num_hidden_layers=num_hidden_layers,
+        )
+        population.append(compile_genome(genome, config))
+    return population

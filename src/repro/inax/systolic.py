@@ -1,0 +1,142 @@
+"""Systolic-array (SA) baseline accelerator — the GeneSys comparison.
+
+§VI-F contrasts INAX with the standard systolic-array structure GeneSys
+[36] uses for "evaluate".  Because the workload is MLP-type, the SA here
+is a 1-D systolic array, PU-parallelized exactly like INAX for fairness.
+
+An SA executes *dense, layer-by-layer* matrix-vector products, so an
+irregular evolved network costs it in two ways the paper names:
+
+1. **zero filling** — the evolved network's missing connections are
+   still streamed as zeros, since the array fetches the full previous
+   layer for every output row;
+2. **dummy-node padding** (Fig 4(d)) — a connection that skips layers
+   forces the source value to be carried through pass-through nodes in
+   every intermediate layer, inflating layer widths.
+
+:func:`dense_counterpart_widths` computes those inflated widths;
+:func:`sa_step_cycles` turns them into per-inference latency; and
+:func:`schedule_generation_sa` reuses INAX's wave scheduler so Fig 11
+compares the two structures under an identical episode schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.inax.accelerator import INAXConfig, schedule_generation
+from repro.inax.compiler import HWNetConfig
+from repro.inax.timing import CycleReport
+
+__all__ = [
+    "SACosts",
+    "dense_counterpart_widths",
+    "sa_step_cycles",
+    "sa_pe_active_cycles",
+    "schedule_generation_sa",
+]
+
+
+@dataclass(frozen=True)
+class SACosts:
+    """1-D systolic array timing parameters."""
+
+    #: cycles per streamed element once the pipeline is full
+    stream_cycles_per_input: int = 1
+    #: pipeline fill/drain per pass (one per PE in the chain)
+    fill_drain_per_pe: int = 1
+    #: barrier between layers (same role as the PU's layer sync)
+    layer_sync_cycles: int = 2
+    #: latch a new input vector
+    input_load_cycles: int = 1
+
+
+def dense_counterpart_widths(net: HWNetConfig) -> list[int]:
+    """Effective (padded) layer widths of the dense MLP counterpart.
+
+    Returns ``[inputs, width_1, ..., width_L]`` where each hidden/output
+    width counts real nodes plus the dummy pass-through nodes needed to
+    ferry skip-layer values (Fig 4(d)'s transparent nodes).
+    """
+    # depth of every value: inputs at 0, layer i nodes at i + 1
+    depth: dict[int, int] = {k: 0 for k in net.input_keys}
+    for layer_idx, layer in enumerate(net.layers):
+        for plan in layer:
+            depth[plan.key] = layer_idx + 1
+
+    # deepest consumer of every value
+    max_consumer: dict[int, int] = {}
+    for layer in net.layers:
+        for plan in layer:
+            d = depth[plan.key]
+            for src, _ in plan.ingress:
+                max_consumer[src] = max(max_consumer.get(src, 0), d)
+
+    num_layers = len(net.layers)
+    widths = [net.num_inputs]
+    for l in range(1, num_layers + 1):
+        real = len(net.layers[l - 1])
+        dummies = sum(
+            1
+            for key, d in depth.items()
+            if d < l < max_consumer.get(key, 0)
+        )
+        widths.append(real + dummies)
+    return widths
+
+
+def sa_step_cycles(
+    net: HWNetConfig, num_pes: int, costs: SACosts | None = None
+) -> int:
+    """Per-inference latency of the dense counterpart on a 1-D SA.
+
+    A layer of ``m`` effective outputs over ``n_prev`` effective inputs
+    on ``k`` PEs takes ``ceil(m / k)`` passes, each streaming the full
+    ``n_prev`` input vector (zeros included) plus the chain fill/drain.
+    """
+    if num_pes < 1:
+        raise ValueError("the SA needs at least one PE")
+    costs = costs or SACosts()
+    widths = dense_counterpart_widths(net)
+    cycles = costs.input_load_cycles
+    for n_prev, m in zip(widths, widths[1:]):
+        passes = math.ceil(m / num_pes)
+        per_pass = (
+            n_prev * costs.stream_cycles_per_input
+            + num_pes * costs.fill_drain_per_pe
+        )
+        cycles += passes * per_pass + costs.layer_sync_cycles
+    return cycles
+
+
+def sa_pe_active_cycles(net: HWNetConfig, costs: SACosts | None = None) -> int:
+    """Useful-work cycles per inference: the real MACs only.
+
+    Zero-filled and dummy-node streaming is *not* useful work — this is
+    what makes the SA's utilization on irregular networks poor.
+    """
+    costs = costs or SACosts()
+    return net.num_connections * costs.stream_cycles_per_input
+
+
+def schedule_generation_sa(
+    config: INAXConfig,
+    net_configs: list[HWNetConfig],
+    episode_lengths: list[int],
+    costs: SACosts | None = None,
+) -> CycleReport:
+    """Population evaluation on the PU-parallelized SA baseline.
+
+    Identical wave/episode schedule as INAX's
+    :func:`~repro.inax.accelerator.schedule_generation`; only the
+    per-inference latency model differs.
+    """
+    costs = costs or SACosts()
+    return schedule_generation(
+        config,
+        net_configs,
+        episode_lengths,
+        step_cycles_fn=lambda c: sa_step_cycles(c, config.num_pes_per_pu, costs),
+        pe_active_fn=lambda c: sa_pe_active_cycles(c, costs),
+    )

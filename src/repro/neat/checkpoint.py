@@ -1,0 +1,169 @@
+"""Checkpointing: save and restore a NEAT run.
+
+An edge deployment of E3 is long-lived — the model-tuning use-case (§I)
+continuously adapts a deployed population, and a power cycle must not
+lose the evolved state.  A checkpoint captures everything needed to
+resume: config, population genomes, innovation bookkeeping, species
+structure, RNG state, and the generation counter.
+
+The format is plain JSON so checkpoints are diffable and portable
+across hosts (the genome payload reuses :meth:`Genome.to_dict`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, fields
+from pathlib import Path
+
+import numpy as np
+
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.population import Population
+from repro.neat.species import Species
+
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_to_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def checkpoint_to_dict(population: Population) -> dict:
+    """Snapshot a population into a JSON-serializable dict."""
+    config_dict = asdict(population.config)
+    # tuples serialize as lists; restore handles the round trip
+    species_payload = []
+    for species in population.species_set.species.values():
+        species_payload.append(
+            {
+                "key": species.key,
+                "created_generation": species.created_generation,
+                "representative": species.representative.to_dict(),
+                "member_keys": [g.key for g in species.members],
+                "best_fitness": _encode_float(species.best_fitness),
+                "last_improved_generation": species.last_improved_generation,
+            }
+        )
+    tracker = population.tracker
+    return {
+        "format_version": _FORMAT_VERSION,
+        "generation": population.generation,
+        "config": config_dict,
+        "population": [g.to_dict() for g in population.population],
+        "best_genome": (
+            population.best_genome.to_dict()
+            if population.best_genome is not None
+            else None
+        ),
+        "species": species_payload,
+        "next_species_key": population.species_set._next_key,
+        "innovation": {
+            "next_node_key": tracker._next_node_key,
+            "next_innovation": tracker._next_innovation,
+            "connections": [
+                [list(key), value]
+                for key, value in tracker._connection_innovations.items()
+            ],
+        },
+        "next_genome_key": population.reproduction._next_genome_key,
+        "rng_state": _encode_rng(population.rng),
+    }
+
+
+def save_checkpoint(population: Population, path: str | Path) -> None:
+    """Write a checkpoint file."""
+    payload = checkpoint_to_dict(population)
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_checkpoint(path: str | Path, validate: bool = True) -> Population:
+    """Restore a population from a checkpoint file.
+
+    The restored population resumes exactly: same genomes, same species
+    partition, same innovation counters, and the same RNG stream.  With
+    ``validate`` (default) every restored genome is checked against the
+    structural invariants (:mod:`repro.neat.validate`) — checkpoints
+    cross a trust boundary and a corrupted one should fail loudly here,
+    not deep inside a later decode.
+    """
+    payload = json.loads(Path(path).read_text())
+    population = population_from_dict(payload)
+    if validate:
+        from repro.neat.validate import validate_genome
+
+        for genome in population.population:
+            validate_genome(genome, population.config)
+    return population
+
+
+def population_from_dict(payload: dict) -> Population:
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {payload.get('format_version')}"
+        )
+    config_dict = dict(payload["config"])
+    # dataclass fields that were tuples arrive as lists
+    for name in ("activation_options", "aggregation_options"):
+        config_dict[name] = tuple(config_dict[name])
+    valid = {f.name for f in fields(NEATConfig)}
+    config = NEATConfig(**{k: v for k, v in config_dict.items() if k in valid})
+
+    population = Population(config, seed=0)
+    population.generation = payload["generation"]
+    population.population = [
+        Genome.from_dict(g) for g in payload["population"]
+    ]
+    by_key = {g.key: g for g in population.population}
+    if payload["best_genome"] is not None:
+        population.best_genome = Genome.from_dict(payload["best_genome"])
+
+    # --- species ---
+    population.species_set._species = {}
+    for entry in payload["species"]:
+        species = Species(
+            key=entry["key"],
+            created_generation=entry["created_generation"],
+            representative=Genome.from_dict(entry["representative"]),
+            members=[by_key[k] for k in entry["member_keys"] if k in by_key],
+            best_fitness=_decode_float(entry["best_fitness"]),
+            last_improved_generation=entry["last_improved_generation"],
+        )
+        population.species_set._species[species.key] = species
+    population.species_set._next_key = payload["next_species_key"]
+
+    # --- innovation bookkeeping ---
+    tracker = population.tracker
+    tracker._next_node_key = payload["innovation"]["next_node_key"]
+    tracker._next_innovation = payload["innovation"]["next_innovation"]
+    tracker._connection_innovations = {
+        tuple(key): value for key, value in payload["innovation"]["connections"]
+    }
+    population.reproduction._next_genome_key = payload["next_genome_key"]
+
+    population.rng = _decode_rng(payload["rng_state"])
+    return population
+
+
+def _encode_rng(rng: np.random.Generator) -> dict:
+    state = rng.bit_generator.state
+    return json.loads(json.dumps(state, default=int))
+
+
+def _decode_rng(state: dict) -> np.random.Generator:
+    rng = np.random.default_rng(0)
+    rng.bit_generator.state = state
+    return rng
+
+
+def _encode_float(value: float):
+    if value == float("-inf"):
+        return "-inf"
+    if value == float("inf"):
+        return "inf"
+    return value
+
+
+def _decode_float(value) -> float:
+    if value in ("-inf", "inf"):
+        return float(value)
+    return float(value)

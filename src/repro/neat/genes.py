@@ -1,0 +1,130 @@
+"""Node and connection genes (paper Table II).
+
+A *node gene* carries a bias, an activation name, and an aggregation
+name.  A *connection gene* carries the linkage (input key, output key),
+a weight, an enabled flag, and the historical innovation number NEAT
+uses to align genes during crossover and distance computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.neat.config import NEATConfig
+
+__all__ = ["NodeGene", "ConnectionGene"]
+
+
+@dataclass
+class NodeGene:
+    """One neuron: bias + activation + aggregation."""
+
+    key: int
+    bias: float
+    activation: str
+    aggregation: str
+
+    def copy(self) -> "NodeGene":
+        return NodeGene(self.key, self.bias, self.activation, self.aggregation)
+
+    def distance(self, other: "NodeGene") -> float:
+        """Attribute distance used in genome compatibility (c3 term)."""
+        d = abs(self.bias - other.bias)
+        if self.activation != other.activation:
+            d += 1.0
+        if self.aggregation != other.aggregation:
+            d += 1.0
+        return d
+
+    def mutate(self, config: NEATConfig, rng: np.random.Generator) -> None:
+        """Perturb or replace the bias; optionally swap activation."""
+        if rng.random() < config.bias_mutate_rate:
+            if rng.random() < config.bias_replace_rate:
+                self.bias = float(rng.normal(0.0, config.bias_init_stdev))
+            else:
+                self.bias += float(rng.normal(0.0, config.bias_mutate_power))
+            self.bias = float(np.clip(self.bias, config.bias_min, config.bias_max))
+        if (
+            config.activation_mutate_rate > 0
+            and len(config.activation_options) > 1
+            and rng.random() < config.activation_mutate_rate
+        ):
+            self.activation = str(rng.choice(config.activation_options))
+        if (
+            config.aggregation_mutate_rate > 0
+            and len(config.aggregation_options) > 1
+            and rng.random() < config.aggregation_mutate_rate
+        ):
+            self.aggregation = str(rng.choice(config.aggregation_options))
+
+    @classmethod
+    def random(
+        cls, key: int, config: NEATConfig, rng: np.random.Generator
+    ) -> "NodeGene":
+        return cls(
+            key=key,
+            bias=float(rng.normal(0.0, config.bias_init_stdev)),
+            activation=config.default_activation,
+            aggregation=config.default_aggregation,
+        )
+
+
+@dataclass
+class ConnectionGene:
+    """One weighted link between two nodes.
+
+    ``key`` is the ``(in_node, out_node)`` pair; ``innovation`` is the
+    global historical marking assigned when this structural gene first
+    appeared anywhere in the population.
+    """
+
+    key: tuple[int, int]
+    weight: float
+    enabled: bool
+    innovation: int
+
+    @property
+    def in_node(self) -> int:
+        return self.key[0]
+
+    @property
+    def out_node(self) -> int:
+        return self.key[1]
+
+    def copy(self) -> "ConnectionGene":
+        return ConnectionGene(self.key, self.weight, self.enabled, self.innovation)
+
+    def distance(self, other: "ConnectionGene") -> float:
+        """Attribute distance used in genome compatibility (c3 term)."""
+        d = abs(self.weight - other.weight)
+        if self.enabled != other.enabled:
+            d += 1.0
+        return d
+
+    def mutate(self, config: NEATConfig, rng: np.random.Generator) -> None:
+        """Perturb or replace the weight."""
+        if rng.random() < config.weight_mutate_rate:
+            if rng.random() < config.weight_replace_rate:
+                self.weight = float(rng.normal(0.0, config.weight_init_stdev))
+            else:
+                self.weight += float(rng.normal(0.0, config.weight_mutate_power))
+            self.weight = float(
+                np.clip(self.weight, config.weight_min, config.weight_max)
+            )
+
+    @classmethod
+    def random(
+        cls,
+        key: tuple[int, int],
+        innovation: int,
+        config: NEATConfig,
+        rng: np.random.Generator,
+    ) -> "ConnectionGene":
+        return cls(
+            key=key,
+            weight=float(rng.normal(0.0, config.weight_init_stdev)),
+            enabled=True,
+            innovation=innovation,
+        )

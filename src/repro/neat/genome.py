@@ -1,0 +1,334 @@
+"""The NEAT genome: a sequence of node and connection genes (Table II).
+
+A genome describes one complete irregular feed-forward network.  This
+module owns structural and parametric mutation ("Mutate" in Table III)
+and the compatibility distance speciation uses.  Crossover lives in
+:mod:`repro.neat.crossover`; decoding to an executable network
+("CreateNet") lives in :mod:`repro.neat.network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.neat.config import NEATConfig
+from repro.neat.genes import ConnectionGene, NodeGene
+from repro.neat.innovation import InnovationTracker
+
+__all__ = ["Genome", "creates_cycle"]
+
+
+def creates_cycle(
+    connections: Iterable[tuple[int, int]], candidate: tuple[int, int]
+) -> bool:
+    """Would adding ``candidate`` to ``connections`` create a cycle?
+
+    The networks E3 evolves are feed-forward ("Evolution generates
+    irregular feed-forward MLP NNs", §IV-E), so every add-connection
+    mutation must be rejected if it closes a loop.  Checks reachability
+    of the candidate's source from its destination.
+    """
+    src, dst = candidate
+    if src == dst:
+        return True
+    adjacency: dict[int, list[int]] = {}
+    for a, b in connections:
+        adjacency.setdefault(a, []).append(b)
+    visited = {dst}
+    frontier = [dst]
+    while frontier:
+        node = frontier.pop()
+        for nxt in adjacency.get(node, ()):
+            if nxt == src:
+                return True
+            if nxt not in visited:
+                visited.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+@dataclass
+class Genome:
+    """One individual: genes describing a complete irregular NN."""
+
+    key: int
+    nodes: dict[int, NodeGene] = field(default_factory=dict)
+    connections: dict[tuple[int, int], ConnectionGene] = field(default_factory=dict)
+    fitness: float | None = None
+
+    # ------------------------------------------------------ construction
+    @classmethod
+    def initial(
+        cls,
+        key: int,
+        config: NEATConfig,
+        tracker: InnovationTracker,
+        rng: np.random.Generator,
+    ) -> "Genome":
+        """A generation-0 genome: inputs wired (fully or partially)
+        straight to outputs, no hidden nodes (paper §VI-C: "start with
+        no hidden nodes")."""
+        genome = cls(key=key)
+        for out_key in config.output_keys:
+            genome.nodes[out_key] = NodeGene.random(out_key, config, rng)
+        for in_key in config.input_keys:
+            for out_key in config.output_keys:
+                if (
+                    config.initial_connection_fraction >= 1.0
+                    or rng.random() < config.initial_connection_fraction
+                ):
+                    conn_key = (in_key, out_key)
+                    genome.connections[conn_key] = ConnectionGene.random(
+                        conn_key,
+                        tracker.connection_innovation(conn_key),
+                        config,
+                        rng,
+                    )
+        return genome
+
+    def copy(self, new_key: int | None = None) -> "Genome":
+        clone = Genome(key=self.key if new_key is None else new_key)
+        clone.nodes = {k: g.copy() for k, g in self.nodes.items()}
+        clone.connections = {k: g.copy() for k, g in self.connections.items()}
+        clone.fitness = self.fitness
+        return clone
+
+    # ------------------------------------------------------------- sizes
+    def num_nodes(self, config: NEATConfig) -> int:
+        """Total node count including input nodes (Table V convention)."""
+        return config.num_inputs + len(self.nodes)
+
+    def num_hidden(self, config: NEATConfig) -> int:
+        """Hidden-node count (hidden keys start at ``num_outputs``)."""
+        return sum(1 for k in self.nodes if k >= config.num_outputs)
+
+    @property
+    def num_connections(self) -> int:
+        return len(self.connections)
+
+    @property
+    def num_enabled_connections(self) -> int:
+        return sum(1 for c in self.connections.values() if c.enabled)
+
+    def size(self, config: NEATConfig) -> tuple[int, int]:
+        """(nodes, enabled connections) — the Table V complexity pair."""
+        return self.num_nodes(config), self.num_enabled_connections
+
+    # ---------------------------------------------------------- mutation
+    def mutate(
+        self,
+        config: NEATConfig,
+        tracker: InnovationTracker,
+        rng: np.random.Generator,
+    ) -> None:
+        """Apply structural then parametric mutation in place."""
+        if rng.random() < config.node_add_rate:
+            self.mutate_add_node(config, tracker, rng)
+        if rng.random() < config.node_delete_rate:
+            self.mutate_delete_node(config, rng)
+        if rng.random() < config.conn_add_rate:
+            self.mutate_add_connection(config, tracker, rng)
+        if rng.random() < config.conn_delete_rate:
+            self.mutate_delete_connection(rng)
+        for node in self.nodes.values():
+            node.mutate(config, rng)
+        for conn in self.connections.values():
+            conn.mutate(config, rng)
+            if not conn.enabled and rng.random() < config.enable_mutate_rate:
+                conn.enabled = True
+
+    def mutate_add_connection(
+        self,
+        config: NEATConfig,
+        tracker: InnovationTracker,
+        rng: np.random.Generator,
+    ) -> bool:
+        """Add one new connection; returns True if a connection was added.
+
+        Sources may be inputs, hidden, or output nodes; destinations may
+        be hidden or output nodes.  Cycles are rejected so the network
+        stays feed-forward, which is what makes the "irregular links
+        across layers" of Fig 4(a)(c) — but never recurrence.
+        """
+        sources = list(config.input_keys) + list(self.nodes)
+        destinations = list(self.nodes)
+        rng.shuffle(sources)
+        rng.shuffle(destinations)
+        existing = set(self.connections)
+        for src in sources:
+            for dst in destinations:
+                key = (src, dst)
+                if src == dst or key in existing:
+                    continue
+                if creates_cycle(existing, key):
+                    continue
+                self.connections[key] = ConnectionGene.random(
+                    key, tracker.connection_innovation(key), config, rng
+                )
+                return True
+        return False
+
+    def mutate_delete_connection(self, rng: np.random.Generator) -> bool:
+        """Remove a random connection; returns True if one was removed."""
+        if not self.connections:
+            return False
+        keys = sorted(self.connections)
+        key = keys[int(rng.integers(len(keys)))]
+        del self.connections[key]
+        return True
+
+    def mutate_add_node(
+        self,
+        config: NEATConfig,
+        tracker: InnovationTracker,
+        rng: np.random.Generator,
+    ) -> bool:
+        """Split an enabled connection with a new hidden node.
+
+        The classic NEAT split: the old connection is disabled, the
+        in-half gets weight 1.0, the out-half inherits the old weight, so
+        the network's function is (nearly) preserved at the moment of the
+        structural change.
+        """
+        enabled = [c for c in self.connections.values() if c.enabled]
+        if not enabled:
+            return False
+        enabled.sort(key=lambda c: c.key)
+        conn = enabled[int(rng.integers(len(enabled)))]
+        new_key = tracker.node_for_split(conn.key)
+        if new_key in self.nodes:
+            # this genome already split this connection this generation
+            return False
+        conn.enabled = False
+        self.nodes[new_key] = NodeGene.random(new_key, config, rng)
+        first = (conn.in_node, new_key)
+        second = (new_key, conn.out_node)
+        self.connections[first] = ConnectionGene(
+            first, 1.0, True, tracker.connection_innovation(first)
+        )
+        self.connections[second] = ConnectionGene(
+            second, conn.weight, True, tracker.connection_innovation(second)
+        )
+        return True
+
+    def mutate_delete_node(
+        self, config: NEATConfig, rng: np.random.Generator
+    ) -> bool:
+        """Remove a random hidden node and its incident connections."""
+        output_keys = set(config.output_keys)
+        hidden = sorted(k for k in self.nodes if k not in output_keys)
+        if not hidden:
+            return False
+        victim = hidden[int(rng.integers(len(hidden)))]
+        del self.nodes[victim]
+        for key in [k for k in self.connections if victim in k]:
+            del self.connections[key]
+        return True
+
+    # ---------------------------------------------------------- distance
+    def distance(self, other: "Genome", config: NEATConfig) -> float:
+        """NEAT compatibility distance.
+
+        ``c1*E/N + c2*D/N + c3*W`` with excess/disjoint split by
+        innovation number and W the mean attribute distance of matching
+        genes (connections and nodes).
+        """
+        conn_term = self._connection_distance(other, config)
+        node_term = self._node_distance(other, config)
+        return conn_term + node_term
+
+    def _connection_distance(self, other: "Genome", config: NEATConfig) -> float:
+        mine = {c.innovation: c for c in self.connections.values()}
+        theirs = {c.innovation: c for c in other.connections.values()}
+        if not mine and not theirs:
+            return 0.0
+        max_mine = max(mine, default=-1)
+        max_theirs = max(theirs, default=-1)
+        boundary = min(max_mine, max_theirs)
+        matching, weight_diff = 0, 0.0
+        disjoint, excess = 0, 0
+        for innovation in mine.keys() | theirs.keys():
+            a, b = mine.get(innovation), theirs.get(innovation)
+            if a is not None and b is not None:
+                matching += 1
+                weight_diff += a.distance(b)
+            elif innovation <= boundary:
+                disjoint += 1
+            else:
+                excess += 1
+        n = max(len(mine), len(theirs), 1)
+        dist = (
+            config.excess_coefficient * excess / n
+            + config.disjoint_coefficient * disjoint / n
+        )
+        if matching:
+            dist += config.weight_coefficient * weight_diff / matching
+        return dist
+
+    def _node_distance(self, other: "Genome", config: NEATConfig) -> float:
+        if not self.nodes and not other.nodes:
+            return 0.0
+        matching, attr_diff = 0, 0.0
+        disjoint = 0
+        for key in self.nodes.keys() | other.nodes.keys():
+            a, b = self.nodes.get(key), other.nodes.get(key)
+            if a is not None and b is not None:
+                matching += 1
+                attr_diff += a.distance(b)
+            else:
+                disjoint += 1
+        n = max(len(self.nodes), len(other.nodes), 1)
+        dist = config.disjoint_coefficient * disjoint / n
+        if matching:
+            dist += config.weight_coefficient * attr_diff / matching
+        return dist
+
+    # ------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of the genome."""
+        return {
+            "key": self.key,
+            "fitness": self.fitness,
+            "nodes": [
+                {
+                    "key": n.key,
+                    "bias": n.bias,
+                    "activation": n.activation,
+                    "aggregation": n.aggregation,
+                }
+                for n in sorted(self.nodes.values(), key=lambda n: n.key)
+            ],
+            "connections": [
+                {
+                    "in": c.in_node,
+                    "out": c.out_node,
+                    "weight": c.weight,
+                    "enabled": c.enabled,
+                    "innovation": c.innovation,
+                }
+                for c in sorted(self.connections.values(), key=lambda c: c.key)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Genome":
+        genome = cls(key=data["key"], fitness=data.get("fitness"))
+        for n in data["nodes"]:
+            genome.nodes[n["key"]] = NodeGene(
+                n["key"], n["bias"], n["activation"], n["aggregation"]
+            )
+        for c in data["connections"]:
+            key = (c["in"], c["out"])
+            genome.connections[key] = ConnectionGene(
+                key, c["weight"], c["enabled"], c["innovation"]
+            )
+        return genome
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Genome(key={self.key}, nodes={len(self.nodes)}, "
+            f"connections={len(self.connections)}, fitness={self.fitness})"
+        )

@@ -1,0 +1,96 @@
+"""Global innovation bookkeeping.
+
+NEAT's historical markings: every structural novelty (a new connection
+between a particular node pair, or a node splitting a particular
+connection) gets a global number the first time it appears anywhere in
+the population, and the *same* number when it reappears.  This is what
+lets crossover align genes from different lineages.
+
+The tracker also hands out fresh hidden-node keys so two simultaneous
+"add node" mutations that split the same connection in the same
+generation produce the same node key — the classic NEAT convention.
+"""
+
+from __future__ import annotations
+
+__all__ = ["InnovationTracker"]
+
+
+class InnovationTracker:
+    """Assigns stable innovation numbers and hidden-node keys."""
+
+    def __init__(self, num_outputs: int):
+        # hidden node keys start after the output keys (0..num_outputs-1)
+        self._next_node_key = num_outputs
+        self._next_innovation = 0
+        self._connection_innovations: dict[tuple[int, int], int] = {}
+        self._split_nodes: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------- connections
+    def connection_innovation(self, key: tuple[int, int]) -> int:
+        """Innovation number for a connection gene ``(in, out)``.
+
+        Re-queries for the same pair return the same number, within and
+        across generations.
+        """
+        if key not in self._connection_innovations:
+            self._connection_innovations[key] = self._next_innovation
+            self._next_innovation += 1
+        return self._connection_innovations[key]
+
+    # ------------------------------------------------------------- nodes
+    def node_for_split(self, connection_key: tuple[int, int]) -> int:
+        """Hidden-node key created by splitting ``connection_key``.
+
+        The first split of a given connection mints a fresh key; later
+        splits of the same connection (by other genomes) reuse it.
+        """
+        if connection_key not in self._split_nodes:
+            self._split_nodes[connection_key] = self._next_node_key
+            self._next_node_key += 1
+        return self._split_nodes[connection_key]
+
+    def fresh_node_key(self) -> int:
+        """Mint a brand-new hidden-node key (used when cloning genomes
+        outside the usual split path, e.g. in tests)."""
+        key = self._next_node_key
+        self._next_node_key += 1
+        return key
+
+    # ----------------------------------------------------------- priming
+    def prime_from_genome(self, genome) -> None:
+        """Adopt an existing genome's historical markings.
+
+        Used when warm-starting a population from a deployed champion
+        (model-tuning, §I): the champion's innovation numbers and node
+        keys become part of this tracker's history so new mutations
+        never collide with them.
+        """
+        for conn in genome.connections.values():
+            self._connection_innovations[conn.key] = conn.innovation
+            self._next_innovation = max(
+                self._next_innovation, conn.innovation + 1
+            )
+        for node_key in genome.nodes:
+            self._next_node_key = max(self._next_node_key, node_key + 1)
+
+    # ------------------------------------------------------------ state
+    @property
+    def innovation_count(self) -> int:
+        return self._next_innovation
+
+    @property
+    def node_count(self) -> int:
+        return self._next_node_key
+
+    def reset_generation(self) -> None:
+        """Forget per-generation split reuse.
+
+        Classic NEAT only coalesces identical structural mutations within
+        one generation; across generations a new split of the same
+        connection is a new innovation.  We keep connection innovations
+        global (simpler and strictly more alignable) but refresh the
+        split-node table each generation so long runs do not silently
+        alias hidden nodes created hundreds of generations apart.
+        """
+        self._split_nodes.clear()

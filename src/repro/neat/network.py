@@ -1,0 +1,211 @@
+"""CreateNet: decode a genome into an executable feed-forward network.
+
+Table III: "Decode the genes to nodes and connections, solve the
+dependency among nodes, and formulate them into NN topology."
+
+The decoder
+
+1. prunes genes that cannot influence any output (dead branches evolve
+   constantly and evaluating them would waste both CPU and PE cycles);
+2. solves dependencies by assigning every node its ASAP *layer* — inputs
+   at layer 0, every other node one past its deepest ingress source;
+3. produces per-node evaluation plans (bias, activation, aggregation,
+   weighted ingress list).
+
+The same layering drives both the software forward pass
+(:meth:`FeedForwardNetwork.activate`) and the INAX compiler
+(:mod:`repro.inax.compiler`), which is what lets the tests require the
+simulated accelerator to agree with software bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.neat.activations import activations, aggregations
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+
+__all__ = ["FeedForwardNetwork", "NodeEval", "required_nodes"]
+
+
+def required_nodes(genome: Genome, config: NEATConfig) -> set[int]:
+    """Nodes that can influence an output (outputs always included).
+
+    Computed as backward reachability from the output set over enabled
+    connections.  Input keys are never included (they carry no genes).
+    """
+    reverse: dict[int, list[int]] = {}
+    for conn in genome.connections.values():
+        if conn.enabled:
+            reverse.setdefault(conn.out_node, []).append(conn.in_node)
+    required = set(config.output_keys)
+    frontier = list(config.output_keys)
+    while frontier:
+        node = frontier.pop()
+        for src in reverse.get(node, ()):
+            if src >= 0 and src not in required:
+                required.add(src)
+                frontier.append(src)
+    return required
+
+
+@dataclass(frozen=True)
+class NodeEval:
+    """Evaluation plan for one node."""
+
+    key: int
+    bias: float
+    activation: str
+    aggregation: str
+    #: (source key, weight) pairs; sources may be inputs or earlier nodes.
+    ingress: tuple[tuple[int, float], ...]
+
+    @property
+    def fan_in(self) -> int:
+        return len(self.ingress)
+
+
+class FeedForwardNetwork:
+    """A decoded irregular feed-forward network.
+
+    Attributes
+    ----------
+    layers:
+        Hidden/output node keys grouped by ASAP depth, in evaluation
+        order.  ``layers[0]`` are the nodes depending only on inputs.
+    node_evals:
+        ``key -> NodeEval`` for every evaluated node.
+    """
+
+    def __init__(
+        self,
+        input_keys: tuple[int, ...],
+        output_keys: tuple[int, ...],
+        layers: list[list[int]],
+        node_evals: dict[int, NodeEval],
+    ):
+        self.input_keys = input_keys
+        self.output_keys = output_keys
+        self.layers = layers
+        self.node_evals = node_evals
+        self._values: dict[int, float] = {}
+
+    # ------------------------------------------------------------ create
+    @classmethod
+    def create(cls, genome: Genome, config: NEATConfig) -> "FeedForwardNetwork":
+        """Decode ``genome`` (the paper's CreateNet)."""
+        required = required_nodes(genome, config)
+        input_keys = config.input_keys
+        input_set = set(input_keys)
+
+        ingress: dict[int, list[tuple[int, float]]] = {k: [] for k in required}
+        for conn in genome.connections.values():
+            if not conn.enabled or conn.out_node not in required:
+                continue
+            if conn.in_node in input_set or conn.in_node in required:
+                ingress[conn.out_node].append((conn.in_node, conn.weight))
+
+        # --- ASAP layering over the acyclic dependency graph ---
+        depth: dict[int, int] = {k: 0 for k in input_keys}
+        unassigned = set(required)
+        while unassigned:
+            progressed = False
+            for node in sorted(unassigned):
+                sources = [src for src, _ in ingress[node]]
+                if all(src in depth for src in sources):
+                    depth[node] = (
+                        1 + max((depth[src] for src in sources), default=0)
+                    )
+                    unassigned.discard(node)
+                    progressed = True
+            if not progressed:
+                raise ValueError(
+                    f"genome {genome.key} is not feed-forward: cycle among "
+                    f"nodes {sorted(unassigned)}"
+                )
+
+        max_depth = max((depth[k] for k in required), default=0)
+        layers: list[list[int]] = [[] for _ in range(max_depth)]
+        for node in sorted(required):
+            layers[depth[node] - 1].append(node)
+
+        node_evals = {}
+        for node in required:
+            gene = genome.nodes[node]
+            node_evals[node] = NodeEval(
+                key=node,
+                bias=gene.bias,
+                activation=gene.activation,
+                aggregation=gene.aggregation,
+                ingress=tuple(sorted(ingress[node])),
+            )
+        return cls(input_keys, config.output_keys, layers, node_evals)
+
+    # ---------------------------------------------------------- activate
+    def activate(self, inputs: np.ndarray) -> np.ndarray:
+        """Forward pass: inputs vector -> outputs vector."""
+        x = np.asarray(inputs, dtype=np.float64).reshape(-1)
+        if x.shape[0] != len(self.input_keys):
+            raise ValueError(
+                f"expected {len(self.input_keys)} inputs, got {x.shape[0]}"
+            )
+        values = self._values
+        values.clear()
+        for key, value in zip(self.input_keys, x):
+            values[key] = float(value)
+
+        for layer in self.layers:
+            for node in layer:
+                plan = self.node_evals[node]
+                weighted = [values[src] * w for src, w in plan.ingress]
+                agg = aggregations.get(plan.aggregation)(weighted)
+                act = activations.get(plan.activation)
+                values[node] = act(agg + plan.bias)
+
+        return np.array(
+            [values.get(k, 0.0) for k in self.output_keys], dtype=np.float64
+        )
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.activate(inputs)
+
+    # -------------------------------------------------------- statistics
+    @property
+    def num_evaluated_nodes(self) -> int:
+        return len(self.node_evals)
+
+    @property
+    def num_macs(self) -> int:
+        """Multiply-accumulate count of one forward pass."""
+        return sum(plan.fan_in for plan in self.node_evals.values())
+
+    @property
+    def layer_sizes(self) -> list[int]:
+        """Node count per layer, input layer included (Fig 4(f) stat)."""
+        return [len(self.input_keys)] + [len(layer) for layer in self.layers]
+
+    @property
+    def max_fan_in(self) -> int:
+        return max(
+            (plan.fan_in for plan in self.node_evals.values()), default=0
+        )
+
+    def dense_counterpart_connections(self) -> int:
+        """Connections of the dense MLP counterpart (Fig 4 footnote).
+
+        The counterpart has the same layer sizes with every adjacent pair
+        fully connected; the evolved network's density is its enabled
+        connection count divided by this (and can exceed 1.0 when many
+        links skip layers, as in Fig 4(c))."""
+        sizes = self.layer_sizes
+        return sum(a * b for a, b in zip(sizes, sizes[1:]))
+
+    def density(self) -> float:
+        """(# evolved connections) / (# dense-counterpart connections)."""
+        dense = self.dense_counterpart_connections()
+        if dense == 0:
+            return 0.0
+        return self.num_macs / dense

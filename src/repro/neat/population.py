@@ -1,0 +1,204 @@
+"""The NEAT generation loop (Fig 1(a)).
+
+``Population.run`` alternates the paper's two phases:
+
+* **Evaluate** — delegated to a caller-supplied function over the whole
+  population at once.  This is deliberate: E3 offloads exactly this
+  call to the INAX backend, while the SW-only baseline evaluates on the
+  CPU.  The population itself never knows which backend ran.
+* **Evolve** — speciate, cull stagnation, reproduce (elitism, crossover,
+  mutation); all on the "CPU" side of the co-design split.
+
+An optional profiler (anything with ``record(phase, seconds)``) receives
+the per-phase wall-clock times that regenerate Fig 1(b) and Fig 9(d).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.innovation import InnovationTracker
+from repro.neat.reproduction import Reproduction
+from repro.neat.species import SpeciesSet
+
+__all__ = ["Population", "GenerationStats", "PhaseRecorder"]
+
+EvaluateFn = Callable[[list[Genome]], None]
+
+
+class PhaseRecorder(Protocol):
+    """Minimal profiler interface the population reports into."""
+
+    def record(self, phase: str, seconds: float) -> None: ...
+
+
+class _NullRecorder:
+    def record(self, phase: str, seconds: float) -> None:
+        pass
+
+
+@dataclass
+class GenerationStats:
+    """Summary of one completed generation."""
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    num_species: int
+    best_genome_key: int
+    mean_nodes: float
+    mean_connections: float
+    population_size: int
+
+
+@dataclass
+class RunResult:
+    """Outcome of a :meth:`Population.run` call."""
+
+    best_genome: Genome
+    generations: int
+    solved: bool
+    history: list[GenerationStats] = field(default_factory=list)
+
+
+class Population:
+    """A NEAT population evolving against a fitness function."""
+
+    def __init__(
+        self,
+        config: NEATConfig,
+        seed: int | None = None,
+        profiler: PhaseRecorder | None = None,
+        seed_genome: Genome | None = None,
+    ):
+        """``seed_genome`` warm-starts the population from a deployed
+        champion (the model-tuning use-case, §I) instead of from the
+        minimal two-layer topology."""
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+        self.tracker = InnovationTracker(config.num_outputs)
+        self.reproduction = Reproduction(config, self.tracker)
+        self.species_set = SpeciesSet(config)
+        self.generation = 0
+        self.profiler: PhaseRecorder = profiler or _NullRecorder()
+        self.best_genome: Genome | None = None
+        self.history: list[GenerationStats] = []
+        # filled lazily to avoid a circular import at module load
+        from repro.neat.reporters import ReporterSet
+
+        self.reporters = ReporterSet()
+
+        if seed_genome is not None:
+            self.tracker.prime_from_genome(seed_genome)
+            self.population = self.reproduction.create_population_from_seed(
+                seed_genome, self.rng
+            )
+        else:
+            self.population = self.reproduction.create_initial_population(
+                self.rng
+            )
+        self.species_set.speciate(self.population, self.generation, self.rng)
+
+    # ----------------------------------------------------------- running
+    def run(
+        self,
+        evaluate: EvaluateFn,
+        max_generations: int | None = None,
+        fitness_threshold: float | None = None,
+    ) -> RunResult:
+        """Run evaluate/evolve loops until solved or out of generations."""
+        limit = (
+            max_generations
+            if max_generations is not None
+            else self.config.max_generations
+        )
+        threshold = (
+            fitness_threshold
+            if fitness_threshold is not None
+            else self.config.fitness_threshold
+        )
+        solved = False
+        for _ in range(limit):
+            best = self.advance(evaluate)
+            if threshold is not None and best.fitness is not None:
+                if best.fitness >= threshold:
+                    solved = True
+                    break
+        assert self.best_genome is not None
+        return RunResult(
+            best_genome=self.best_genome,
+            generations=self.generation,
+            solved=solved,
+            history=list(self.history),
+        )
+
+    def advance(self, evaluate: EvaluateFn) -> Genome:
+        """Run one evaluate + evolve cycle; returns the generation's best."""
+        t0 = time.perf_counter()
+        evaluate(self.population)
+        self.profiler.record("evaluate", time.perf_counter() - t0)
+
+        missing = [g.key for g in self.population if g.fitness is None]
+        if missing:
+            raise RuntimeError(
+                f"evaluate() left genomes without fitness: {missing[:5]}"
+            )
+
+        best = max(self.population, key=lambda g: g.fitness)  # type: ignore[arg-type]
+        if (
+            self.best_genome is None
+            or self.best_genome.fitness is None
+            or best.fitness > self.best_genome.fitness  # type: ignore[operator]
+        ):
+            self.best_genome = best.copy()
+
+        self._record_stats(best)
+        self._evolve()
+        return best
+
+    # ------------------------------------------------------------ evolve
+    def _evolve(self) -> None:
+        rng = self.rng
+
+        t0 = time.perf_counter()
+        self.species_set.update_fitnesses(self.generation)
+        self.species_set.remove_stagnant(self.generation)
+        self.profiler.record("stagnation", time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        self.population = self.reproduction.reproduce(
+            self.species_set, self.generation, rng
+        )
+        self.profiler.record("reproduce", time.perf_counter() - t0)
+
+        self.generation += 1
+        self.tracker.reset_generation()
+
+        t0 = time.perf_counter()
+        self.species_set.speciate(self.population, self.generation, rng)
+        self.profiler.record("speciate", time.perf_counter() - t0)
+
+    def _record_stats(self, best: Genome) -> None:
+        fitnesses = [g.fitness for g in self.population if g.fitness is not None]
+        stats = GenerationStats(
+            generation=self.generation,
+            best_fitness=float(best.fitness),  # type: ignore[arg-type]
+            mean_fitness=float(np.mean(fitnesses)) if fitnesses else 0.0,
+            num_species=len(self.species_set),
+            best_genome_key=best.key,
+            mean_nodes=float(
+                np.mean([g.num_nodes(self.config) for g in self.population])
+            ),
+            mean_connections=float(
+                np.mean([g.num_enabled_connections for g in self.population])
+            ),
+            population_size=len(self.population),
+        )
+        self.history.append(stats)
+        self.reporters.on_generation(stats)

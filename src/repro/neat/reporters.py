@@ -1,0 +1,115 @@
+"""Run reporters: observability for long evolution runs.
+
+A reporter receives a callback after every completed generation.  The
+platform attaches whichever reporters the deployment wants — a console
+line per generation for interactive runs, a CSV log for later analysis
+(the Fig 2/4 trace machinery uses the same records).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Protocol
+
+from repro.neat.population import GenerationStats
+
+__all__ = ["Reporter", "ConsoleReporter", "CSVReporter", "ReporterSet"]
+
+
+class Reporter(Protocol):
+    """Anything that wants per-generation notifications."""
+
+    def on_generation(self, stats: GenerationStats) -> None: ...
+
+
+class ConsoleReporter:
+    """One status line per generation, neat-python style."""
+
+    def __init__(self, stream=None, every: int = 1):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self._stream = stream
+        self._every = every
+
+    def on_generation(self, stats: GenerationStats) -> None:
+        if stats.generation % self._every:
+            return
+        line = (
+            f"gen {stats.generation:4d}  "
+            f"best {stats.best_fitness:10.2f}  "
+            f"mean {stats.mean_fitness:10.2f}  "
+            f"species {stats.num_species:3d}  "
+            f"size {stats.mean_nodes:5.1f}n/{stats.mean_connections:5.1f}c"
+        )
+        print(line, file=self._stream)
+
+
+class CSVReporter:
+    """Appends one CSV row per generation to a stream or path."""
+
+    FIELDS = (
+        "generation",
+        "best_fitness",
+        "mean_fitness",
+        "num_species",
+        "mean_nodes",
+        "mean_connections",
+        "population_size",
+    )
+
+    def __init__(self, target):
+        """``target`` is a file path (str/Path) or a text stream."""
+        if isinstance(target, (str,)) or hasattr(target, "__fspath__"):
+            self._stream = open(target, "w", newline="")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self._writer = csv.DictWriter(self._stream, fieldnames=self.FIELDS)
+        self._writer.writeheader()
+
+    def on_generation(self, stats: GenerationStats) -> None:
+        self._writer.writerow(
+            {field: getattr(stats, field) for field in self.FIELDS}
+        )
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "CSVReporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ReporterSet:
+    """Fans one generation event out to many reporters."""
+
+    def __init__(self, reporters: list[Reporter] | None = None):
+        self._reporters: list[Reporter] = list(reporters or [])
+
+    def add(self, reporter: Reporter) -> None:
+        self._reporters.append(reporter)
+
+    def remove(self, reporter: Reporter) -> None:
+        self._reporters.remove(reporter)
+
+    def on_generation(self, stats: GenerationStats) -> None:
+        for reporter in self._reporters:
+            reporter.on_generation(stats)
+
+    def __len__(self) -> int:
+        return len(self._reporters)
+
+
+def render_csv(history: list[GenerationStats]) -> str:
+    """Render a finished run's history as a CSV string."""
+    buffer = io.StringIO()
+    reporter = CSVReporter(buffer)
+    for stats in history:
+        reporter.on_generation(stats)
+    return buffer.getvalue()

@@ -1,0 +1,196 @@
+"""Reproduction: elitism + offspring allocation ("Evolve" in Table III).
+
+Each species receives a share of the next generation proportional to its
+fitness-shared (adjusted) fitness.  Within a species, elites are copied
+unchanged, the bottom of the ranking is culled by the survival
+threshold, and the remainder of the quota is filled with children made
+by crossover (probability ``crossover_rate``) or mutation-only cloning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neat.config import NEATConfig
+from repro.neat.crossover import crossover
+from repro.neat.genome import Genome
+from repro.neat.innovation import InnovationTracker
+from repro.neat.species import SpeciesSet
+
+__all__ = ["Reproduction", "allocate_offspring"]
+
+
+def allocate_offspring(
+    adjusted_fitnesses: list[float],
+    min_sizes: list[int],
+    total: int,
+) -> list[int]:
+    """Split ``total`` offspring across species.
+
+    Allocation is proportional to each species' adjusted fitness (shifted
+    to be non-negative), then clamped below by ``min_sizes`` and adjusted
+    to sum exactly to ``total``.  Pure bookkeeping — kept separate so the
+    arithmetic is property-testable.
+    """
+    if len(adjusted_fitnesses) != len(min_sizes):
+        raise ValueError("adjusted_fitnesses and min_sizes must align")
+    if not adjusted_fitnesses:
+        return []
+    if total < sum(min_sizes):
+        raise ValueError(
+            f"cannot allocate {total} offspring with minimum sizes {min_sizes}"
+        )
+    lo = min(adjusted_fitnesses)
+    shifted = [f - lo + 1e-9 for f in adjusted_fitnesses]
+    norm = sum(shifted)
+    raw = [total * s / norm for s in shifted]
+    sizes = [max(m, int(round(r))) for m, r in zip(min_sizes, raw)]
+
+    # repair rounding drift while respecting the minimums
+    diff = total - sum(sizes)
+    order = sorted(range(len(sizes)), key=lambda i: raw[i], reverse=True)
+    idx = 0
+    while diff != 0:
+        i = order[idx % len(order)]
+        if diff > 0:
+            sizes[i] += 1
+            diff -= 1
+        elif sizes[i] > min_sizes[i]:
+            sizes[i] -= 1
+            diff += 1
+        idx += 1
+        if idx > 10 * total + 100:  # pragma: no cover - defensive
+            raise RuntimeError("offspring allocation failed to converge")
+    return sizes
+
+
+class Reproduction:
+    """Produces the next generation from the current species partition."""
+
+    def __init__(self, config: NEATConfig, tracker: InnovationTracker):
+        self._config = config
+        self._tracker = tracker
+        self._next_genome_key = 0
+
+    def fresh_key(self) -> int:
+        key = self._next_genome_key
+        self._next_genome_key += 1
+        return key
+
+    # --------------------------------------------------------- initial pop
+    def create_initial_population(
+        self, rng: np.random.Generator
+    ) -> list[Genome]:
+        return [
+            Genome.initial(self.fresh_key(), self._config, self._tracker, rng)
+            for _ in range(self._config.population_size)
+        ]
+
+    def create_population_from_seed(
+        self, seed_genome: Genome, rng: np.random.Generator
+    ) -> list[Genome]:
+        """Warm-start population for the model-tuning scenario (§I).
+
+        The deployed champion enters unchanged; the rest of the
+        population are mutated copies, so adaptation to the new
+        environment starts from the trained structure instead of from
+        scratch (the paper's "adequate model trained on a generic
+        environment, continuously trained on the target environment").
+        """
+        population = [seed_genome.copy(new_key=self.fresh_key())]
+        population[0].fitness = None
+        for _ in range(self._config.population_size - 1):
+            clone = seed_genome.copy(new_key=self.fresh_key())
+            clone.fitness = None
+            clone.mutate(self._config, self._tracker, rng)
+            population.append(clone)
+        return population
+
+    # ---------------------------------------------------------- reproduce
+    def reproduce(
+        self,
+        species_set: SpeciesSet,
+        generation: int,
+        rng: np.random.Generator,
+    ) -> list[Genome]:
+        """Build the next generation's population."""
+        config = self._config
+        species_list = sorted(species_set.species.values(), key=lambda s: s.key)
+        if not species_list:
+            # total extinction: restart from scratch (NEAT's reset rule)
+            return self.create_initial_population(rng)
+
+        min_size = max(config.elitism, 1)
+        sizes = allocate_offspring(
+            [s.adjusted_fitness_sum for s in species_list],
+            [min_size] * len(species_list),
+            max(config.population_size, min_size * len(species_list)),
+        )
+
+        # survivors per species, plus the cross-species parent pool for
+        # interspecies mating (the classic NEAT 0.1% event)
+        survivor_pools: list[list[Genome]] = []
+        for species in species_list:
+            ranked = sorted(
+                species.members,
+                key=lambda g: g.fitness if g.fitness is not None else float("-inf"),
+                reverse=True,
+            )
+            cutoff = max(1, int(np.ceil(config.survival_threshold * len(ranked))))
+            survivor_pools.append(ranked[:cutoff])
+        all_survivors = [g for pool in survivor_pools for g in pool]
+
+        next_population: list[Genome] = []
+        for species, quota, parents in zip(
+            species_list, sizes, survivor_pools
+        ):
+            ranked = sorted(
+                species.members,
+                key=lambda g: g.fitness if g.fitness is not None else float("-inf"),
+                reverse=True,
+            )
+            # elites survive unchanged
+            for elite in ranked[: min(config.elitism, quota)]:
+                next_population.append(elite.copy(new_key=self.fresh_key()))
+            remaining = quota - min(config.elitism, quota)
+            if remaining <= 0:
+                continue
+            for _ in range(remaining):
+                next_population.append(
+                    self._make_child(parents, all_survivors, rng)
+                )
+        return next_population
+
+    def _make_child(
+        self,
+        parents: list[Genome],
+        all_survivors: list[Genome],
+        rng: np.random.Generator,
+    ) -> Genome:
+        config = self._config
+        can_cross = len(parents) >= 2 or (
+            len(parents) >= 1 and len(all_survivors) >= 2
+        )
+        if can_cross and rng.random() < config.crossover_rate:
+            first = parents[int(rng.integers(len(parents)))]
+            if (
+                len(all_survivors) > len(parents)
+                and rng.random() < config.interspecies_crossover_rate
+            ):
+                # interspecies mating: second parent from anywhere
+                pool = [g for g in all_survivors if g is not first]
+            else:
+                pool = [g for g in parents if g is not first]
+            if pool:
+                second = pool[int(rng.integers(len(pool)))]
+                child = crossover(
+                    first, second, self.fresh_key(), config, rng
+                )
+            else:
+                child = first.copy(new_key=self.fresh_key())
+        else:
+            parent = parents[int(rng.integers(len(parents)))]
+            child = parent.copy(new_key=self.fresh_key())
+        child.fitness = None
+        child.mutate(config, self._tracker, rng)
+        return child

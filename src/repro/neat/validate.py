@@ -1,0 +1,101 @@
+"""Genome validation: the structural invariants every genome must hold.
+
+Used defensively where genomes cross trust boundaries — checkpoint
+loads, hand-built genomes in tests, external tooling — and as the
+executable statement of what "a valid NEAT genome" means here:
+
+1. all output nodes exist (keys ``0..num_outputs-1``);
+2. every connection endpoint resolves (inputs by key range, others by
+   node gene);
+3. the enabled-connection graph is acyclic (feed-forward);
+4. innovation numbers are unique within the genome;
+5. weights and biases are finite and within the configured bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+
+__all__ = ["GenomeValidationError", "validate_genome"]
+
+
+class GenomeValidationError(ValueError):
+    """A genome violates a structural invariant."""
+
+
+def validate_genome(genome: Genome, config: NEATConfig) -> None:
+    """Raise :class:`GenomeValidationError` on the first violation."""
+    problems = list(iter_violations(genome, config))
+    if problems:
+        raise GenomeValidationError(
+            f"genome {genome.key}: " + "; ".join(problems[:5])
+        )
+
+
+def iter_violations(genome: Genome, config: NEATConfig):
+    """Yield human-readable descriptions of every violated invariant."""
+    # 1. outputs present
+    for key in config.output_keys:
+        if key not in genome.nodes:
+            yield f"missing output node {key}"
+
+    input_set = set(config.input_keys)
+
+    # 2. endpoints resolve; no connection *into* an input
+    for (src, dst), conn in genome.connections.items():
+        if conn.key != (src, dst):
+            yield f"connection stored under wrong key {(src, dst)}"
+        if src < 0 and src not in input_set:
+            yield f"connection {conn.key} reads unknown input {src}"
+        if src >= 0 and src not in genome.nodes:
+            yield f"connection {conn.key} reads missing node {src}"
+        if dst < 0:
+            yield f"connection {conn.key} writes into input {dst}"
+        elif dst not in genome.nodes:
+            yield f"connection {conn.key} writes missing node {dst}"
+
+    # 3. acyclicity over enabled connections
+    adjacency: dict[int, list[int]] = {}
+    for (src, dst), conn in genome.connections.items():
+        if conn.enabled:
+            adjacency.setdefault(src, []).append(dst)
+    state: dict[int, int] = {}  # 1 = visiting, 2 = done
+
+    def has_cycle(node: int) -> bool:
+        state[node] = 1
+        for nxt in adjacency.get(node, ()):
+            mark = state.get(nxt)
+            if mark == 1:
+                return True
+            if mark is None and has_cycle(nxt):
+                return True
+        state[node] = 2
+        return False
+
+    for start in list(adjacency):
+        if state.get(start) is None and has_cycle(start):
+            yield "enabled-connection graph contains a cycle"
+            break
+
+    # 4. innovation uniqueness
+    innovations = [c.innovation for c in genome.connections.values()]
+    if len(innovations) != len(set(innovations)):
+        yield "duplicate innovation numbers"
+
+    # 5. finite, bounded parameters
+    for key, node in genome.nodes.items():
+        if not math.isfinite(node.bias):
+            yield f"node {key} has non-finite bias"
+        elif not config.bias_min <= node.bias <= config.bias_max:
+            yield f"node {key} bias {node.bias} outside configured bounds"
+    for conn in genome.connections.values():
+        if not math.isfinite(conn.weight):
+            yield f"connection {conn.key} has non-finite weight"
+        elif not config.weight_min <= conn.weight <= config.weight_max:
+            yield (
+                f"connection {conn.key} weight {conn.weight} outside "
+                "configured bounds"
+            )

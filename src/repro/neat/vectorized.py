@@ -1,0 +1,117 @@
+"""Vectorized batch evaluation of decoded networks.
+
+The interpreted per-node forward pass (:class:`FeedForwardNetwork`) is
+the *reference* — INAX's PEs match it bit-for-bit.  For software-side
+throughput (e.g. evaluating one network on a batch of observations, or
+Monte-Carlo fitness over many rollouts), this module compiles the same
+layered plan into per-layer NumPy matrices:
+
+* each layer becomes a dense ``(fan_out, num_sources)`` weight matrix
+  over the *currently known values* (inputs + all earlier nodes — the
+  value-buffer view, so skip connections cost nothing extra);
+* activation functions apply vectorized via a NumPy registry mirroring
+  :mod:`repro.neat.activations`.
+
+Only ``sum`` aggregation is supported (the default and the only one
+NEAT's evolved networks use here); anything else falls back to the
+reference implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neat.network import FeedForwardNetwork
+
+__all__ = ["VectorizedNetwork", "vectorize"]
+
+# NumPy twins of repro.neat.activations (same clamping, same constants)
+_VECTOR_ACTIVATIONS = {
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-np.clip(4.9 * x, -60, 60))),
+    "tanh": lambda x: np.tanh(np.clip(2.5 * x, -60, 60)),
+    "relu": lambda x: np.maximum(x, 0.0),
+    "leaky_relu": lambda x: np.where(x > 0, x, 0.005 * x),
+    "identity": lambda x: x,
+    "mlp_tanh": np.tanh,
+    "clamped": lambda x: np.clip(x, -1.0, 1.0),
+    "gauss": lambda x: np.exp(-5.0 * np.clip(x, -3.4, 3.4) ** 2),
+    "sin": lambda x: np.sin(np.clip(5.0 * x, -60, 60)),
+    "abs": np.abs,
+    "step": lambda x: (x > 0).astype(np.float64),
+}
+
+
+class VectorizedNetwork:
+    """A compiled batch evaluator for one decoded network."""
+
+    def __init__(self, net: FeedForwardNetwork):
+        for plan in net.node_evals.values():
+            if plan.aggregation != "sum":
+                raise ValueError(
+                    f"vectorization supports 'sum' aggregation only; node "
+                    f"{plan.key} uses {plan.aggregation!r}"
+                )
+            if plan.activation not in _VECTOR_ACTIVATIONS:
+                raise ValueError(
+                    f"no vectorized activation {plan.activation!r}"
+                )
+        self._reference = net
+        self.input_keys = net.input_keys
+        self.output_keys = net.output_keys
+
+        # value-buffer slot index for every key, inputs first
+        index: dict[int, int] = {
+            key: i for i, key in enumerate(net.input_keys)
+        }
+        self._layers: list[tuple[np.ndarray, np.ndarray, list, list[int]]] = []
+        for layer in net.layers:
+            num_known = len(index)
+            weights = np.zeros((len(layer), num_known))
+            biases = np.empty(len(layer))
+            activations: list = []
+            for row, key in enumerate(layer):
+                plan = net.node_evals[key]
+                biases[row] = plan.bias
+                activations.append(_VECTOR_ACTIVATIONS[plan.activation])
+                for src, w in plan.ingress:
+                    weights[row, index[src]] = w
+            slots = []
+            for key in layer:
+                index[key] = len(index)
+                slots.append(index[key])
+            self._layers.append((weights, biases, activations, slots))
+        self._num_slots = len(index)
+        self._output_slots = [index.get(k, -1) for k in net.output_keys]
+
+    # ---------------------------------------------------------- evaluate
+    def activate_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """(batch, num_inputs) -> (batch, num_outputs)."""
+        x = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        if x.shape[1] != len(self.input_keys):
+            raise ValueError(
+                f"expected {len(self.input_keys)} inputs, got {x.shape[1]}"
+            )
+        batch = x.shape[0]
+        values = np.zeros((batch, self._num_slots))
+        values[:, : x.shape[1]] = x
+        for weights, biases, activations, slots in self._layers:
+            pre = values[:, : weights.shape[1]] @ weights.T + biases
+            for column, activation in enumerate(activations):
+                values[:, slots[column]] = activation(pre[:, column])
+        out = np.zeros((batch, len(self.output_keys)))
+        for column, slot in enumerate(self._output_slots):
+            if slot >= 0:
+                out[:, column] = values[:, slot]
+        return out
+
+    def activate(self, inputs: np.ndarray) -> np.ndarray:
+        """Single-observation convenience, matching the reference API."""
+        return self.activate_batch(np.asarray(inputs).reshape(1, -1))[0]
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.activate(inputs)
+
+
+def vectorize(net: FeedForwardNetwork) -> VectorizedNetwork:
+    """Compile a decoded network for batch evaluation."""
+    return VectorizedNetwork(net)

@@ -1,0 +1,59 @@
+"""RL baselines: A2C and PPO2 on a from-scratch NumPy autodiff substrate.
+
+These exist because the paper's motivation (§III) is a head-to-head
+profiling of NEAT against gradient-based RL: convergence traces (Fig 2),
+forward-vs-training time splits (Fig 3), op/memory overhead (Table IV),
+and network complexity (Table V).
+"""
+
+from repro.rl.a2c import A2C
+from repro.rl.dqn import DQN, DQNReport
+from repro.rl.base import RLTrainer, TimeBreakdown, TrainReport
+from repro.rl.buffers import RolloutBuffer, compute_gae
+from repro.rl.nn import MLP, Adam, mlp_op_counts
+from repro.rl.policies import (
+    LARGE_HIDDEN,
+    SMALL_HIDDEN,
+    ActorCriticPolicy,
+    CategoricalPolicy,
+    GaussianPolicy,
+    make_policy,
+)
+from repro.rl.ppo import PPO
+from repro.rl.replay import ReplayBuffer as ExperienceReplayBuffer
+from repro.rl.profiling import (
+    AlgorithmOverhead,
+    ea_overhead,
+    genome_memory_bytes,
+    mlp_complexity,
+    neat_overhead,
+    rl_overhead,
+)
+
+__all__ = [
+    "A2C",
+    "Adam",
+    "ActorCriticPolicy",
+    "AlgorithmOverhead",
+    "CategoricalPolicy",
+    "DQN",
+    "DQNReport",
+    "ExperienceReplayBuffer",
+    "GaussianPolicy",
+    "LARGE_HIDDEN",
+    "MLP",
+    "PPO",
+    "RLTrainer",
+    "RolloutBuffer",
+    "SMALL_HIDDEN",
+    "TimeBreakdown",
+    "TrainReport",
+    "compute_gae",
+    "ea_overhead",
+    "genome_memory_bytes",
+    "make_policy",
+    "mlp_complexity",
+    "mlp_op_counts",
+    "neat_overhead",
+    "rl_overhead",
+]

@@ -1,0 +1,67 @@
+"""A2C — Advantage Actor-Critic [28], one of the paper's two RL baselines.
+
+Synchronous single-worker A2C: after each fixed-horizon rollout the
+policy gradient ``-E[A * log pi(a|s)]`` plus entropy bonus and the value
+MSE are backpropagated once through the actor and critic MLPs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.envs.base import Environment
+from repro.rl.base import RLTrainer
+from repro.rl.nn import Adam
+from repro.rl.policies import ActorCriticPolicy, SMALL_HIDDEN, make_policy
+
+__all__ = ["A2C"]
+
+
+class A2C(RLTrainer):
+    """Advantage Actor-Critic with GAE and entropy regularization."""
+
+    n_steps = 8
+
+    def __init__(
+        self,
+        env: Environment,
+        policy: ActorCriticPolicy | None = None,
+        hidden: tuple[int, ...] = SMALL_HIDDEN,
+        lr: float = 7e-4,
+        gamma: float = 0.99,
+        gae_lambda: float = 1.0,
+        vf_coef: float = 0.5,
+        ent_coef: float = 0.01,
+        seed: int | None = None,
+    ):
+        rng = np.random.default_rng(seed)
+        policy = policy or make_policy(env, hidden=hidden, rng=rng)
+        super().__init__(
+            env,
+            policy,
+            gamma=gamma,
+            gae_lambda=gae_lambda,
+            vf_coef=vf_coef,
+            ent_coef=ent_coef,
+            seed=seed,
+        )
+        self.optimizer = Adam(policy.parameters, lr=lr)
+
+    def update(self) -> dict[str, float]:
+        obs, actions, _, advantages, returns = self.buffer.batch()
+        n = len(returns)
+        # dLoss/dlogp for L = -mean(A * logp)
+        dlogp = -advantages / n
+        grads = self._actor_critic_grads(
+            obs,
+            actions,
+            dlogp,
+            returns,
+            entropy_grad_per_sample=-self.ent_coef / n,
+        )
+        self.optimizer.step(grads)
+        return {
+            "policy_loss_grad_norm": float(
+                np.sqrt(sum(np.sum(g * g) for g in grads))
+            )
+        }

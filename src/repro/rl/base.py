@@ -1,0 +1,233 @@
+"""Shared training loop for the RL baselines.
+
+The loop structure mirrors stable-baselines: collect a fixed-horizon
+rollout (the *Forward*/predict part of Fig 3), then run the algorithm's
+update (*Training*: backprop + rule updates).  Both phases are timed
+separately, which is exactly the instrumentation behind Fig 3's pies and
+the §III observation that Training takes ~60% of RL runtime.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.envs.base import Environment
+from repro.envs.rollout import evaluate_policy
+from repro.envs.spaces import Box
+from repro.rl.buffers import RolloutBuffer
+from repro.rl.policies import ActorCriticPolicy, GaussianPolicy
+
+__all__ = ["RLTrainer", "TrainReport", "TimeBreakdown"]
+
+
+@dataclass
+class TimeBreakdown:
+    """Seconds spent per phase (Fig 3 instrumentation)."""
+
+    forward: float = 0.0
+    env: float = 0.0
+    training: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.forward + self.env + self.training
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total or 1.0
+        return {
+            "forward": self.forward / total,
+            "env": self.env / total,
+            "training": self.training / total,
+        }
+
+
+@dataclass
+class TrainReport:
+    """Outcome of a training run."""
+
+    timesteps: int
+    updates: int
+    solved: bool
+    best_fitness: float
+    #: (wall-clock seconds, greedy fitness) pairs — the Fig 2 trace.
+    fitness_trace: list[tuple[float, float]] = field(default_factory=list)
+    times: TimeBreakdown = field(default_factory=TimeBreakdown)
+
+
+class RLTrainer:
+    """Base on-policy trainer; subclasses implement :meth:`update`."""
+
+    #: rollout horizon per update
+    n_steps: int = 8
+
+    def __init__(
+        self,
+        env: Environment,
+        policy: ActorCriticPolicy,
+        gamma: float = 0.99,
+        gae_lambda: float = 0.95,
+        vf_coef: float = 0.5,
+        ent_coef: float = 0.01,
+        seed: int | None = None,
+    ):
+        self.env = env
+        self.policy = policy
+        self.gamma = gamma
+        self.gae_lambda = gae_lambda
+        self.vf_coef = vf_coef
+        self.ent_coef = ent_coef
+        self.rng = np.random.default_rng(seed)
+        self.times = TimeBreakdown()
+        action_shape = (
+            (policy.action_dim,)
+            if isinstance(policy, GaussianPolicy)
+            else ()
+        )
+        self.buffer = RolloutBuffer(
+            obs_dim=env.num_inputs,
+            action_shape=action_shape,
+            capacity=self.n_steps,
+        )
+        self._obs = self.env.reset(seed=seed)
+
+    # ------------------------------------------------------------ update
+    def update(self) -> dict[str, float]:
+        """One algorithm-specific parameter update over the buffer."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- learn
+    def learn(
+        self,
+        total_timesteps: int,
+        fitness_threshold: float | None = None,
+        eval_every_updates: int = 20,
+        eval_episodes: int = 3,
+        time_limit: float | None = None,
+    ) -> TrainReport:
+        """Train until the timestep budget, threshold, or time limit."""
+        threshold = (
+            fitness_threshold
+            if fitness_threshold is not None
+            else self.env.reward_threshold
+        )
+        trace: list[tuple[float, float]] = []
+        best = float("-inf")
+        solved = False
+        steps_done = 0
+        updates = 0
+        start = time.perf_counter()
+
+        while steps_done < total_timesteps:
+            steps_done += self._collect_rollout()
+            t0 = time.perf_counter()
+            self.update()
+            self.times.training += time.perf_counter() - t0
+            updates += 1
+
+            elapsed = time.perf_counter() - start
+            if updates % eval_every_updates == 0:
+                fitness = self._evaluate(eval_episodes)
+                trace.append((elapsed, fitness))
+                best = max(best, fitness)
+                if threshold is not None and fitness >= threshold:
+                    solved = True
+                    break
+            if time_limit is not None and elapsed > time_limit:
+                break
+
+        if not trace:
+            fitness = self._evaluate(eval_episodes)
+            trace.append((time.perf_counter() - start, fitness))
+            best = max(best, fitness)
+            solved = solved or (threshold is not None and fitness >= threshold)
+        return TrainReport(
+            timesteps=steps_done,
+            updates=updates,
+            solved=solved,
+            best_fitness=best,
+            fitness_trace=trace,
+            times=self.times,
+        )
+
+    # ----------------------------------------------------------- rollout
+    def _collect_rollout(self) -> int:
+        self.buffer.reset()
+        policy = self.policy
+        while not self.buffer.full:
+            t0 = time.perf_counter()
+            obs_row = self._obs[None, :]
+            action, logp = policy.sample(obs_row)
+            value = policy.value(obs_row)
+            self.times.forward += time.perf_counter() - t0
+
+            env_action = self._to_env_action(action[0])
+            t0 = time.perf_counter()
+            obs, reward, done, _ = self.env.step(env_action)
+            self.times.env += time.perf_counter() - t0
+
+            self.buffer.add(
+                self._obs, action[0], reward, done, float(value[0]), float(logp[0])
+            )
+            self._obs = self.env.reset() if done else obs
+
+        t0 = time.perf_counter()
+        last_value = float(self.policy.value(self._obs[None, :])[0])
+        self.times.forward += time.perf_counter() - t0
+        self.buffer.finalize(
+            last_value, gamma=self.gamma, lam=self.gae_lambda
+        )
+        return len(self.buffer)
+
+    def _to_env_action(self, action: np.ndarray):
+        space = self.env.action_space
+        if isinstance(space, Box):
+            return space.clip(np.asarray(action).reshape(space.shape))
+        return int(action)
+
+    def _evaluate(self, episodes: int) -> float:
+        if isinstance(self.policy, GaussianPolicy):
+            # greedy mean, squashed by decode_action's tanh; wrap so the
+            # evaluation path matches NEAT's for a fair Fig 2 comparison
+            actor = self.policy.actor
+
+            def raw_policy(obs: np.ndarray) -> np.ndarray:
+                # decode_action tanh-squashes; pre-invert by passing the
+                # raw mean (bounded envs clip anyway)
+                return actor.predict(obs[None, :]).reshape(-1)
+
+        else:
+            raw_policy = self.policy.greedy_policy()
+        eval_env = type(self.env)(seed=12345)
+        return evaluate_policy(eval_env, raw_policy, episodes=episodes)
+
+    # ------------------------------------------------- gradient plumbing
+    def _actor_critic_grads(
+        self,
+        obs: np.ndarray,
+        actions: np.ndarray,
+        dlogp: np.ndarray,
+        returns: np.ndarray,
+        entropy_grad_per_sample: float,
+    ) -> list[np.ndarray]:
+        """Backprop policy + value losses; returns grads aligned with
+        ``policy.parameters``."""
+        policy = self.policy
+        _, _, cache, actor_out = policy.log_prob_entropy(obs, actions)
+        grad_actor_out = policy.grad_wrt_actor_output(
+            actor_out, actions, dlogp, entropy_grad_per_sample
+        )
+        actor_grads, _ = policy.actor.backward(cache, grad_actor_out)
+
+        values, vcache = policy.critic.forward(obs)
+        values = values.reshape(-1)
+        n = len(returns)
+        dvalue = (self.vf_coef * (values - returns) / n)[:, None]
+        critic_grads, _ = policy.critic.backward(vcache, dvalue)
+
+        grads = actor_grads + critic_grads
+        if isinstance(policy, GaussianPolicy):
+            grads = grads + [policy.consume_log_std_grad()]
+        return grads

@@ -1,0 +1,169 @@
+"""Rollout storage and advantage estimation for the RL baselines.
+
+The paper (§II-B) points out that DRL's "large replay buffer, which
+stores the experiences along the episodes" intensifies its memory
+requirement — :meth:`RolloutBuffer.memory_bytes` is what the Table IV
+bench reports for the RL column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["RolloutBuffer", "compute_gae"]
+
+
+def compute_gae(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    dones: np.ndarray,
+    last_value: float,
+    gamma: float = 0.99,
+    lam: float = 0.95,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generalized Advantage Estimation.
+
+    Returns (advantages, returns) where ``returns = advantages + values``.
+    ``lam=1.0`` reduces to Monte-Carlo advantages; ``lam=0`` to TD(0).
+    """
+    n = len(rewards)
+    advantages = np.zeros(n)
+    gae = 0.0
+    for t in range(n - 1, -1, -1):
+        next_value = last_value if t == n - 1 else values[t + 1]
+        non_terminal = 1.0 - float(dones[t])
+        delta = rewards[t] + gamma * next_value * non_terminal - values[t]
+        gae = delta + gamma * lam * non_terminal * gae
+        advantages[t] = gae
+    return advantages, advantages + values
+
+
+@dataclass
+class RolloutBuffer:
+    """Fixed-horizon on-policy rollout storage."""
+
+    obs_dim: int
+    action_shape: tuple[int, ...]
+    capacity: int
+    observations: np.ndarray = field(init=False)
+    actions: np.ndarray = field(init=False)
+    rewards: np.ndarray = field(init=False)
+    dones: np.ndarray = field(init=False)
+    values: np.ndarray = field(init=False)
+    log_probs: np.ndarray = field(init=False)
+    advantages: np.ndarray = field(init=False)
+    returns: np.ndarray = field(init=False)
+    _pos: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        cap = self.capacity
+        self.observations = np.zeros((cap, self.obs_dim))
+        self.actions = np.zeros((cap, *self.action_shape))
+        self.rewards = np.zeros(cap)
+        self.dones = np.zeros(cap, dtype=bool)
+        self.values = np.zeros(cap)
+        self.log_probs = np.zeros(cap)
+        self.advantages = np.zeros(cap)
+        self.returns = np.zeros(cap)
+
+    # ------------------------------------------------------------- write
+    def add(
+        self,
+        obs: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        done: bool,
+        value: float,
+        log_prob: float,
+    ) -> None:
+        if self.full:
+            raise RuntimeError("rollout buffer is full; call reset() first")
+        i = self._pos
+        self.observations[i] = obs
+        self.actions[i] = action
+        self.rewards[i] = reward
+        self.dones[i] = done
+        self.values[i] = value
+        self.log_probs[i] = log_prob
+        self._pos += 1
+
+    @property
+    def full(self) -> bool:
+        return self._pos >= self.capacity
+
+    def __len__(self) -> int:
+        return self._pos
+
+    def reset(self) -> None:
+        self._pos = 0
+
+    # ----------------------------------------------------------- finalize
+    def finalize(
+        self,
+        last_value: float,
+        gamma: float = 0.99,
+        lam: float = 0.95,
+        normalize_advantages: bool = True,
+    ) -> None:
+        """Compute advantages/returns over the filled portion."""
+        n = self._pos
+        adv, ret = compute_gae(
+            self.rewards[:n],
+            self.values[:n],
+            self.dones[:n],
+            last_value,
+            gamma=gamma,
+            lam=lam,
+        )
+        if normalize_advantages and n > 1:
+            adv = (adv - adv.mean()) / (adv.std() + 1e-8)
+        self.advantages[:n] = adv
+        self.returns[:n] = ret
+
+    # -------------------------------------------------------------- read
+    def batch(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(obs, actions, old_log_probs, advantages, returns)."""
+        n = self._pos
+        return (
+            self.observations[:n],
+            self.actions[:n],
+            self.log_probs[:n],
+            self.advantages[:n],
+            self.returns[:n],
+        )
+
+    def minibatches(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> Iterator[tuple[np.ndarray, ...]]:
+        """Shuffled minibatches over the filled portion (PPO epochs)."""
+        n = self._pos
+        order = rng.permutation(n)
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            yield (
+                self.observations[idx],
+                self.actions[idx],
+                self.log_probs[idx],
+                self.advantages[idx],
+                self.returns[idx],
+            )
+
+    # ------------------------------------------------------------ memory
+    def memory_bytes(self) -> int:
+        """Resident bytes of the rollout storage (Table IV accounting)."""
+        arrays = (
+            self.observations,
+            self.actions,
+            self.rewards,
+            self.dones,
+            self.values,
+            self.log_probs,
+            self.advantages,
+            self.returns,
+        )
+        return int(sum(a.nbytes for a in arrays))

@@ -1,0 +1,197 @@
+"""DQN — Deep Q-Network [31], the replay-buffer DRL the paper cites.
+
+Included to make §II-B's memory argument concrete: unlike the on-policy
+A2C/PPO2 baselines, DQN carries a large experience-replay buffer and a
+second (target) copy of the network, so its resident memory dwarfs
+every other algorithm in the Table IV comparison.  Discrete-action
+tasks only (the Q-head enumerates actions).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.envs.base import Environment
+from repro.envs.spaces import Discrete
+from repro.rl.base import TimeBreakdown
+from repro.rl.nn import MLP, Adam
+from repro.rl.replay import ReplayBuffer
+
+__all__ = ["DQN", "DQNReport"]
+
+
+@dataclass
+class DQNReport:
+    """Outcome of a DQN training run."""
+
+    timesteps: int
+    updates: int
+    best_fitness: float
+    solved: bool
+    fitness_trace: list[tuple[float, float]] = field(default_factory=list)
+    times: TimeBreakdown = field(default_factory=TimeBreakdown)
+
+
+class DQN:
+    """Vanilla DQN with target network and epsilon-greedy exploration."""
+
+    def __init__(
+        self,
+        env: Environment,
+        hidden: tuple[int, ...] = (64, 64),
+        lr: float = 1e-3,
+        gamma: float = 0.99,
+        buffer_capacity: int = 50_000,
+        batch_size: int = 32,
+        learning_starts: int = 500,
+        train_every: int = 4,
+        target_sync_every: int = 500,
+        epsilon_start: float = 1.0,
+        epsilon_end: float = 0.05,
+        epsilon_decay_steps: int = 5_000,
+        seed: int | None = None,
+    ):
+        if not isinstance(env.action_space, Discrete):
+            raise TypeError("DQN supports Discrete action spaces only")
+        self.env = env
+        self.gamma = gamma
+        self.batch_size = batch_size
+        self.learning_starts = learning_starts
+        self.train_every = train_every
+        self.target_sync_every = target_sync_every
+        self.epsilon_start = epsilon_start
+        self.epsilon_end = epsilon_end
+        self.epsilon_decay_steps = epsilon_decay_steps
+        self.rng = np.random.default_rng(seed)
+
+        sizes = [env.num_inputs, *hidden, env.action_space.n]
+        self.q_net = MLP(sizes, rng=self.rng)
+        self.target_net = MLP(sizes, rng=self.rng)
+        self.target_net.copy_weights_from(self.q_net)
+        self.optimizer = Adam(self.q_net.parameters, lr=lr)
+        self.buffer = ReplayBuffer(env.num_inputs, capacity=buffer_capacity)
+        self.times = TimeBreakdown()
+        self._steps = 0
+        self._updates = 0
+
+    # -------------------------------------------------------------- act
+    def epsilon(self) -> float:
+        frac = min(self._steps / self.epsilon_decay_steps, 1.0)
+        return self.epsilon_start + frac * (
+            self.epsilon_end - self.epsilon_start
+        )
+
+    def act(self, obs: np.ndarray, greedy: bool = False) -> int:
+        if not greedy and self.rng.random() < self.epsilon():
+            return int(self.rng.integers(self.env.action_space.n))
+        q = self.q_net.predict(obs[None, :])
+        return int(np.argmax(q[0]))
+
+    # ------------------------------------------------------------ update
+    def update(self) -> float:
+        """One TD minibatch step; returns the TD loss."""
+        obs, actions, rewards, next_obs, dones = self.buffer.sample(
+            self.batch_size, self.rng
+        )
+        next_q = self.target_net.predict(next_obs)
+        targets = rewards + self.gamma * next_q.max(axis=1) * (~dones)
+
+        q_values, cache = self.q_net.forward(obs)
+        taken = q_values[np.arange(self.batch_size), actions]
+        td_error = taken - targets
+
+        grad_out = np.zeros_like(q_values)
+        grad_out[np.arange(self.batch_size), actions] = (
+            td_error / self.batch_size
+        )
+        grads, _ = self.q_net.backward(cache, grad_out)
+        self.optimizer.step(grads)
+        self._updates += 1
+        if self._updates % self.target_sync_every == 0:
+            self.target_net.copy_weights_from(self.q_net)
+        return float(np.mean(td_error**2))
+
+    # ------------------------------------------------------------- learn
+    def learn(
+        self,
+        total_timesteps: int,
+        fitness_threshold: float | None = None,
+        eval_every_steps: int = 2_000,
+        eval_episodes: int = 3,
+        time_limit: float | None = None,
+    ) -> DQNReport:
+        threshold = (
+            fitness_threshold
+            if fitness_threshold is not None
+            else self.env.reward_threshold
+        )
+        start = time.perf_counter()
+        trace: list[tuple[float, float]] = []
+        best = float("-inf")
+        solved = False
+        obs = self.env.reset(seed=int(self.rng.integers(2**31)))
+
+        while self._steps < total_timesteps:
+            t0 = time.perf_counter()
+            action = self.act(obs)
+            self.times.forward += time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            next_obs, reward, done, _ = self.env.step(action)
+            self.times.env += time.perf_counter() - t0
+
+            self.buffer.add(obs, action, reward, next_obs, done)
+            obs = self.env.reset() if done else next_obs
+            self._steps += 1
+
+            if (
+                self._steps >= self.learning_starts
+                and self._steps % self.train_every == 0
+            ):
+                t0 = time.perf_counter()
+                self.update()
+                self.times.training += time.perf_counter() - t0
+
+            elapsed = time.perf_counter() - start
+            if self._steps % eval_every_steps == 0:
+                fitness = self._evaluate(eval_episodes)
+                trace.append((elapsed, fitness))
+                best = max(best, fitness)
+                if threshold is not None and fitness >= threshold:
+                    solved = True
+                    break
+            if time_limit is not None and elapsed > time_limit:
+                break
+
+        if not trace:
+            fitness = self._evaluate(eval_episodes)
+            trace.append((time.perf_counter() - start, fitness))
+            best = max(best, fitness)
+        return DQNReport(
+            timesteps=self._steps,
+            updates=self._updates,
+            best_fitness=best,
+            solved=solved,
+            fitness_trace=trace,
+            times=self.times,
+        )
+
+    def _evaluate(self, episodes: int) -> float:
+        from repro.envs.rollout import evaluate_policy
+
+        eval_env = type(self.env)(seed=54321)
+
+        def greedy(obs: np.ndarray) -> np.ndarray:
+            return self.q_net.predict(obs[None, :]).reshape(-1)
+
+        return evaluate_policy(eval_env, greedy, episodes=episodes)
+
+    # ------------------------------------------------------------ memory
+    def memory_bytes(self) -> int:
+        """Resident algorithm state: Q-net, target net, Adam moments,
+        and the replay buffer (the Table IV 'High' memory row)."""
+        params = self.q_net.num_parameters
+        return params * 8 * 4 + self.buffer.memory_bytes()

@@ -1,0 +1,184 @@
+"""Dense MLP with manual backpropagation.
+
+The paper's RL baselines (A2C, PPO2 from stable-baselines [19]) use MLP
+policies — *Small* (two hidden layers of 64) and *Large* (three hidden
+layers of 256), §III-A.  This module provides the numerical substrate:
+a plain NumPy MLP with hand-written forward/backward passes and an Adam
+optimizer.  Keeping backprop explicit (rather than mocking a framework)
+is what makes the Fig 3 forward-vs-training time split and the Table IV
+forward/backward op counts honest measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MLP", "Adam", "mlp_op_counts"]
+
+_ACTIVATIONS = {
+    "tanh": (np.tanh, lambda y: 1.0 - y * y),
+    "relu": (
+        lambda x: np.maximum(x, 0.0),
+        lambda y: (y > 0.0).astype(np.float64),
+    ),
+    "identity": (lambda x: x, lambda y: np.ones_like(y)),
+}
+
+
+@dataclass
+class _Layer:
+    weight: np.ndarray  # (fan_in, fan_out)
+    bias: np.ndarray  # (fan_out,)
+
+
+class MLP:
+    """A fully connected network ``sizes[0] -> ... -> sizes[-1]``.
+
+    The final layer is linear; hidden layers use ``activation``.
+    ``forward`` returns the output and a cache that ``backward`` consumes
+    to produce parameter gradients and the gradient w.r.t. the input
+    (so heads can be chained onto a shared trunk).
+    """
+
+    def __init__(
+        self,
+        sizes: list[int],
+        activation: str = "tanh",
+        rng: np.random.Generator | None = None,
+    ):
+        if len(sizes) < 2:
+            raise ValueError("an MLP needs at least input and output sizes")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; "
+                f"known: {sorted(_ACTIVATIONS)}"
+            )
+        rng = rng or np.random.default_rng()
+        self.sizes = list(sizes)
+        self.activation = activation
+        self.layers: list[_Layer] = []
+        for fan_in, fan_out in zip(sizes, sizes[1:]):
+            scale = np.sqrt(2.0 / (fan_in + fan_out))  # Xavier/Glorot
+            self.layers.append(
+                _Layer(
+                    weight=rng.normal(0.0, scale, size=(fan_in, fan_out)),
+                    bias=np.zeros(fan_out),
+                )
+            )
+
+    # ------------------------------------------------------------ params
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        """Flat list [W0, b0, W1, b1, ...] (views, not copies)."""
+        out: list[np.ndarray] = []
+        for layer in self.layers:
+            out.extend((layer.weight, layer.bias))
+        return out
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters)
+
+    # ----------------------------------------------------------- forward
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Forward pass; returns (output, cache of layer activations)."""
+        act_fn, _ = _ACTIVATIONS[self.activation]
+        h = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        cache = [h]
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            z = h @ layer.weight + layer.bias
+            h = z if i == last else act_fn(z)
+            cache.append(h)
+        return h, cache
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass without keeping the cache."""
+        return self.forward(x)[0]
+
+    # ---------------------------------------------------------- backward
+    def backward(
+        self, cache: list[np.ndarray], grad_out: np.ndarray
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Backprop ``grad_out`` (dL/doutput) through the network.
+
+        Returns (parameter gradients aligned with :attr:`parameters`,
+        gradient w.r.t. the network input).
+        """
+        _, act_grad = _ACTIVATIONS[self.activation]
+        grads: list[np.ndarray] = [np.empty(0)] * (2 * len(self.layers))
+        delta = np.atleast_2d(np.asarray(grad_out, dtype=np.float64))
+        for i in range(len(self.layers) - 1, -1, -1):
+            layer = self.layers[i]
+            h_in = cache[i]
+            grads[2 * i] = h_in.T @ delta
+            grads[2 * i + 1] = delta.sum(axis=0)
+            delta = delta @ layer.weight.T
+            if i > 0:
+                delta = delta * act_grad(cache[i])
+        return grads, delta
+
+    # --------------------------------------------------------- utilities
+    def copy_weights_from(self, other: "MLP") -> None:
+        if self.sizes != other.sizes:
+            raise ValueError("cannot copy weights between different shapes")
+        for mine, theirs in zip(self.layers, other.layers):
+            mine.weight[...] = theirs.weight
+            mine.bias[...] = theirs.bias
+
+
+class Adam:
+    """Adam optimizer over a list of parameter arrays (in-place update)."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        lr: float = 3e-4,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        max_grad_norm: float | None = 0.5,
+    ):
+        self.parameters = parameters
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.max_grad_norm = max_grad_norm
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+        self._t = 0
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        if len(grads) != len(self.parameters):
+            raise ValueError(
+                f"got {len(grads)} gradients for {len(self.parameters)} params"
+            )
+        if self.max_grad_norm is not None:
+            total = np.sqrt(sum(float(np.sum(g * g)) for g in grads))
+            if total > self.max_grad_norm and total > 0:
+                scale = self.max_grad_norm / total
+                grads = [g * scale for g in grads]
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.parameters, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+
+def mlp_op_counts(sizes: list[int]) -> dict[str, int]:
+    """Forward and backward operation counts for one sample.
+
+    Forward: one MAC per weight plus one add per bias.  Backward: the
+    standard ~2x forward (dL/dW outer products and delta propagation).
+    Used by the Table IV bench.
+    """
+    macs = sum(a * b for a, b in zip(sizes, sizes[1:]))
+    biases = sum(sizes[1:])
+    forward = macs + biases
+    backward = 2 * macs + biases
+    return {"forward": forward, "backward": backward, "parameters": macs + biases}

@@ -1,0 +1,233 @@
+"""Actor-critic policies for the RL baselines (§III-A).
+
+Two policy families, matching the environments' action spaces:
+
+* :class:`CategoricalPolicy` — softmax over discrete actions;
+* :class:`GaussianPolicy` — diagonal Gaussian with state-independent
+  log-std, the stable-baselines convention for continuous control.
+
+Each wraps an actor MLP and a critic MLP (paper configs: *Small* = two
+hidden layers of 64, *Large* = three hidden layers of 256) and exposes
+the analytic log-prob/entropy gradients the A2C and PPO updates need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.envs.base import Environment
+from repro.envs.spaces import Box, Discrete
+from repro.rl.nn import MLP
+
+__all__ = [
+    "SMALL_HIDDEN",
+    "LARGE_HIDDEN",
+    "ActorCriticPolicy",
+    "CategoricalPolicy",
+    "GaussianPolicy",
+    "make_policy",
+]
+
+#: Paper §III-A: "Small with two layers of MLPs with 64 nodes each".
+SMALL_HIDDEN: tuple[int, ...] = (64, 64)
+#: Paper §III-A: "Large with three layers of 256 nodes each".
+LARGE_HIDDEN: tuple[int, ...] = (256, 256, 256)
+
+
+class ActorCriticPolicy:
+    """Shared base: actor + critic MLPs and value-head plumbing."""
+
+    def __init__(
+        self,
+        obs_dim: int,
+        action_dim: int,
+        hidden: tuple[int, ...] = SMALL_HIDDEN,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng()
+        self.obs_dim = obs_dim
+        self.action_dim = action_dim
+        self.hidden = tuple(hidden)
+        self.actor = MLP([obs_dim, *hidden, action_dim], rng=rng)
+        self.critic = MLP([obs_dim, *hidden, 1], rng=rng)
+        self.rng = rng
+
+    # ------------------------------------------------------------- value
+    def value(self, obs: np.ndarray) -> np.ndarray:
+        """State value(s) for a batch (or single) observation."""
+        return self.critic.predict(obs).reshape(-1)
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return self.actor.parameters + self.critic.parameters + self._extra_params()
+
+    def _extra_params(self) -> list[np.ndarray]:
+        return []
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters)
+
+    # -------------------------------------------------- policy interface
+    def sample(self, obs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(actions, log-probs) for a batch of observations."""
+        raise NotImplementedError
+
+    def log_prob_entropy(
+        self, obs_batch: np.ndarray, actions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, list[np.ndarray], np.ndarray]:
+        """Forward the actor on a batch.
+
+        Returns (log_probs, entropies, actor cache, actor raw output);
+        the cache feeds :meth:`actor_backward` after the caller computes
+        d(loss)/d(log_prob) and the entropy coefficient.
+        """
+        raise NotImplementedError
+
+    def grad_wrt_actor_output(
+        self,
+        actor_out: np.ndarray,
+        actions: np.ndarray,
+        dlogp: np.ndarray,
+        entropy_coef_grad: float,
+    ) -> np.ndarray:
+        """Gradient of the scalar loss w.r.t. the actor's raw output.
+
+        ``dlogp[i]`` is dLoss/dlogp_i; ``entropy_coef_grad`` is
+        dLoss/dH scaled per sample (normally ``-ent_coef / batch``).
+        """
+        raise NotImplementedError
+
+    # --------------------------------------------------- greedy rollout
+    def greedy_policy(self):
+        """Deterministic policy function (for fitness evaluation)."""
+        raise NotImplementedError
+
+
+class CategoricalPolicy(ActorCriticPolicy):
+    """Softmax policy over ``Discrete(n)`` actions."""
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        z = logits - logits.max(axis=-1, keepdims=True)
+        e = np.exp(z)
+        return e / e.sum(axis=-1, keepdims=True)
+
+    def sample(self, obs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        logits = self.actor.predict(obs)
+        probs = self._softmax(logits)
+        cum = probs.cumsum(axis=-1)
+        draws = self.rng.random(size=(probs.shape[0], 1))
+        actions = (draws > cum).sum(axis=-1)
+        logp = np.log(
+            probs[np.arange(len(actions)), actions] + 1e-12
+        )
+        return actions.astype(np.int64), logp
+
+    def log_prob_entropy(self, obs_batch, actions):
+        logits, cache = self.actor.forward(obs_batch)
+        probs = self._softmax(logits)
+        idx = np.arange(len(actions))
+        logp = np.log(probs[idx, actions.astype(np.int64)] + 1e-12)
+        entropy = -(probs * np.log(probs + 1e-12)).sum(axis=-1)
+        return logp, entropy, cache, logits
+
+    def grad_wrt_actor_output(self, actor_out, actions, dlogp, entropy_coef_grad):
+        probs = self._softmax(actor_out)
+        n, k = probs.shape
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), actions.astype(np.int64)] = 1.0
+        # d logp(a)/d logits = onehot - probs
+        grad = dlogp[:, None] * (onehot - probs)
+        if entropy_coef_grad != 0.0:
+            logp_all = np.log(probs + 1e-12)
+            entropy = -(probs * logp_all).sum(axis=-1, keepdims=True)
+            # dH/d logits_j = -p_j (log p_j + H)
+            grad += entropy_coef_grad * (-probs * (logp_all + entropy))
+        return grad
+
+    def greedy_policy(self):
+        def policy(obs: np.ndarray) -> np.ndarray:
+            return self.actor.predict(obs).reshape(-1)
+
+        return policy
+
+
+class GaussianPolicy(ActorCriticPolicy):
+    """Diagonal Gaussian policy with state-independent log-std."""
+
+    def __init__(self, obs_dim, action_dim, hidden=SMALL_HIDDEN, rng=None):
+        super().__init__(obs_dim, action_dim, hidden, rng)
+        self.log_std = np.full(action_dim, -0.5)
+        self._log_std_grad = np.zeros(action_dim)
+
+    def _extra_params(self) -> list[np.ndarray]:
+        return [self.log_std]
+
+    def sample(self, obs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        mean = self.actor.predict(obs)
+        std = np.exp(self.log_std)
+        noise = self.rng.standard_normal(mean.shape)
+        actions = mean + std * noise
+        logp = self._log_prob(mean, actions)
+        return actions, logp
+
+    def _log_prob(self, mean: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        std = np.exp(self.log_std)
+        z = (actions - mean) / std
+        return (
+            -0.5 * (z**2).sum(axis=-1)
+            - self.log_std.sum()
+            - 0.5 * mean.shape[-1] * np.log(2 * np.pi)
+        )
+
+    def log_prob_entropy(self, obs_batch, actions):
+        mean, cache = self.actor.forward(obs_batch)
+        logp = self._log_prob(mean, actions)
+        entropy = np.full(
+            mean.shape[0],
+            float(
+                self.log_std.sum() + 0.5 * self.action_dim * np.log(2 * np.pi * np.e)
+            ),
+        )
+        return logp, entropy, cache, mean
+
+    def grad_wrt_actor_output(self, actor_out, actions, dlogp, entropy_coef_grad):
+        std2 = np.exp(2 * self.log_std)
+        diff = actions - actor_out
+        # d logp / d mean = (a - mu) / sigma^2
+        grad = dlogp[:, None] * (diff / std2)
+        # side effect: accumulate the log_std gradient for the optimizer
+        # d logp / d log_std = z^2 - 1 ;  dH / d log_std = 1
+        z2 = diff**2 / std2
+        self._log_std_grad = (dlogp[:, None] * (z2 - 1.0)).sum(axis=0)
+        self._log_std_grad += entropy_coef_grad * actor_out.shape[0] * np.ones(
+            self.action_dim
+        )
+        return grad
+
+    def consume_log_std_grad(self) -> np.ndarray:
+        grad = self._log_std_grad
+        self._log_std_grad = np.zeros(self.action_dim)
+        return grad
+
+    def greedy_policy(self):
+        def policy(obs: np.ndarray) -> np.ndarray:
+            # raw mean; rollout.decode_action applies the tanh squash
+            return self.actor.predict(obs).reshape(-1)
+
+        return policy
+
+
+def make_policy(
+    env: Environment,
+    hidden: tuple[int, ...] = SMALL_HIDDEN,
+    rng: np.random.Generator | None = None,
+) -> ActorCriticPolicy:
+    """Build the policy family matching ``env``'s action space."""
+    obs_dim = env.num_inputs
+    if isinstance(env.action_space, Discrete):
+        return CategoricalPolicy(obs_dim, env.action_space.n, hidden, rng)
+    if isinstance(env.action_space, Box):
+        return GaussianPolicy(obs_dim, env.action_space.flat_dim, hidden, rng)
+    raise TypeError(f"unsupported action space {env.action_space!r}")

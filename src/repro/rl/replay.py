@@ -1,0 +1,80 @@
+"""Experience replay buffer.
+
+§II-B: "in many DRLs a large replay buffer, which stores the
+experiences along the episodes, are often required.  This intensifies
+the memory requirement."  This ring buffer is that object — DQN uses
+it, and its :meth:`memory_bytes` feeds the Table IV-class memory
+comparisons (a 100K-transition buffer dwarfs every other algorithm's
+state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ReplayBuffer"]
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer of (s, a, r, s', done) transitions."""
+
+    def __init__(self, obs_dim: int, capacity: int = 50_000):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.observations = np.zeros((capacity, obs_dim))
+        self.actions = np.zeros(capacity, dtype=np.int64)
+        self.rewards = np.zeros(capacity)
+        self.next_observations = np.zeros((capacity, obs_dim))
+        self.dones = np.zeros(capacity, dtype=bool)
+        self._pos = 0
+        self._size = 0
+
+    def add(
+        self,
+        obs: np.ndarray,
+        action: int,
+        reward: float,
+        next_obs: np.ndarray,
+        done: bool,
+    ) -> None:
+        i = self._pos
+        self.observations[i] = obs
+        self.actions[i] = action
+        self.rewards[i] = reward
+        self.next_observations[i] = next_obs
+        self.dones[i] = done
+        self._pos = (self._pos + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        return self._size == self.capacity
+
+    def sample(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Uniform random minibatch (with replacement)."""
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        idx = rng.integers(self._size, size=batch_size)
+        return (
+            self.observations[idx],
+            self.actions[idx],
+            self.rewards[idx],
+            self.next_observations[idx],
+            self.dones[idx],
+        )
+
+    def memory_bytes(self) -> int:
+        """Resident bytes — the Table IV "large replay buffer" term."""
+        return int(
+            self.observations.nbytes
+            + self.actions.nbytes
+            + self.rewards.nbytes
+            + self.next_observations.nbytes
+            + self.dones.nbytes
+        )

@@ -1,0 +1,91 @@
+"""Unit tests for complexity rows (Table V) and timing profiles."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import (
+    neat_average_complexity,
+    table5_row,
+)
+from repro.analysis.timing_profile import (
+    neat_profile,
+    normalized_platform_breakdown,
+    rl_profile,
+)
+from repro.hw.cpu_model import PhaseTimes
+from repro.neat.config import NEATConfig
+from repro.neat.innovation import InnovationTracker
+from repro.rl.base import TimeBreakdown
+
+from tests.conftest import evolved_genome
+
+
+def _populations(generations=3, n=5, seed=0):
+    cfg = NEATConfig(num_inputs=4, num_outputs=2)
+    tracker = InnovationTracker(2)
+    rng = np.random.default_rng(seed)
+    pops = []
+    for g in range(generations):
+        pops.append(
+            [
+                evolved_genome(cfg, tracker, rng, mutations=2 * g, key=10 * g + i)
+                for i in range(n)
+            ]
+        )
+    return cfg, pops
+
+
+class TestComplexity:
+    def test_average_over_generations(self):
+        cfg, pops = _populations()
+        nodes, conns = neat_average_complexity(pops, cfg)
+        assert nodes >= 6  # 4 inputs + 2 outputs minimum
+        assert conns > 0
+
+    def test_requires_genomes(self):
+        cfg, _ = _populations()
+        with pytest.raises(ValueError):
+            neat_average_complexity([[]], cfg)
+
+    def test_table5_row_shape(self):
+        cfg, pops = _populations()
+        row = table5_row("cartpole", 4, 2, pops, cfg)
+        assert row.small_nodes == 134
+        assert row.small_connections == 4480
+        assert row.large_connections > row.small_connections
+        # the paper's headline: evolved nets are orders smaller
+        assert row.neat_avg_connections < row.small_connections / 10
+        assert row.small_to_neat_connection_ratio > 10
+
+
+class TestProfiles:
+    def test_neat_profile_groups_env_into_evaluate(self):
+        times = PhaseTimes(evaluate=8.0, env=2.0, createnet=0.5, evolve=0.5)
+        profile = neat_profile(times)
+        assert profile["evaluate"] == pytest.approx(10.0 / 11.0)
+        assert sum(profile.values()) == pytest.approx(1.0)
+
+    def test_rl_profile(self):
+        times = TimeBreakdown(forward=3.0, env=1.0, training=6.0)
+        profile = rl_profile(times)
+        assert profile["training"] == pytest.approx(0.6)
+        assert sum(profile.values()) == pytest.approx(1.0)
+
+    def test_normalized_breakdown_baseline_sums_to_one(self):
+        platforms = {
+            "cpu": PhaseTimes(evaluate=9.0, env=0.5, createnet=0.25, evolve=0.25),
+            "inax": PhaseTimes(evaluate=0.1, env=0.5, createnet=0.25, evolve=0.25),
+        }
+        norm = normalized_platform_breakdown(platforms, baseline="cpu")
+        assert sum(norm["cpu"].values()) == pytest.approx(1.0)
+        # the accelerated platform's bars sum to 1/speedup
+        speedup = 10.0 / 1.1
+        assert sum(norm["inax"].values()) == pytest.approx(1 / speedup)
+
+    def test_unknown_baseline(self):
+        with pytest.raises(KeyError):
+            normalized_platform_breakdown({"cpu": PhaseTimes()}, baseline="gpu")
+
+    def test_zero_time_profiles(self):
+        assert sum(neat_profile(PhaseTimes()).values()) == 0.0
+        assert sum(rl_profile(TimeBreakdown()).values()) == 0.0

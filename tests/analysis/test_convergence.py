@@ -1,0 +1,88 @@
+"""Unit tests for convergence analysis (the Fig 2 machinery)."""
+
+import pytest
+
+from repro.analysis.convergence import (
+    FitnessTrace,
+    normalize_fitness,
+    random_policy_baseline,
+    solve_summary,
+)
+
+
+class TestRandomBaseline:
+    def test_deterministic(self):
+        a = random_policy_baseline("cartpole", seed=1)
+        b = random_policy_baseline("cartpole", seed=1)
+        assert a == b
+
+    def test_cartpole_random_is_weak(self):
+        baseline = random_policy_baseline("cartpole")
+        assert baseline < 100  # far from the 475 requirement
+
+    def test_pendulum_random_is_negative(self):
+        assert random_policy_baseline("pendulum") < -200
+
+
+class TestNormalizeFitness:
+    def test_endpoints(self):
+        assert normalize_fitness(0.0, 0.0, 100.0) == 0.0
+        assert normalize_fitness(100.0, 0.0, 100.0) == 1.0
+        assert normalize_fitness(50.0, 0.0, 100.0) == 0.5
+
+    def test_clipping(self):
+        assert normalize_fitness(200.0, 0.0, 100.0) == 1.0
+        assert normalize_fitness(-50.0, 0.0, 100.0) == 0.0
+
+    def test_negative_scale(self):
+        # pendulum-style: baseline -1200, required -200
+        assert normalize_fitness(-700.0, -1200.0, -200.0) == 0.5
+
+    def test_degenerate_scale(self):
+        assert normalize_fitness(5.0, 1.0, 1.0) == 1.0
+        assert normalize_fitness(0.5, 1.0, 1.0) == 0.0
+
+
+class TestFitnessTrace:
+    def test_best_so_far_monotone(self):
+        trace = FitnessTrace("neat", "cartpole")
+        for t, f in [(0, 10.0), (1, 5.0), (2, 30.0), (3, 20.0)]:
+            trace.record(t, f)
+        assert trace.best_so_far() == [10.0, 10.0, 30.0, 30.0]
+        assert trace.best_fitness == 30.0
+
+    def test_empty_trace(self):
+        trace = FitnessTrace("neat", "cartpole")
+        assert trace.best_fitness == float("-inf")
+        assert trace.best_so_far() == []
+
+    def test_normalized_with_explicit_baseline(self):
+        trace = FitnessTrace("neat", "cartpole")  # required 475
+        trace.record(0, 0.0)
+        trace.record(1, 475.0)
+        normalized = trace.normalized(baseline=0.0)
+        assert normalized == [0.0, 1.0]
+
+    def test_achieved(self):
+        trace = FitnessTrace("neat", "cartpole")
+        trace.record(0, 500.0)
+        assert trace.achieved
+        weak = FitnessTrace("a2c", "cartpole")
+        weak.record(0, 100.0)
+        assert not weak.achieved
+
+
+class TestSolveSummary:
+    def test_counts_per_algorithm(self):
+        solved = FitnessTrace("neat", "cartpole")
+        solved.record(0, 500.0)
+        unsolved = FitnessTrace("neat", "cartpole")
+        unsolved.record(0, 50.0)
+        other = FitnessTrace("a2c", "cartpole")
+        other.record(0, 20.0)
+        summary = solve_summary([solved, unsolved, other])
+        assert summary["neat"]["tasks"] == 2
+        assert summary["neat"]["solved"] == 1
+        assert summary["a2c"]["tasks"] == 1
+        assert summary["a2c"]["solved"] == 0
+        assert 0.0 <= summary["neat"]["mean_normalized"] <= 1.0

@@ -1,0 +1,86 @@
+"""Unit tests for speciation-dynamics analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.species_stats import SpeciesHistory, SpeciesSnapshot
+from repro.neat.config import NEATConfig
+from repro.neat.population import Population
+
+
+def _run_with_history(generations=5, seed=0, threshold=3.0):
+    cfg = NEATConfig(
+        num_inputs=3,
+        num_outputs=2,
+        population_size=30,
+        compatibility_threshold=threshold,
+    )
+    pop = Population(cfg, seed=seed)
+    history = SpeciesHistory()
+    rng = np.random.default_rng(seed)
+
+    def evaluate(genomes):
+        for g in genomes:
+            g.fitness = float(rng.normal())
+
+    for _ in range(generations):
+        # record the partition of the population about to be evaluated
+        pop.advance(evaluate)
+        history.record(pop)
+    return pop, history
+
+
+class TestSpeciesHistory:
+    def test_snapshot_counts_match_population(self):
+        pop, history = _run_with_history(generations=1)
+        snap = history.snapshots[0]
+        assert sum(snap.sizes.values()) == len(pop.population)
+
+    def test_generations_counted(self):
+        _, history = _run_with_history(generations=4)
+        assert history.generations == 4
+
+    def test_lifetimes_bounded_by_generations(self):
+        _, history = _run_with_history(generations=6)
+        for lifetime in history.lifetimes().values():
+            assert 1 <= lifetime <= 6
+
+    def test_births_and_deaths_bookkeeping(self):
+        _, history = _run_with_history(generations=6, threshold=1.2)
+        births, deaths = history.births_and_deaths()
+        assert len(births) == len(deaths) == 6
+        # conservation: species seen == total births
+        assert sum(births) == len(history.species_seen())
+
+    def test_turnover_in_unit_interval(self):
+        _, history = _run_with_history(generations=8, threshold=1.2)
+        assert 0.0 <= history.turnover() <= 1.0
+
+    def test_summary_fields(self):
+        _, history = _run_with_history(generations=5)
+        summary = history.summary()
+        for key in (
+            "generations",
+            "species_seen",
+            "mean_species_alive",
+            "mean_lifetime",
+            "max_lifetime",
+            "turnover",
+        ):
+            assert key in summary
+        assert summary["generations"] == 5.0
+        assert summary["max_lifetime"] >= summary["mean_lifetime"]
+
+    def test_empty_history(self):
+        history = SpeciesHistory()
+        assert history.mean_species_count() == 0.0
+        assert history.turnover() == 0.0
+        assert history.summary()["species_seen"] == 0.0
+
+    def test_tight_threshold_more_species(self):
+        _, loose = _run_with_history(generations=5, threshold=5.0, seed=3)
+        _, tight = _run_with_history(generations=5, threshold=0.8, seed=3)
+        assert (
+            tight.summary()["mean_species_alive"]
+            >= loose.summary()["mean_species_alive"]
+        )

@@ -1,0 +1,89 @@
+"""Unit tests for topology statistics (Fig 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.topology import (
+    DensityTrace,
+    degree_distribution,
+    layer_size_histogram,
+    population_density,
+    population_topology_stats,
+)
+from repro.neat.config import NEATConfig
+from repro.neat.innovation import InnovationTracker
+
+from tests.conftest import evolved_genome
+from tests.neat.test_network import _genome_from_edges
+
+
+def _population(n=8, mutations=8, seed=0):
+    cfg = NEATConfig(num_inputs=3, num_outputs=2)
+    tracker = InnovationTracker(2)
+    rng = np.random.default_rng(seed)
+    return cfg, [
+        evolved_genome(cfg, tracker, rng, mutations=mutations, key=i)
+        for i in range(n)
+    ]
+
+
+def test_degree_distribution_hand_example():
+    cfg = NEATConfig(num_inputs=2, num_outputs=1)
+    # -1 -> 0, -2 -> 0: output degree 2, each input degree 1
+    genome = _genome_from_edges(cfg, [(-1, 0, 1.0), (-2, 0, 1.0)])
+    hist = degree_distribution([genome], cfg)
+    assert hist[2] == 1  # the output node
+    assert hist[1] == 2  # the two inputs
+
+
+def test_layer_size_histogram_hand_example():
+    cfg = NEATConfig(num_inputs=2, num_outputs=2)
+    genome = _genome_from_edges(
+        cfg, [(-1, 4, 1.0), (4, 0, 1.0), (-2, 1, 1.0)]
+    )
+    hist = layer_size_histogram([genome], cfg)
+    # layers: [4, 1] then [0]? ASAP: node 4 depth1, output 0 depth2,
+    # output 1 depth1 -> sizes {2: 1, 1: 1}
+    assert hist == {2: 1, 1: 1}
+
+
+def test_population_density_matches_single_network():
+    cfg = NEATConfig(num_inputs=3, num_outputs=3)
+    genome = _genome_from_edges(
+        cfg, [(-1, 0, 1.0), (-2, 1, 1.0), (-3, 2, 1.0)]
+    )
+    assert population_density([genome], cfg) == pytest.approx(1 / 3)
+
+
+def test_population_density_requires_genomes():
+    cfg = NEATConfig(num_inputs=2, num_outputs=1)
+    with pytest.raises(ValueError):
+        population_density([], cfg)
+
+
+def test_density_trace_records_per_generation():
+    cfg, pop = _population()
+    trace = DensityTrace(env_name="cartpole")
+    trace.record(pop, cfg)
+    trace.record(pop, cfg)
+    assert trace.generations == 2
+    assert trace.densities[0] == trace.densities[1]
+
+
+def test_population_topology_stats():
+    cfg, pop = _population()
+    stats = population_topology_stats(pop, cfg)
+    assert stats.mean_nodes >= cfg.num_inputs + cfg.num_outputs
+    assert stats.mean_connections > 0
+    assert stats.mean_layers >= 1
+    assert stats.max_fan_in >= 1
+    assert sum(stats.layer_size_histogram.values()) > 0
+    assert sum(stats.degree_histogram.values()) > 0
+
+
+def test_stats_reflect_structural_growth():
+    cfg, small_pop = _population(mutations=0)
+    _, big_pop = _population(mutations=25, seed=1)
+    small = population_topology_stats(small_pop, cfg)
+    big = population_topology_stats(big_pop, cfg)
+    assert big.mean_nodes >= small.mean_nodes

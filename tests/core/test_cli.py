@@ -1,0 +1,194 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--env", "cartpole"])
+        assert args.backend == "inax"
+        assert args.population == 100
+
+    def test_sweep_axis_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--axis", "dsp"])
+
+
+class TestEnvsCommand:
+    def test_lists_suite(self, capsys):
+        assert main(["envs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cartpole", "pendulum", "bipedal_walker"):
+            assert name in out
+        assert "Env1" in out
+
+
+class TestResourcesCommand:
+    def test_fitting_config(self, capsys):
+        assert main(["resources", "--pus", "50", "--pes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fits" in out and "DSP" in out
+
+    def test_oversized_config_exit_code(self, capsys):
+        code = main(["resources", "--pus", "2000", "--pes", "8"])
+        assert code == 3
+        assert "DOES NOT FIT" in capsys.readouterr().out
+
+    def test_invalid_config_exit_code(self, capsys):
+        assert main(["resources", "--pus", "0", "--pes", "1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_pe_sweep_output(self, capsys):
+        code = main(
+            [
+                "sweep", "--axis", "pe", "--individuals", "20",
+                "--outputs", "3", "--steps", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "U(PE)" in out
+        assert "heuristic ladder [3, 2, 1]" in out
+
+    def test_pu_sweep_output(self, capsys):
+        code = main(
+            [
+                "sweep", "--axis", "pu", "--individuals", "12",
+                "--steps", "3", "--max", "12",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "U(PU)" in out
+
+
+class TestRunCommand:
+    def test_run_writes_artifacts(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ckpt.json"
+        csv = tmp_path / "log.csv"
+        code = main(
+            [
+                "run", "--env", "cartpole", "--population", "40",
+                "--generations", "5", "--seed", "2", "--quiet",
+                "--checkpoint", str(checkpoint), "--csv", str(csv),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "cartpole" in out
+        assert checkpoint.exists()
+        assert csv.read_text().startswith("generation,")
+        assert code in (0, 2)  # solved or honest non-solve
+
+    def test_run_checkpoint_resumable(self, tmp_path):
+        from repro.neat.checkpoint import load_checkpoint
+
+        checkpoint = tmp_path / "ckpt.json"
+        main(
+            [
+                "run", "--env", "cartpole", "--population", "30",
+                "--generations", "2", "--seed", "1", "--quiet",
+                "--checkpoint", str(checkpoint),
+            ]
+        )
+        population = load_checkpoint(checkpoint)
+        assert len(population.population) == 30
+
+
+class TestCompareCommand:
+    def test_compare_prints_platforms(self, capsys):
+        code = main(
+            [
+                "compare", "--env", "cartpole", "--population", "30",
+                "--generations", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for token in ("E3-CPU", "E3-GPU", "E3-INAX", "speedup"):
+            assert token in out
+
+
+class TestResumeCommand:
+    def test_resume_continues_run(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ckpt.json"
+        main(
+            [
+                "run", "--env", "cartpole", "--population", "30",
+                "--generations", "2", "--seed", "1", "--quiet",
+                "--checkpoint", str(checkpoint),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "resume", "--checkpoint", str(checkpoint),
+                "--env", "cartpole", "--generations", "2", "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "resumed cartpole" in out
+        assert "checkpoint updated" in out
+        assert code in (0, 2)
+
+    def test_resume_env_mismatch_rejected(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ckpt.json"
+        main(
+            [
+                "run", "--env", "cartpole", "--population", "20",
+                "--generations", "1", "--seed", "1", "--quiet",
+                "--checkpoint", str(checkpoint),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "resume", "--checkpoint", str(checkpoint),
+                "--env", "bipedal_walker", "--generations", "1", "--quiet",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestDotCommand:
+    def test_dot_to_stdout(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ckpt.json"
+        main(
+            [
+                "run", "--env", "cartpole", "--population", "20",
+                "--generations", "2", "--seed", "3", "--quiet",
+                "--checkpoint", str(checkpoint),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["dot", "--checkpoint", str(checkpoint)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph champion {")
+        assert "->" in out
+
+    def test_dot_to_file(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ckpt.json"
+        main(
+            [
+                "run", "--env", "cartpole", "--population", "20",
+                "--generations", "1", "--seed", "3", "--quiet",
+                "--checkpoint", str(checkpoint),
+            ]
+        )
+        out_file = tmp_path / "champ.dot"
+        assert main(
+            ["dot", "--checkpoint", str(checkpoint), "--out", str(out_file)]
+        ) == 0
+        assert out_file.read_text().startswith("digraph champion {")

@@ -1,0 +1,67 @@
+"""Unit tests for energy accounting."""
+
+import pytest
+
+from repro.core.energy import (
+    PLATFORM_POWER,
+    PhasePower,
+    energy_report,
+)
+from repro.hw import calibration as cal
+from repro.hw.cpu_model import PhaseTimes
+
+
+def test_energy_is_power_times_time():
+    times = PhaseTimes(evaluate=2.0, env=1.0, createnet=0.5, evolve=0.5)
+    power = PhasePower(evaluate=10.0, env=5.0, createnet=5.0, evolve=5.0)
+    report = energy_report(times, power)
+    assert report.evaluate == 20.0
+    assert report.env == 5.0
+    assert report.total == 20.0 + 5.0 + 2.5 + 2.5
+
+
+def test_preset_lookup():
+    times = PhaseTimes(evaluate=1.0)
+    report = energy_report(times, "cpu")
+    assert report.evaluate == cal.CPU_POWER_WATTS
+
+
+def test_unknown_preset():
+    with pytest.raises(KeyError, match="unknown power preset"):
+        energy_report(PhaseTimes(), "tpu")
+
+
+def test_presets_cover_platforms():
+    assert {"cpu", "gpu", "inax", "inax-edge"} <= set(PLATFORM_POWER)
+
+
+def test_gpu_preset_prices_evaluate_higher():
+    times = PhaseTimes(evaluate=1.0, env=1.0)
+    cpu = energy_report(times, "cpu")
+    gpu = energy_report(times, "gpu")
+    assert gpu.evaluate > cpu.evaluate
+    assert gpu.env == cpu.env  # env stays on the CPU
+
+
+def test_inax_preset_prices_evaluate_lower():
+    times = PhaseTimes(evaluate=1.0)
+    cpu = energy_report(times, "cpu")
+    inax = energy_report(times, "inax")
+    assert inax.evaluate < cpu.evaluate / 5
+
+
+def test_edge_preset_cheapest_host():
+    times = PhaseTimes(env=1.0, evolve=1.0)
+    desktop = energy_report(times, "inax")
+    edge = energy_report(times, "inax-edge")
+    assert edge.total < desktop.total
+
+
+def test_fractions():
+    report = energy_report(
+        PhaseTimes(evaluate=3.0, env=1.0),
+        PhasePower(evaluate=1.0, env=1.0, createnet=1.0, evolve=1.0),
+    )
+    fr = report.fractions()
+    assert fr["evaluate"] == pytest.approx(0.75)
+    assert sum(fr.values()) == pytest.approx(1.0)

@@ -1,0 +1,86 @@
+"""Unit and integration tests for the three-platform experiment driver."""
+
+import pytest
+
+from repro.core.backends import CPUBackend
+from repro.core.experiment import cpu_model_for, price_run, run_experiment
+from repro.hw import calibration as cal
+from repro.inax.accelerator import INAXConfig
+from repro.neat.config import NEATConfig
+
+
+def _quick(env="cartpole", seed=1, gens=3, pop=30):
+    return run_experiment(
+        env,
+        seed=seed,
+        neat_config=NEATConfig(population_size=pop),
+        max_generations=gens,
+        fitness_threshold=150.0,
+    )
+
+
+class TestRunExperiment:
+    def test_result_structure(self):
+        res = _quick()
+        assert res.env_name == "cartpole"
+        assert res.paper_id == "Env1"
+        assert set(res.platforms) == {"cpu", "gpu", "inax"}
+        assert res.generations >= 1
+        assert res.inax_report.individuals > 0
+        assert res.run is not None
+
+    def test_platform_ordering(self):
+        # the paper's Fig 9(b) ordering: GPU slowest, INAX fastest
+        res = _quick(gens=4)
+        cpu = res.platforms["cpu"].runtime_seconds
+        gpu = res.platforms["gpu"].runtime_seconds
+        inax = res.platforms["inax"].runtime_seconds
+        assert gpu > cpu > inax
+
+    def test_speedup_and_energy_helpers(self):
+        res = _quick()
+        assert res.speedup() > 1.0
+        assert res.energy_ratio("inax") < 1.0  # INAX saves energy
+        assert res.energy_ratio("gpu") > 1.0  # GPU burns more
+
+    def test_energy_consistent_with_times(self):
+        res = _quick()
+        cpu = res.platforms["cpu"]
+        expected = cpu.times.total * cal.CPU_POWER_WATTS
+        assert cpu.energy_joules == pytest.approx(expected)
+
+
+class TestPriceRun:
+    def _records(self):
+        neat_cfg = NEATConfig(num_inputs=4, num_outputs=2, population_size=10)
+        inax_cfg = INAXConfig(num_pus=5, num_pes_per_pu=2)
+        backend = CPUBackend(
+            "cartpole", neat_cfg, base_seed=0, inax_config=inax_cfg
+        )
+        from tests.core.test_backends import _genomes
+
+        backend.evaluate(_genomes(neat_cfg, n=10))
+        return backend.records, inax_cfg
+
+    def test_prices_all_platforms(self):
+        records, inax_cfg = self._records()
+        platforms, merged = price_run(records, inax_cfg)
+        assert set(platforms) == {"cpu", "gpu", "inax"}
+        assert merged.individuals == 10
+
+    def test_missing_cycle_report_rejected(self):
+        records, inax_cfg = self._records()
+        records[0].cycle_report = None
+        with pytest.raises(ValueError, match="no INAX cycle report"):
+            price_run(records, inax_cfg)
+
+
+class TestCpuModelFor:
+    def test_box2d_env_pricier(self):
+        cheap = cpu_model_for("cartpole")
+        pricey = cpu_model_for("bipedal_walker")
+        assert pricey.seconds_per_env_step > cheap.seconds_per_env_step
+
+    def test_unknown_env_uses_default(self):
+        model = cpu_model_for("not_an_env")
+        assert model.seconds_per_env_step == cal.CPU_SECONDS_PER_ENV_STEP

@@ -1,0 +1,142 @@
+"""Tests for the model-tuning machinery: env physics overrides and
+warm-started populations (§I's first use-case)."""
+
+import numpy as np
+import pytest
+
+from repro.core.platform import E3
+from repro.envs.cartpole import CartPole
+from repro.envs.pendulum import Pendulum
+from repro.envs.registry import make
+from repro.neat.config import NEATConfig
+from repro.neat.innovation import InnovationTracker
+from repro.neat.population import Population
+
+from tests.conftest import evolved_genome
+
+
+class TestEnvPhysicsOverrides:
+    def test_pendulum_mass_changes_dynamics(self):
+        nominal = Pendulum(seed=0)
+        heavy = Pendulum(seed=0, mass=3.0)
+        nominal.reset(seed=1)
+        heavy.reset(seed=1)
+        action = np.array([2.0])
+        obs_n = nominal.step(action)[0]
+        obs_h = heavy.step(action)[0]
+        assert not np.array_equal(obs_n, obs_h)
+
+    def test_pendulum_invalid_params(self):
+        with pytest.raises(ValueError):
+            Pendulum(mass=0)
+        with pytest.raises(ValueError):
+            Pendulum(length=-1)
+
+    def test_cartpole_overrides(self):
+        env = CartPole(pole_mass=0.3, pole_half_length=0.8, force_mag=5.0)
+        assert env.POLE_MASS == 0.3
+        assert env.FORCE_MAG == 5.0
+        # class defaults untouched
+        assert CartPole.POLE_MASS == 0.1
+
+    def test_cartpole_invalid_params(self):
+        for kwargs in (
+            {"pole_mass": 0},
+            {"pole_half_length": -1},
+            {"force_mag": 0},
+        ):
+            with pytest.raises(ValueError):
+                CartPole(**kwargs)
+
+    def test_make_forwards_kwargs(self):
+        env = make("pendulum", seed=0, mass=2.0)
+        assert env.MASS == 2.0
+
+    def test_make_rejects_unknown_kwargs(self):
+        with pytest.raises(TypeError):
+            make("pendulum", wingspan=3.0)
+
+
+class TestWarmStart:
+    def _champion(self, cfg):
+        tracker = InnovationTracker(cfg.num_outputs)
+        rng = np.random.default_rng(7)
+        genome = evolved_genome(cfg, tracker, rng, mutations=12, key=0)
+        genome.fitness = 10.0
+        return genome
+
+    def test_population_contains_exact_champion_copy(self):
+        cfg = NEATConfig(num_inputs=3, num_outputs=2, population_size=20)
+        champion = self._champion(cfg)
+        pop = Population(cfg, seed=1, seed_genome=champion)
+        assert len(pop.population) == 20
+        first = pop.population[0]
+        assert set(first.connections) == set(champion.connections)
+        assert all(
+            first.connections[k].weight == champion.connections[k].weight
+            for k in champion.connections
+        )
+        assert first.fitness is None  # must be re-evaluated on the new env
+
+    def test_warm_start_population_is_mutated_diversity(self):
+        cfg = NEATConfig(num_inputs=3, num_outputs=2, population_size=20)
+        champion = self._champion(cfg)
+        pop = Population(cfg, seed=1, seed_genome=champion)
+        signatures = {
+            tuple(sorted(g.connections)) for g in pop.population
+        }
+        assert len(signatures) > 1  # mutation actually diversified
+
+    def test_innovation_tracker_primed(self):
+        cfg = NEATConfig(num_inputs=3, num_outputs=2, population_size=10)
+        champion = self._champion(cfg)
+        max_innovation = max(
+            c.innovation for c in champion.connections.values()
+        )
+        pop = Population(cfg, seed=1, seed_genome=champion)
+        # new innovations continue past the champion's history
+        assert pop.tracker.innovation_count > max_innovation
+        # re-querying a champion connection returns its historic number
+        key = next(iter(champion.connections))
+        assert (
+            pop.tracker.connection_innovation(key)
+            == champion.connections[key].innovation
+        )
+
+    def test_warm_started_run_evolves(self):
+        cfg = NEATConfig(num_inputs=3, num_outputs=2, population_size=15)
+        champion = self._champion(cfg)
+        pop = Population(cfg, seed=2, seed_genome=champion)
+
+        def evaluate(genomes):
+            for g in genomes:
+                g.fitness = float(len(g.connections))
+
+        result = pop.run(evaluate, max_generations=3)
+        assert result.generations == 3
+
+    def test_e3_accepts_seed_genome_and_env_kwargs(self):
+        base = E3(
+            "pendulum",
+            neat_config=NEATConfig(population_size=15),
+            seed=3,
+        )
+        run = base.run(max_generations=1)
+        tuned = E3(
+            "pendulum",
+            neat_config=NEATConfig(population_size=15),
+            seed=4,
+            env_kwargs={"mass": 1.5},
+            seed_genome=run.best_genome,
+        )
+        assert tuned.backend.env_kwargs == {"mass": 1.5}
+        result = tuned.run(max_generations=1)
+        assert result.best_fitness is not None
+
+    def test_env_kwargs_change_fitness_landscape(self):
+        cfg = NEATConfig(population_size=12)
+        a = E3("pendulum", neat_config=cfg, seed=5)
+        b = E3("pendulum", neat_config=cfg, seed=5, env_kwargs={"mass": 3.0})
+        fa = a.run(max_generations=1).best_fitness
+        fb = b.run(max_generations=1).best_fitness
+        assert fa != fb

@@ -1,0 +1,75 @@
+"""Unit tests for result formatting helpers."""
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.results import (
+    format_breakdown,
+    format_seconds,
+    format_table,
+    to_json,
+)
+
+
+class TestFormatSeconds:
+    def test_scales(self):
+        assert format_seconds(527.0) == "527"
+        assert format_seconds(43.3) == "43.3"
+        assert format_seconds(0.02) == "0.02"
+        assert format_seconds(2.4) == "2.4"
+
+    def test_thousands_separator(self):
+        assert format_seconds(9749.0) == "9,749"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["env", "runtime"],
+            [["Env1", "0.3"], ["Env6", "527.0"]],
+            title="Fig 9(b)",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Fig 9(b)"
+        assert "env" in lines[1] and "runtime" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_cells_stringified(self):
+        table = format_table(["n"], [[3], [4.5]])
+        assert "3" in table and "4.5" in table
+
+
+class TestFormatBreakdown:
+    def test_percentages(self):
+        line = format_breakdown({"evaluate": 0.967, "evolve": 0.033})
+        assert "evaluate 96.7%" in line
+        assert "evolve 3.3%" in line
+        assert " | " in line
+
+
+class TestToJson:
+    def test_plain_objects(self):
+        assert json.loads(to_json({"a": [1, 2]})) == {"a": [1, 2]}
+
+    def test_dataclasses(self):
+        @dataclass
+        class Point:
+            x: int
+            y: int
+
+        assert json.loads(to_json(Point(1, 2))) == {"x": 1, "y": 2}
+
+    def test_numpy_arrays(self):
+        out = json.loads(to_json({"v": np.array([1.0, 2.0])}))
+        assert out["v"] == [1.0, 2.0]
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError):
+            to_json({"f": lambda: None})

@@ -1,0 +1,59 @@
+"""Unit tests for the suite runner."""
+
+import pytest
+
+from repro.core.suite import (
+    BENCH_SETTINGS,
+    PAPER_SETTINGS,
+    SuiteSettings,
+    run_suite,
+)
+from repro.envs.registry import ENV_SUITE
+
+
+class TestSettings:
+    def test_bench_settings_cover_whole_suite(self):
+        assert set(BENCH_SETTINGS.generations) == {
+            s.name for s in ENV_SUITE
+        }
+
+    def test_paper_settings_use_population_200(self):
+        assert PAPER_SETTINGS.population_size == 200  # §VI-C
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            SuiteSettings(population_size=1)
+
+    def test_unknown_env_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            SuiteSettings(population_size=10, generations={"doom": 5})
+
+
+class TestRunSuite:
+    def test_selected_envs_only(self):
+        settings = SuiteSettings(
+            population_size=20,
+            generations={"cartpole": 2, "pendulum": 2},
+            seed=1,
+        )
+        results = run_suite(settings, environments=["cartpole"])
+        assert set(results) == {"cartpole"}
+        result = results["cartpole"]
+        assert result.generations <= 2
+        assert set(result.platforms) == {"cpu", "gpu", "inax"}
+
+    def test_results_in_suite_order(self):
+        settings = SuiteSettings(
+            population_size=15,
+            generations={"pendulum": 1, "cartpole": 1},
+            seed=2,
+        )
+        results = run_suite(settings)
+        assert list(results) == ["cartpole", "pendulum"]  # Env1 before Env6
+
+    def test_envs_without_caps_skipped(self):
+        settings = SuiteSettings(
+            population_size=15, generations={"cartpole": 1}, seed=0
+        )
+        results = run_suite(settings)
+        assert set(results) == {"cartpole"}

@@ -1,0 +1,118 @@
+"""Unit tests for the OpenAI-ES baseline."""
+
+import numpy as np
+import pytest
+
+from repro.ea.es import ESConfig, OpenAIES, centered_ranks
+
+
+class TestCenteredRanks:
+    def test_range_and_mean(self):
+        shaped = centered_ranks(np.array([10.0, -3.0, 5.0, 0.0]))
+        assert shaped.min() == -0.5
+        assert shaped.max() == 0.5
+        assert abs(shaped.mean()) < 1e-12
+
+    def test_order_preserved(self):
+        values = np.array([1.0, 3.0, 2.0])
+        shaped = centered_ranks(values)
+        assert shaped[1] > shaped[2] > shaped[0]
+
+    def test_scale_invariant(self):
+        a = centered_ranks(np.array([1.0, 2.0, 3.0]))
+        b = centered_ranks(np.array([10.0, 2000.0, 3e6]))
+        assert np.allclose(a, b)
+
+    def test_single_value(self):
+        assert centered_ranks(np.array([7.0]))[0] == 0.0
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 1},
+            {"population_size": 7},  # odd
+            {"sigma": 0.0},
+            {"learning_rate": -1.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ESConfig(**kwargs)
+
+
+class TestOpenAIES:
+    def test_ask_is_mirrored(self):
+        es = OpenAIES(5, ESConfig(population_size=8), seed=0)
+        candidates = es.ask()
+        assert candidates.shape == (8, 5)
+        # pair rows are mirrored around theta (initially zero)
+        assert np.allclose(candidates[0::2], -candidates[1::2])
+
+    def test_tell_rejects_wrong_count(self):
+        es = OpenAIES(3, ESConfig(population_size=8), seed=0)
+        es.ask()
+        with pytest.raises(ValueError, match="expected 8"):
+            es.tell(np.zeros(5))
+
+    def test_moves_toward_better_direction(self):
+        es = OpenAIES(2, ESConfig(population_size=64, sigma=0.1,
+                                  learning_rate=0.5, weight_decay=0.0), seed=1)
+        candidates = es.ask()
+        # fitness = first coordinate: the update must increase theta[0]
+        es.tell(candidates[:, 0])
+        assert es.theta[0] > 0.0
+        assert abs(es.theta[1]) < es.theta[0]
+
+    def test_solves_sphere(self):
+        target = np.array([0.7, -1.2])
+
+        def sphere(params, seed):
+            return -float(np.sum((params - target) ** 2))
+
+        es = OpenAIES(
+            2,
+            ESConfig(population_size=32, sigma=0.2, learning_rate=0.1),
+            seed=0,
+        )
+        result = es.run(sphere, max_generations=120)
+        assert np.allclose(es.theta, target, atol=0.15)
+        assert result.best_fitness > -0.1
+        assert result.evaluations == result.generations * 32
+
+    def test_threshold_stops_early(self):
+        es = OpenAIES(2, ESConfig(population_size=8), seed=0)
+        result = es.run(lambda p, s: 100.0, max_generations=50,
+                        fitness_threshold=1.0)
+        assert result.solved
+        assert result.generations == 1
+
+    def test_history_monotone_best(self):
+        es = OpenAIES(2, ESConfig(population_size=16), seed=2)
+        result = es.run(
+            lambda p, s: -float(np.sum(p**2)), max_generations=20
+        )
+        assert len(result.history) == 20
+        assert result.best_fitness == max(result.history)
+
+    def test_deterministic_under_seed(self):
+        def fitness(params, seed):
+            return -float(np.sum(params**2))
+
+        runs = []
+        for _ in range(2):
+            es = OpenAIES(3, ESConfig(population_size=8), seed=9)
+            runs.append(es.run(fitness, max_generations=5).history)
+        assert runs[0] == runs[1]
+
+    def test_weight_decay_shrinks_theta(self):
+        es = OpenAIES(
+            4,
+            ESConfig(population_size=8, weight_decay=0.5, learning_rate=1e-9),
+            seed=0,
+        )
+        es.theta = np.ones(4)
+        candidates = es.ask()
+        es.tell(np.zeros(len(candidates)))
+        assert np.all(np.abs(es.theta) < 1.0)

@@ -1,0 +1,100 @@
+"""Unit tests for the fixed-topology GA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.ea.ga import GAConfig, SimpleGA
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 1},
+            {"truncation": 0.0},
+            {"truncation": 1.5},
+            {"mutation_sigma": 0.0},
+            {"elitism": -1},
+            {"elitism": 64},
+            {"crossover_rate": 2.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            GAConfig(**kwargs)
+
+
+class TestSimpleGA:
+    def test_population_shape(self):
+        ga = SimpleGA(7, GAConfig(population_size=10), seed=0)
+        assert ga.population.shape == (10, 7)
+
+    def test_step_rejects_wrong_count(self):
+        ga = SimpleGA(3, GAConfig(population_size=10), seed=0)
+        with pytest.raises(ValueError, match="expected 10"):
+            ga.step(np.zeros(4))
+
+    def test_elite_preserved_exactly(self):
+        ga = SimpleGA(4, GAConfig(population_size=10, elitism=2), seed=0)
+        fitnesses = np.arange(10, dtype=np.float64)
+        best = ga.population[9].copy()
+        second = ga.population[8].copy()
+        ga.step(fitnesses)
+        assert np.array_equal(ga.population[0], best)
+        assert np.array_equal(ga.population[1], second)
+
+    def test_children_derive_from_survivors(self):
+        ga = SimpleGA(
+            3,
+            GAConfig(
+                population_size=8, truncation=0.25, mutation_sigma=1e-9
+            ),
+            seed=1,
+        )
+        fitnesses = np.arange(8, dtype=np.float64)
+        survivors = ga.population[np.argsort(fitnesses)[::-1][:2]].copy()
+        ga.step(fitnesses)
+        for child in ga.population[1:]:
+            distances = [np.abs(child - s).max() for s in survivors]
+            assert min(distances) < 1e-6
+
+    def test_solves_sphere(self):
+        target = np.array([0.5, -0.5, 1.0])
+
+        def sphere(params, seed):
+            return -float(np.sum((params - target) ** 2))
+
+        ga = SimpleGA(
+            3, GAConfig(population_size=40, mutation_sigma=0.1), seed=0
+        )
+        result = ga.run(sphere, max_generations=80)
+        assert result.best_fitness > -0.05
+        assert np.allclose(result.best_params, target, atol=0.3)
+
+    def test_crossover_path(self):
+        ga = SimpleGA(
+            6,
+            GAConfig(
+                population_size=10, crossover_rate=1.0, mutation_sigma=1e-9
+            ),
+            seed=3,
+        )
+        fitnesses = np.arange(10, dtype=np.float64)
+        ga.step(fitnesses)  # must not raise; children mix parents
+
+    def test_threshold_stops_early(self):
+        ga = SimpleGA(2, GAConfig(population_size=6), seed=0)
+        result = ga.run(
+            lambda p, s: 1.0, max_generations=50, fitness_threshold=0.5
+        )
+        assert result.solved and result.generations == 1
+
+    def test_deterministic_under_seed(self):
+        def fitness(params, seed):
+            return -float(np.sum(params**2))
+
+        histories = []
+        for _ in range(2):
+            ga = SimpleGA(3, GAConfig(population_size=8), seed=5)
+            histories.append(ga.run(fitness, max_generations=5).history)
+        assert histories[0] == histories[1]

@@ -1,0 +1,61 @@
+"""Unit tests for the fixed-topology policy wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.ea.policy import FixedTopologyPolicy
+from repro.envs.cartpole import CartPole
+from repro.envs.pendulum import Pendulum
+
+
+def test_flat_round_trip():
+    policy = FixedTopologyPolicy(
+        CartPole(), hidden=(8,), rng=np.random.default_rng(0)
+    )
+    flat = policy.get_flat()
+    assert flat.shape == (policy.num_parameters,)
+    perturbed = flat + 1.0
+    policy.set_flat(perturbed)
+    assert np.allclose(policy.get_flat(), perturbed)
+
+
+def test_set_flat_rejects_wrong_size():
+    policy = FixedTopologyPolicy(CartPole(), hidden=(4,))
+    with pytest.raises(ValueError):
+        policy.set_flat(np.zeros(3))
+
+
+def test_parameters_match_mlp():
+    policy = FixedTopologyPolicy(CartPole(), hidden=(8, 8))
+    # 4 -> 8 -> 8 -> 2 with biases
+    expected = 4 * 8 + 8 + 8 * 8 + 8 + 8 * 2 + 2
+    assert policy.num_parameters == expected
+
+
+def test_policy_fn_output_width():
+    policy = FixedTopologyPolicy(Pendulum(), hidden=(4,))
+    out = policy.policy_fn()(np.zeros(3))
+    assert out.shape == (1,)
+
+
+def test_fitness_is_deterministic():
+    policy = FixedTopologyPolicy(
+        CartPole(), hidden=(4,), rng=np.random.default_rng(1)
+    )
+    flat = policy.get_flat()
+    a = policy.fitness(flat, episodes=2, seed=3, max_steps=100)
+    b = policy.fitness(flat, episodes=2, seed=3, max_steps=100)
+    assert a == b
+
+
+def test_fitness_depends_on_parameters():
+    policy = FixedTopologyPolicy(
+        CartPole(), hidden=(4,), rng=np.random.default_rng(1)
+    )
+    rng = np.random.default_rng(0)
+    values = {
+        policy.fitness(rng.standard_normal(policy.num_parameters), seed=3,
+                       max_steps=200)
+        for _ in range(6)
+    }
+    assert len(values) > 1  # different weights, different behaviour

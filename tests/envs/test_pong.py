@@ -1,0 +1,104 @@
+"""Unit tests for the Pong (Env7, Atari-class) environment."""
+
+import numpy as np
+import pytest
+
+from repro.envs.pong import Pong
+from repro.envs.rollout import run_episode
+
+
+def _tracking_policy(obs: np.ndarray) -> np.ndarray:
+    """Move toward the ball's y — the obvious decent strategy."""
+    ball_y, own_y = obs[1], obs[4]
+    if ball_y > own_y:
+        return np.array([0.0, 1.0, 0.0])  # up
+    return np.array([0.0, 0.0, 1.0])  # down
+
+
+class TestInterface:
+    def test_observation_and_actions(self):
+        env = Pong(seed=0)
+        obs = env.reset()
+        assert obs.shape == (6,)
+        assert env.action_space.n == 3
+        assert env.num_outputs == 3
+
+    def test_observation_normalized(self):
+        env = Pong(seed=0)
+        obs = env.reset(seed=1)
+        for _ in range(100):
+            obs, _, done, _ = env.step(0)
+            assert np.all(np.abs(obs) <= 1.5)
+            if done:
+                break
+
+    def test_determinism(self):
+        a, b = Pong(), Pong()
+        oa, ob = a.reset(seed=3), b.reset(seed=3)
+        assert np.array_equal(oa, ob)
+        for _ in range(50):
+            ra, rb = a.step(1), b.step(1)
+            assert np.array_equal(ra[0], rb[0]) and ra[1] == rb[1]
+            if ra[2]:
+                break
+
+    def test_invalid_action(self):
+        env = Pong(seed=0)
+        env.reset(seed=0)
+        with pytest.raises(ValueError):
+            env.step(5)
+
+
+class TestGameplay:
+    def test_idle_paddle_loses(self):
+        env = Pong(seed=0)
+        rec = run_episode(env, lambda o: np.array([1.0, 0.0, 0.0]), seed=4)
+        assert rec.total_reward <= -3  # opponent wins nearly every rally
+
+    def test_tracking_policy_wins(self):
+        rewards = [
+            run_episode(Pong(), _tracking_policy, seed=s).total_reward
+            for s in range(4)
+        ]
+        assert np.mean(rewards) > 1.0  # own paddle is faster: tracker wins
+
+    def test_match_ends_at_points_limit(self):
+        env = Pong(seed=0)
+        env.reset(seed=5)
+        done = False
+        info = {}
+        while not done:
+            _, _, done, info = env.step(0)
+        assert (
+            info["own_score"] >= env.POINTS_TO_WIN
+            or info["opp_score"] >= env.POINTS_TO_WIN
+            or info["truncated"]
+        )
+
+    def test_rewards_are_rally_outcomes(self):
+        env = Pong(seed=0)
+        env.reset(seed=6)
+        seen = set()
+        done = False
+        while not done:
+            _, reward, done, _ = env.step(0)
+            seen.add(reward)
+        assert seen <= {-1.0, 0.0, 1.0}
+        assert -1.0 in seen  # the idle paddle lost rallies
+
+    def test_paddle_clamped_to_field(self):
+        env = Pong(seed=0)
+        env.reset(seed=7)
+        for _ in range(200):
+            _, _, done, _ = env.step(env.UP)
+            if done:
+                break
+        assert env._own_y <= env.FIELD_H - env.PADDLE_HALF + 1e-9
+
+    def test_wall_bounce_preserves_ball(self):
+        env = Pong(seed=0)
+        env.reset(seed=8)
+        env._ball = np.array([0.5, 0.001])
+        env._ball_v = np.array([0.01, -0.02])
+        env.step(0)
+        assert env._ball_v[1] > 0  # bounced off the bottom wall

@@ -1,0 +1,90 @@
+"""Unit tests for episode rollouts and action decoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.envs.cartpole import CartPole
+from repro.envs.pendulum import Pendulum
+from repro.envs.rollout import (
+    decode_action,
+    evaluate_policy,
+    run_episode,
+)
+
+
+def zero_policy(obs):
+    return np.zeros(4)
+
+
+class TestDecodeAction:
+    def test_discrete_argmax(self):
+        env = CartPole(seed=0)
+        assert decode_action(env, np.array([0.1, 0.9])) == 1
+        assert decode_action(env, np.array([0.9, 0.1])) == 0
+
+    def test_discrete_ignores_extra_outputs(self):
+        env = CartPole(seed=0)
+        assert decode_action(env, np.array([0.0, 1.0, 99.0])) == 1
+
+    def test_discrete_too_few_outputs(self):
+        env = CartPole(seed=0)
+        with pytest.raises(ValueError, match="needs 2"):
+            decode_action(env, np.array([0.5]))
+
+    def test_box_tanh_scaling(self):
+        env = Pendulum(seed=0)
+        action = decode_action(env, np.array([100.0]))
+        assert action == pytest.approx(env.MAX_TORQUE)  # tanh saturates
+        action = decode_action(env, np.array([0.0]))
+        assert action == pytest.approx(0.0)
+
+    @given(st.floats(-50, 50, allow_nan=False))
+    def test_box_always_in_bounds(self, raw):
+        env = Pendulum(seed=0)
+        action = np.asarray(decode_action(env, np.array([raw])))
+        assert env.action_space.contains(action)
+
+
+class TestRunEpisode:
+    def test_record_fields(self):
+        env = CartPole(seed=0)
+        rec = run_episode(env, zero_policy, seed=1)
+        assert rec.steps >= 1
+        assert rec.total_reward == pytest.approx(rec.steps)  # +1 per step
+        assert rec.rewards == []  # not kept by default
+
+    def test_keep_rewards(self):
+        env = CartPole(seed=0)
+        rec = run_episode(env, zero_policy, seed=1, keep_rewards=True)
+        assert len(rec.rewards) == rec.steps
+        assert sum(rec.rewards) == pytest.approx(rec.total_reward)
+
+    def test_max_steps_override(self):
+        env = Pendulum(seed=0)
+        rec = run_episode(env, lambda o: np.zeros(1), seed=1, max_steps=7)
+        assert rec.steps == 7
+        assert rec.truncated
+
+    def test_deterministic_with_seed(self):
+        env_a, env_b = CartPole(), CartPole()
+        rec_a = run_episode(env_a, zero_policy, seed=9)
+        rec_b = run_episode(env_b, zero_policy, seed=9)
+        assert rec_a.total_reward == rec_b.total_reward
+        assert rec_a.steps == rec_b.steps
+
+
+class TestEvaluatePolicy:
+    def test_averages_over_episodes(self):
+        env = CartPole(seed=0)
+        fitness = evaluate_policy(env, zero_policy, episodes=3, seeds=[1, 2, 3])
+        per_episode = [
+            run_episode(CartPole(), zero_policy, seed=s).total_reward
+            for s in (1, 2, 3)
+        ]
+        assert fitness == pytest.approx(np.mean(per_episode))
+
+    def test_seed_count_mismatch(self):
+        env = CartPole(seed=0)
+        with pytest.raises(ValueError, match="one entry per episode"):
+            evaluate_policy(env, zero_policy, episodes=2, seeds=[1])

@@ -1,0 +1,80 @@
+"""Unit tests for the BP-on-FPGA (FA3C-class) accelerator model."""
+
+import pytest
+
+from repro.hw.bp_fpga_model import (
+    BPAcceleratorSpec,
+    estimate_bp_accelerator_resources,
+)
+from repro.hw.fpga_model import ZCU104
+from repro.rl.policies import LARGE_HIDDEN, SMALL_HIDDEN
+
+
+class TestSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"layer_sizes": (4,)},
+            {"layer_sizes": (4, 2), "batch_size": 0},
+            {"layer_sizes": (4, 2), "num_macs": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            BPAcceleratorSpec(**kwargs)
+
+    def test_weight_count(self):
+        spec = BPAcceleratorSpec(layer_sizes=(4, 8, 2))
+        assert spec.num_weights == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_activation_words_scale_with_batch(self):
+        small = BPAcceleratorSpec(layer_sizes=(4, 8, 2), batch_size=8)
+        large = BPAcceleratorSpec(layer_sizes=(4, 8, 2), batch_size=64)
+        assert large.activation_words == 8 * small.activation_words
+
+    def test_onchip_state_is_4x_weights_plus_activations(self):
+        spec = BPAcceleratorSpec(layer_sizes=(4, 8, 2), batch_size=16)
+        assert spec.onchip_words == 4 * spec.num_weights + 16 * (4 + 8 + 2)
+
+
+class TestTableVIClaim:
+    """'The BP step costs more buffer ... which could become
+    bottleneck when the NN scales up' (Table VI discussion, §VII)."""
+
+    def test_small_policy_fits(self):
+        spec = BPAcceleratorSpec(
+            layer_sizes=(4, *SMALL_HIDDEN, 2), batch_size=128, num_macs=256
+        )
+        assert estimate_bp_accelerator_resources(spec).fits(ZCU104)
+
+    def test_large_policy_blows_the_device(self):
+        spec = BPAcceleratorSpec(
+            layer_sizes=(4, *LARGE_HIDDEN, 2), batch_size=128, num_macs=256
+        )
+        res = estimate_bp_accelerator_resources(spec)
+        assert not res.fits(ZCU104)
+        assert res.utilization(ZCU104)["BRAM"] > 1.0  # the buffer wall
+
+    def test_bp_state_dwarfs_an_evolved_individuals(self):
+        # per-network resident state: the BP trainer's words vs the
+        # per-PU buffer an evolved NEAT individual needs on INAX
+        from repro.inax.synthetic import synthetic_population
+
+        spec = BPAcceleratorSpec(
+            layer_sizes=(8, *SMALL_HIDDEN, 4), batch_size=32
+        )
+        evolved = synthetic_population(num_individuals=10, seed=1)
+        per_individual = max(
+            c.weight_buffer_words + c.value_buffer_words for c in evolved
+        )
+        assert spec.onchip_words > 20 * per_individual
+
+    def test_buffer_grows_with_batch_but_macs_do_not(self):
+        small = estimate_bp_accelerator_resources(
+            BPAcceleratorSpec(layer_sizes=(4, 64, 2), batch_size=8)
+        )
+        large = estimate_bp_accelerator_resources(
+            BPAcceleratorSpec(layer_sizes=(4, 64, 2), batch_size=1024)
+        )
+        assert large.bram36 > small.bram36
+        assert large.dsps == small.dsps

@@ -1,0 +1,186 @@
+"""Unit tests for the CPU/GPU/FPGA platform cost models."""
+
+import pytest
+
+from repro.hw import calibration as cal
+from repro.hw.cpu_model import CPUModel, PhaseTimes
+from repro.hw.fpga_model import (
+    INAXPlatformModel,
+    ZCU104,
+    estimate_fpga_power,
+    estimate_inax_resources,
+)
+from repro.hw.gpu_model import GPUModel
+from repro.hw.workload import GenerationWorkload, IndividualWork
+from repro.inax.accelerator import INAXConfig, schedule_generation
+from repro.inax.synthetic import synthetic_population
+
+
+def _generation(n=5, steps=10, seed=0):
+    pop = synthetic_population(num_individuals=n, seed=seed)
+    gen = GenerationWorkload(
+        individuals=[IndividualWork.from_config(c, steps) for c in pop]
+    )
+    return pop, gen
+
+
+class TestPhaseTimes:
+    def test_total_and_fractions(self):
+        t = PhaseTimes(evaluate=3.0, env=1.0, createnet=0.5, evolve=0.5)
+        assert t.total == 5.0
+        fr = t.fractions()
+        assert fr["evaluate"] == pytest.approx(0.6)
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_merge(self):
+        a = PhaseTimes(evaluate=1.0)
+        a.merge(PhaseTimes(evaluate=2.0, env=1.0))
+        assert a.evaluate == 3.0 and a.env == 1.0
+
+
+class TestCPUModel:
+    def test_evaluate_scales_with_macs(self):
+        _, small = _generation(steps=5)
+        _, large = _generation(steps=50)
+        model = CPUModel()
+        assert (
+            model.generation_times(large).evaluate
+            > model.generation_times(small).evaluate
+        )
+
+    def test_evaluate_dominates_for_neat_workloads(self):
+        # the Fig 1(b) shape: evaluate + env >> evolve
+        _, gen = _generation(n=50, steps=100)
+        times = CPUModel().generation_times(gen)
+        assert times.evaluate + times.env > 10 * (times.evolve + times.createnet)
+
+    def test_env_step_cost_configurable(self):
+        _, gen = _generation()
+        cheap = CPUModel(seconds_per_env_step=1e-6)
+        pricey = CPUModel(seconds_per_env_step=1e-4)
+        assert (
+            pricey.generation_times(gen).env
+            == pytest.approx(100 * cheap.generation_times(gen).env)
+        )
+
+
+class TestGPUModel:
+    def test_gpu_evaluate_slower_than_cpu(self):
+        # the paper's headline E3-GPU result: dispatch-bound, slower
+        # than the interpreted CPU baseline
+        _, gen = _generation(n=20, steps=20)
+        cpu = CPUModel()
+        gpu = GPUModel(host=cpu)
+        assert (
+            gpu.generation_times(gen).evaluate
+            > cpu.generation_times(gen).evaluate
+        )
+
+    def test_host_phases_match_cpu(self):
+        _, gen = _generation()
+        cpu = CPUModel()
+        gpu = GPUModel(host=cpu)
+        cpu_times = cpu.generation_times(gen)
+        gpu_times = gpu.generation_times(gen)
+        assert gpu_times.env == cpu_times.env
+        assert gpu_times.evolve == cpu_times.evolve
+        assert gpu_times.createnet == cpu_times.createnet
+
+    def test_dispatch_dominates(self):
+        _, gen = _generation(n=10, steps=10)
+        base = GPUModel().generation_times(gen).evaluate
+        no_dispatch = GPUModel(dispatch_seconds=0.0).generation_times(gen)
+        assert no_dispatch.evaluate < base / 5
+
+
+class TestFPGAResources:
+    def test_paper_config_fits_zcu104(self):
+        # §VI-C: PU=50, PE=output nodes (<=4)
+        res = estimate_inax_resources(num_pus=50, num_pes_per_pu=4)
+        assert res.fits(ZCU104)
+        util = res.utilization(ZCU104)
+        assert all(0 < v <= 1 for v in util.values())
+
+    def test_bigger_config_uses_more(self):
+        small = estimate_inax_resources(10, 2)
+        large = estimate_inax_resources(100, 4)
+        assert large.dsps > small.dsps
+        assert large.luts > small.luts
+        assert large.bram36 > small.bram36
+
+    def test_dsp_count_is_pe_count(self):
+        res = estimate_inax_resources(num_pus=7, num_pes_per_pu=3)
+        assert res.dsps == 21
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            estimate_inax_resources(0, 1)
+
+    def test_power_scales_with_resources(self):
+        small = estimate_fpga_power(estimate_inax_resources(10, 1))
+        large = estimate_fpga_power(estimate_inax_resources(200, 4))
+        assert 0 < small < large
+        assert large < cal.GPU_PLATFORM_POWER_WATTS  # sanity
+
+
+class TestINAXPlatformModel:
+    def test_evaluate_seconds_from_cycles(self):
+        pop, gen = _generation(n=10, steps=10)
+        inax_cfg = INAXConfig(num_pus=5, num_pes_per_pu=2)
+        report = schedule_generation(inax_cfg, pop, [10] * 10)
+        model = INAXPlatformModel(inax_cfg, clock_hz=1e8)
+        assert model.evaluate_seconds(report) == pytest.approx(
+            report.total_cycles / 1e8
+        )
+
+    def test_generation_times_split(self):
+        pop, gen = _generation(n=10, steps=10)
+        inax_cfg = INAXConfig(num_pus=5, num_pes_per_pu=2)
+        report = schedule_generation(inax_cfg, pop, [10] * 10)
+        cpu = CPUModel()
+        model = INAXPlatformModel(inax_cfg, host=cpu)
+        times = model.generation_times(gen, report)
+        host = cpu.generation_times(gen)
+        assert times.env == host.env
+        assert times.evolve == host.evolve
+        assert times.evaluate < host.evaluate  # the acceleration
+
+    def test_default_power_estimated_from_resources(self):
+        model = INAXPlatformModel(INAXConfig(num_pus=50, num_pes_per_pu=4))
+        assert 0 < model.fpga_power_watts < 20
+
+
+class TestCalibrationSanity:
+    def test_power_ordering(self):
+        assert (
+            cal.FPGA_POWER_WATTS
+            < cal.EDGE_CPU_POWER_WATTS
+            < cal.CPU_POWER_WATTS
+            < cal.GPU_PLATFORM_POWER_WATTS
+        )
+
+    def test_evaluate_to_env_ratio_supports_fig1b(self):
+        # a typical evolved net (10 nodes / 20 connections) must cost
+        # ~an order of magnitude more than an env step, or NEAT's
+        # evaluate-dominated profile cannot emerge
+        per_inference = (
+            cal.CPU_SECONDS_PER_ACTIVATE_CALL
+            + 20 * cal.CPU_SECONDS_PER_MAC
+            + 10 * cal.CPU_SECONDS_PER_NODE
+        )
+        assert per_inference > 10 * cal.CPU_SECONDS_PER_ENV_STEP
+
+    def test_env_table_covers_suite(self):
+        from repro.envs.registry import ENV_SUITE
+
+        for spec in ENV_SUITE:
+            assert spec.name in cal.ENV_STEP_SECONDS
+
+
+class TestOverlapIOResources:
+    def test_double_buffering_costs_bram(self):
+        single = estimate_inax_resources(10, 2)
+        double = estimate_inax_resources(10, 2, overlap_io=True)
+        assert double.bram36 > single.bram36
+        assert double.dsps == single.dsps  # compute unchanged
+        assert double.luts == single.luts

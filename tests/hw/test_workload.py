@@ -1,0 +1,48 @@
+"""Unit tests for workload accounting."""
+
+from repro.hw.workload import GenerationWorkload, IndividualWork, RunWorkload
+from repro.inax.synthetic import synthetic_population
+
+
+def _work(macs=10, nodes=5, steps=3):
+    return IndividualWork(
+        macs=macs,
+        nodes=nodes,
+        layers=2,
+        config_words=macs + 2 * nodes,
+        num_inputs=8,
+        num_outputs=4,
+        steps=steps,
+    )
+
+
+def test_from_config():
+    hw = synthetic_population(num_individuals=1, seed=0)[0]
+    work = IndividualWork.from_config(hw, steps=7)
+    assert work.macs == hw.num_connections
+    assert work.nodes == hw.num_nodes
+    assert work.layers == hw.num_layers
+    assert work.config_words == hw.config_words
+    assert work.steps == 7
+
+
+def test_generation_totals():
+    gen = GenerationWorkload(individuals=[_work(10, 5, 3), _work(20, 8, 2)])
+    assert gen.population_size == 2
+    assert gen.total_env_steps == 5
+    assert gen.total_inference_macs == 10 * 3 + 20 * 2
+    assert gen.total_inference_nodes == 5 * 3 + 8 * 2
+    assert gen.total_config_words == (10 + 10) + (20 + 16)
+
+
+def test_run_totals():
+    gen_a = GenerationWorkload(individuals=[_work(steps=3)])
+    gen_b = GenerationWorkload(individuals=[_work(steps=4), _work(steps=1)])
+    run = RunWorkload(generations=[gen_a, gen_b])
+    assert run.num_generations == 2
+    assert run.total_env_steps == 8
+    assert run.total_individuals == 3
+    assert (
+        run.total_inference_macs
+        == gen_a.total_inference_macs + gen_b.total_inference_macs
+    )

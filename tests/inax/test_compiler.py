@@ -1,0 +1,75 @@
+"""Unit tests for the genome -> HW configuration compiler."""
+
+import numpy as np
+import pytest
+
+from repro.inax.compiler import compile_genome, compile_network
+from repro.neat.config import NEATConfig
+from repro.neat.innovation import InnovationTracker
+from repro.neat.network import FeedForwardNetwork
+
+from tests.conftest import evolved_genome
+from tests.neat.test_network import _genome_from_edges
+
+
+def _compiled(seed=0, mutations=12):
+    cfg = NEATConfig(num_inputs=3, num_outputs=2)
+    tracker = InnovationTracker(2)
+    rng = np.random.default_rng(seed)
+    genome = evolved_genome(cfg, tracker, rng, mutations=mutations)
+    return cfg, genome, compile_genome(genome, cfg)
+
+
+def test_structure_matches_decoded_network():
+    cfg, genome, hw = _compiled()
+    net = FeedForwardNetwork.create(genome, cfg)
+    assert hw.num_inputs == len(net.input_keys)
+    assert hw.num_outputs == len(net.output_keys)
+    assert hw.num_nodes == net.num_evaluated_nodes
+    assert hw.num_connections == net.num_macs
+    assert hw.num_layers == len(net.layers)
+    assert hw.layer_sizes() == net.layer_sizes
+
+
+def test_config_words_formula():
+    cfg = NEATConfig(num_inputs=2, num_outputs=1)
+    genome = _genome_from_edges(cfg, [(-1, 0, 1.0), (-2, 0, 1.0)])
+    hw = compile_genome(genome, cfg)
+    # 2 connections + 2 words x 1 node
+    assert hw.config_words == 2 + 2
+    assert hw.weight_buffer_words == hw.config_words
+
+
+def test_value_buffer_holds_all_activations():
+    cfg, _, hw = _compiled()
+    assert hw.value_buffer_words == hw.num_inputs + hw.num_nodes
+
+
+def test_max_layer_width_and_fan_in():
+    cfg = NEATConfig(num_inputs=3, num_outputs=2)
+    edges = [
+        (-1, 0, 1.0),
+        (-2, 0, 1.0),
+        (-3, 0, 1.0),
+        (-1, 1, 1.0),
+    ]
+    hw = compile_genome(_genome_from_edges(cfg, edges), cfg)
+    assert hw.max_layer_width == 2  # both outputs in the single layer
+    assert hw.max_fan_in == 3
+
+
+def test_compile_network_equivalent_to_compile_genome():
+    cfg, genome, hw = _compiled(seed=7)
+    net = FeedForwardNetwork.create(genome, cfg)
+    hw2 = compile_network(net)
+    assert hw2.layer_sizes() == hw.layer_sizes()
+    assert hw2.num_connections == hw.num_connections
+
+
+def test_pruned_genes_not_shipped():
+    cfg = NEATConfig(num_inputs=2, num_outputs=1)
+    # node 5 is a dead branch; it must not consume HW resources
+    genome = _genome_from_edges(cfg, [(-1, 0, 1.0), (-2, 5, 1.0)])
+    hw = compile_genome(genome, cfg)
+    assert hw.num_nodes == 1
+    assert hw.num_connections == 1

@@ -1,0 +1,211 @@
+"""Unit tests for the fixed-point datapath, LPT scheduling, and
+activation-sparsity skipping."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.inax.compiler import compile_genome
+from repro.inax.datapath import FixedPointFormat, Q8_8
+from repro.inax.pe import PECosts, ProcessingElement
+from repro.inax.pu import ProcessingUnit, PUCosts
+from repro.inax.synthetic import random_irregular_genome
+from repro.neat.config import NEATConfig
+from repro.neat.innovation import InnovationTracker
+from repro.neat.network import FeedForwardNetwork, NodeEval
+
+
+class TestFixedPointFormat:
+    def test_word_and_resolution(self):
+        fmt = FixedPointFormat(integer_bits=8, fraction_bits=8)
+        assert fmt.word_bits == 16
+        assert fmt.resolution == 1 / 256
+        assert fmt.max_value == 128 - 1 / 256
+        assert fmt.min_value == -128
+
+    def test_invalid_formats(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(fraction_bits=-1)
+
+    def test_quantize_rounds_to_grid(self):
+        fmt = FixedPointFormat(integer_bits=4, fraction_bits=2)  # step .25
+        assert fmt.quantize(0.3) == 0.25
+        assert fmt.quantize(0.38) == 0.5
+        assert fmt.quantize(-0.3) == -0.25
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(integer_bits=4, fraction_bits=2)
+        assert fmt.quantize(100.0) == fmt.max_value
+        assert fmt.quantize(-100.0) == fmt.min_value
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Q8_8.quantize(float("nan"))
+
+    @given(st.floats(-100, 100, allow_nan=False))
+    def test_error_bound_in_range(self, x):
+        fmt = Q8_8
+        if fmt.min_value <= x <= fmt.max_value:
+            assert abs(fmt.quantize(x) - x) <= fmt.quantization_error_bound() + 1e-12
+
+    @given(st.floats(-500, 500, allow_nan=False))
+    def test_idempotent(self, x):
+        q = Q8_8.quantize(x)
+        assert Q8_8.quantize(q) == q
+
+
+class TestQuantizedPE:
+    def _plan(self):
+        return NodeEval(0, 0.1, "tanh", "sum", ((-1, 0.5), (-2, -0.25)))
+
+    def test_quantized_result_close_to_float(self):
+        plan = self._plan()
+        values = {-1: 0.3, -2: 0.7}
+        exact = ProcessingElement().compute(plan, values)
+        quantized = ProcessingElement(datapath=Q8_8).compute(plan, values)
+        assert abs(exact - quantized) < 0.05
+
+    def test_quantized_output_on_grid(self):
+        plan = self._plan()
+        out = ProcessingElement(datapath=Q8_8).compute(plan, {-1: 0.3, -2: 0.7})
+        assert out == Q8_8.quantize(out)
+
+    def test_coarse_format_larger_error(self):
+        plan = self._plan()
+        values = {-1: 0.313, -2: 0.709}
+        exact = ProcessingElement().compute(plan, values)
+        fine = ProcessingElement(
+            datapath=FixedPointFormat(8, 12)
+        ).compute(plan, values)
+        coarse = ProcessingElement(
+            datapath=FixedPointFormat(4, 2)
+        ).compute(plan, values)
+        assert abs(fine - exact) <= abs(coarse - exact) + 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2000))
+    def test_network_level_error_bounded(self, seed):
+        cfg = NEATConfig(num_inputs=4, num_outputs=2)
+        rng = np.random.default_rng(seed)
+        genome = random_irregular_genome(
+            0, cfg, 10, 0.3, rng, InnovationTracker(2)
+        )
+        hw = compile_genome(genome, cfg)
+        net = FeedForwardNetwork.create(genome, cfg)
+        pu = ProcessingUnit(num_pes=2, datapath=FixedPointFormat(8, 12))
+        pu.load(hw)
+        x = rng.uniform(-1, 1, size=4)
+        exact = net.activate(x)
+        quant, _ = pu.infer(x)
+        # tanh is 1-Lipschitz; with 12 fractional bits the end-to-end
+        # drift through a 10-hidden-node net stays small
+        assert np.all(np.abs(exact - quant) < 0.05)
+
+
+class TestLPTSchedule:
+    def _wide_layer_config(self):
+        cfg = NEATConfig(num_inputs=6, num_outputs=1)
+        from tests.neat.test_network import _genome_from_edges
+
+        # hidden layer fan-ins in key order: (4, 1, 4, 1).  In-order on
+        # 2 PEs pairs heavy-with-light twice (8 + 8 cycles); LPT pairs
+        # the two heavy nodes together (8 + 5 cycles).
+        edges = []
+        for node in (2, 3, 4, 5):
+            edges.append((-1, node, 1.0))
+        for src in (-2, -3, -4):
+            edges.append((src, 2, 1.0))  # node 2: fan-in 4
+            edges.append((src, 4, 1.0))  # node 4: fan-in 4
+        for node in (2, 3, 4, 5):
+            edges.append((node, 0, 1.0))
+        return cfg, _genome_from_edges(cfg, edges)
+
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            PUCosts(schedule="random")
+
+    def test_lpt_never_slower_than_inorder(self):
+        cfg, genome = self._wide_layer_config()
+        hw = compile_genome(genome, cfg)
+        for num_pes in (1, 2, 3):
+            inorder = ProcessingUnit(
+                num_pes, pu_costs=PUCosts(schedule="inorder")
+            )
+            lpt = ProcessingUnit(num_pes, pu_costs=PUCosts(schedule="lpt"))
+            inorder.load(hw)
+            lpt.load(hw)
+            assert lpt.step_cycles() <= inorder.step_cycles()
+
+    def test_lpt_strictly_faster_on_adversarial_order(self):
+        cfg, genome = self._wide_layer_config()
+        hw = compile_genome(genome, cfg)
+        inorder = ProcessingUnit(2, pu_costs=PUCosts(schedule="inorder"))
+        lpt = ProcessingUnit(2, pu_costs=PUCosts(schedule="lpt"))
+        inorder.load(hw)
+        lpt.load(hw)
+        # in-order pairs each heavy node with a light one (two slow
+        # iterations); LPT groups the heavies into one iteration
+        assert lpt.step_cycles() < inorder.step_cycles()
+
+    def test_lpt_preserves_functional_results(self):
+        cfg, genome = self._wide_layer_config()
+        hw = compile_genome(genome, cfg)
+        net = FeedForwardNetwork.create(genome, cfg)
+        lpt = ProcessingUnit(2, pu_costs=PUCosts(schedule="lpt"))
+        lpt.load(hw)
+        x = np.array([0.1, -0.2, 0.3, 0.4, -0.5, 0.6])
+        out, _ = lpt.infer(x)
+        assert np.array_equal(out, net.activate(x))
+
+
+class TestActivationSparsity:
+    def test_zero_inputs_skip_macs(self):
+        plan = NodeEval(
+            0, 0.0, "identity", "sum", ((-1, 1.0), (-2, 1.0), (-3, 1.0))
+        )
+        dense_pe = ProcessingElement(PECosts())
+        sparse_pe = ProcessingElement(PECosts(), skip_zero_activations=True)
+        values = {-1: 1.0, -2: 0.0, -3: 0.0}
+        r_dense, c_dense = dense_pe.compute_with_cycles(plan, values)
+        r_sparse, c_sparse = sparse_pe.compute_with_cycles(plan, values)
+        assert r_dense == r_sparse  # exact for sum aggregation
+        assert c_sparse == c_dense - 2  # two zero MACs skipped
+
+    def test_non_sum_aggregation_never_skips(self):
+        plan = NodeEval(
+            0, 0.0, "identity", "product", ((-1, 1.0), (-2, 1.0))
+        )
+        sparse_pe = ProcessingElement(skip_zero_activations=True)
+        dense_pe = ProcessingElement()
+        values = {-1: 3.0, -2: 0.0}
+        r_sparse, c_sparse = sparse_pe.compute_with_cycles(plan, values)
+        r_dense, c_dense = dense_pe.compute_with_cycles(plan, values)
+        assert r_sparse == r_dense == 0.0  # a zero factor must count
+        assert c_sparse == c_dense
+
+    def test_relu_network_saves_cycles(self):
+        cfg = NEATConfig(
+            num_inputs=6,
+            num_outputs=2,
+            default_activation="relu",
+            activation_options=("relu",),
+        )
+        rng = np.random.default_rng(3)
+        genome = random_irregular_genome(
+            0, cfg, 20, 0.3, rng, InnovationTracker(2)
+        )
+        hw = compile_genome(genome, cfg)
+        dense = ProcessingUnit(2)
+        sparse = ProcessingUnit(2, skip_zero_activations=True)
+        dense.load(hw)
+        sparse.load(hw)
+        x = rng.uniform(-1, 1, size=6)
+        out_dense, t_dense = dense.infer(x)
+        out_sparse, t_sparse = sparse.infer(x)
+        assert np.array_equal(out_dense, out_sparse)
+        # ReLU zeros roughly half the hidden activations
+        assert t_sparse.pe_active_cycles < t_dense.pe_active_cycles

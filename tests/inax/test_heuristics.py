@@ -1,0 +1,77 @@
+"""Unit tests for the §V parallelism heuristics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.inax.heuristics import (
+    choose_num_pes,
+    choose_num_pus,
+    divisor_ladder,
+    pe_candidates,
+    pu_candidates,
+)
+
+
+def test_ladder_for_ten():
+    # ceil(10/d): 10, 5, 4, 3, 2, 1 (deduplicated)
+    assert divisor_ladder(10) == [10, 5, 4, 3, 2, 1]
+
+
+def test_ladder_for_fifteen():
+    # the paper's Fig 6(b) case: 15, 8, 5, 4, 3, ...
+    ladder = divisor_ladder(15)
+    assert ladder[:4] == [15, 8, 5, 4]
+    assert ladder[-1] == 1
+
+
+def test_ladder_with_cap():
+    assert divisor_ladder(200, max_value=80) == [67, 50, 40, 34, 29] + [
+        v for v in divisor_ladder(200) if v < 29
+    ]
+
+
+def test_ladder_invalid():
+    with pytest.raises(ValueError):
+        divisor_ladder(0)
+
+
+@given(st.integers(1, 500))
+def test_ladder_values_are_ceil_divisions(k):
+    ladder = divisor_ladder(k)
+    assert ladder[0] == k
+    assert ladder[-1] == 1
+    valid = {math.ceil(k / d) for d in range(1, k + 1)}
+    assert set(ladder) == valid
+    assert ladder == sorted(ladder, reverse=True)
+
+
+def test_pe_choice_defaults_to_output_count():
+    # §VI-C: "we picked PE=output nodes"
+    assert choose_num_pes(4) == 4
+    assert choose_num_pes(1) == 1
+
+
+def test_pe_choice_resource_restricted():
+    # §V-A: fall back to ceil(k/2), ceil(k/3), ...
+    assert choose_num_pes(10, max_pes=7) == 5
+    assert choose_num_pes(10, max_pes=4) == 4
+    assert choose_num_pes(10, max_pes=1) == 1
+
+
+def test_pu_choice():
+    assert choose_num_pus(200) == 200
+    # the paper uses PU=50 = ceil(200/4)
+    assert choose_num_pus(200, max_pus=50) == 50
+    assert choose_num_pus(200, max_pus=99) == 67
+
+
+def test_candidates_are_ladders():
+    assert pe_candidates(6) == divisor_ladder(6)
+    assert pu_candidates(300, 150) == divisor_ladder(300, 150)
+
+
+def test_paper_fig7_peaks():
+    # Fig 7(a): with p=200 the peaks are at 200, 100, 67, 50, ...
+    assert pu_candidates(200)[:4] == [200, 100, 67, 50]

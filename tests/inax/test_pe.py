@@ -1,0 +1,73 @@
+"""Unit tests for the PE model."""
+
+import math
+
+import pytest
+
+from repro.inax.pe import PECosts, ProcessingElement
+from repro.neat.activations import activations
+from repro.neat.network import NodeEval
+
+
+def test_node_cycles_formula():
+    costs = PECosts(mac_cycles=1, pipeline_depth=4)
+    assert costs.node_cycles(0) == 4
+    assert costs.node_cycles(7) == 11
+    costs2 = PECosts(mac_cycles=2, pipeline_depth=3)
+    assert costs2.node_cycles(5) == 13
+
+
+def test_compute_matches_software_semantics():
+    pe = ProcessingElement()
+    plan = NodeEval(
+        key=0,
+        bias=0.5,
+        activation="tanh",
+        aggregation="sum",
+        ingress=((-1, 2.0), (-2, -1.0)),
+    )
+    values = {-1: 1.0, -2: 0.25}
+    result = pe.compute(plan, values)
+    expected = activations.get("tanh")(1.0 * 2.0 + 0.25 * -1.0 + 0.5)
+    assert result == expected  # bit-for-bit, same registry function
+
+
+def test_compute_zero_ingress_is_bias_only():
+    pe = ProcessingElement()
+    plan = NodeEval(0, 0.3, "identity", "sum", ())
+    assert pe.compute(plan, {}) == pytest.approx(0.3)
+
+
+def test_counters_accumulate():
+    pe = ProcessingElement(PECosts(pipeline_depth=2))
+    plan = NodeEval(0, 0.0, "identity", "sum", ((-1, 1.0),))
+    pe.compute(plan, {-1: 1.0})
+    pe.compute(plan, {-1: 2.0})
+    assert pe.nodes_computed == 2
+    assert pe.active_cycles == 2 * (1 + 2)
+    pe.reset_counters()
+    assert pe.active_cycles == 0 and pe.nodes_computed == 0
+
+
+def test_cycles_for_is_pure():
+    pe = ProcessingElement()
+    plan = NodeEval(0, 0.0, "identity", "sum", ((-1, 1.0), (-2, 1.0)))
+    before = pe.active_cycles
+    assert pe.cycles_for(plan) == 2 + pe.costs.pipeline_depth
+    assert pe.active_cycles == before  # timing query has no side effect
+
+
+def test_aggregation_respected():
+    pe = ProcessingElement()
+    plan = NodeEval(
+        0, 0.0, "identity", "max", ((-1, 1.0), (-2, 1.0))
+    )
+    assert pe.compute(plan, {-1: 3.0, -2: 7.0}) == 7.0
+
+
+def test_extreme_weights_stay_finite():
+    pe = ProcessingElement()
+    plan = NodeEval(0, 0.0, "sigmoid", "sum", ((-1, 30.0),))
+    out = pe.compute(plan, {-1: 1e6})
+    assert math.isfinite(out)
+    assert 0.0 <= out <= 1.0

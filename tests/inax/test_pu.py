@@ -1,0 +1,147 @@
+"""Unit and property tests for the PU model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.inax.compiler import compile_genome
+from repro.inax.pe import PECosts
+from repro.inax.pu import BufferOverflowError, ProcessingUnit, PUCosts
+from repro.neat.config import NEATConfig
+from repro.neat.innovation import InnovationTracker
+from repro.neat.network import FeedForwardNetwork
+
+from tests.conftest import evolved_genome
+
+
+def _setup(seed=0, mutations=12, num_pes=2):
+    cfg = NEATConfig(num_inputs=3, num_outputs=2)
+    tracker = InnovationTracker(2)
+    rng = np.random.default_rng(seed)
+    genome = evolved_genome(cfg, tracker, rng, mutations=mutations)
+    hw = compile_genome(genome, cfg)
+    pu = ProcessingUnit(num_pes=num_pes)
+    return cfg, genome, hw, pu, rng
+
+
+class TestLoad:
+    def test_load_returns_decode_cycles(self):
+        _, _, hw, pu, _ = _setup()
+        cycles = pu.load(hw)
+        assert cycles == hw.config_words  # 1 cycle/word default
+        assert pu.loaded is hw
+
+    def test_weight_buffer_overflow(self):
+        _, _, hw, _, _ = _setup()
+        pu = ProcessingUnit(num_pes=1, weight_buffer_capacity=1)
+        with pytest.raises(BufferOverflowError, match="weight buffer"):
+            pu.load(hw)
+
+    def test_value_buffer_overflow(self):
+        _, _, hw, _, _ = _setup()
+        pu = ProcessingUnit(num_pes=1, value_buffer_capacity=1)
+        with pytest.raises(BufferOverflowError, match="value buffer"):
+            pu.load(hw)
+
+    def test_infer_without_load_rejected(self):
+        pu = ProcessingUnit(num_pes=1)
+        with pytest.raises(RuntimeError, match="no individual loaded"):
+            pu.infer(np.zeros(3))
+
+    def test_zero_pes_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessingUnit(num_pes=0)
+
+
+class TestInferCorrectness:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 5_000),
+        num_pes=st.integers(1, 8),
+    )
+    def test_hw_matches_sw_bit_for_bit(self, seed, num_pes):
+        """The key equivalence property: PU output == software forward."""
+        cfg, genome, hw, _, rng = _setup(seed=seed)
+        pu = ProcessingUnit(num_pes=num_pes)
+        pu.load(hw)
+        net = FeedForwardNetwork.create(genome, cfg)
+        for _ in range(3):
+            x = rng.standard_normal(3)
+            sw = net.activate(x)
+            out, _ = pu.infer(x)
+            assert np.array_equal(sw, out)
+
+    def test_wrong_input_size(self):
+        _, _, hw, pu, _ = _setup()
+        pu.load(hw)
+        with pytest.raises(ValueError, match="inputs"):
+            pu.infer(np.zeros(7))
+
+    def test_network_reuse_across_steps(self):
+        # §IV-D: the same NN is reused for a series of inputs
+        _, genome, hw, pu, rng = _setup(seed=3)
+        pu.load(hw)
+        a, _ = pu.infer(np.ones(3))
+        pu.infer(rng.standard_normal(3))
+        b, _ = pu.infer(np.ones(3))
+        assert np.array_equal(a, b)  # no state leaks between steps
+
+
+class TestInferTiming:
+    def test_iterations_per_layer(self):
+        cfg, genome, hw, _, _ = _setup(seed=5, mutations=20)
+        pu = ProcessingUnit(num_pes=2)
+        pu.load(hw)
+        _, timing = pu.infer(np.zeros(3))
+        expected = [math.ceil(len(layer) / 2) for layer in hw.layers]
+        assert timing.iterations_per_layer == expected
+
+    def test_static_step_cycles_matches_measured(self):
+        for seed in range(5):
+            _, _, hw, _, _ = _setup(seed=seed)
+            for num_pes in (1, 2, 3):
+                pu = ProcessingUnit(num_pes=num_pes)
+                pu.load(hw)
+                _, timing = pu.infer(np.zeros(3))
+                assert pu.step_cycles() == timing.cycles
+
+    def test_pe_active_independent_of_pe_count(self):
+        # total useful work is a property of the network, not the cluster
+        _, _, hw, _, _ = _setup(seed=2)
+        actives = []
+        for num_pes in (1, 2, 4, 8):
+            pu = ProcessingUnit(num_pes=num_pes)
+            pu.load(hw)
+            _, timing = pu.infer(np.zeros(3))
+            actives.append(timing.pe_active_cycles)
+        assert len(set(actives)) == 1
+
+    def test_more_pes_never_slower(self):
+        _, _, hw, _, _ = _setup(seed=4, mutations=25)
+        previous = math.inf
+        for num_pes in (1, 2, 3, 4, 6, 8):
+            pu = ProcessingUnit(num_pes=num_pes)
+            pu.load(hw)
+            _, timing = pu.infer(np.zeros(3))
+            assert timing.cycles <= previous
+            previous = timing.cycles
+
+    def test_single_pe_cycles_closed_form(self):
+        cfg = NEATConfig(num_inputs=2, num_outputs=1)
+        from tests.neat.test_network import _genome_from_edges
+
+        genome = _genome_from_edges(cfg, [(-1, 0, 1.0), (-2, 0, 1.0)])
+        hw = compile_genome(genome, cfg)
+        pe_costs, pu_costs = PECosts(), PUCosts()
+        pu = ProcessingUnit(1, pe_costs=pe_costs, pu_costs=pu_costs)
+        pu.load(hw)
+        _, timing = pu.infer(np.zeros(2))
+        expected = (
+            pu_costs.input_load_cycles
+            + pe_costs.node_cycles(2)  # one node, fan-in 2
+            + pu_costs.layer_sync_cycles
+        )
+        assert timing.cycles == expected
+        assert timing.pe_provisioned_cycles == expected  # 1 PE

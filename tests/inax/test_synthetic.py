@@ -1,0 +1,113 @@
+"""Unit tests for the synthetic irregular-network generator."""
+
+import numpy as np
+import pytest
+
+from repro.inax.compiler import compile_genome
+from repro.inax.synthetic import (
+    PAPER_DEFAULTS,
+    random_irregular_genome,
+    synthetic_population,
+)
+from repro.neat.config import NEATConfig
+from repro.neat.network import FeedForwardNetwork
+
+from tests.neat.test_genome import _has_cycle
+
+
+def test_paper_defaults_match_footnote_3():
+    assert PAPER_DEFAULTS == {
+        "num_individuals": 200,
+        "num_inputs": 8,
+        "num_outputs": 4,
+        "num_hidden": 30,
+        "sparsity": 0.2,
+    }
+
+
+def test_generated_genomes_are_acyclic():
+    cfg = NEATConfig(num_inputs=4, num_outputs=3)
+    rng = np.random.default_rng(0)
+    for seed in range(5):
+        genome = random_irregular_genome(seed, cfg, 15, 0.3, rng)
+        assert not _has_cycle(genome.connections.keys())
+
+
+def test_decoded_output_layer_width_is_num_outputs():
+    # the §V-A anchor: every output sits in the final layer
+    cfg = NEATConfig(num_inputs=8, num_outputs=5)
+    rng = np.random.default_rng(1)
+    for seed in range(5):
+        genome = random_irregular_genome(seed, cfg, 20, 0.2, rng)
+        net = FeedForwardNetwork.create(genome, cfg)
+        assert sorted(net.layers[-1]) == list(cfg.output_keys)
+
+
+def test_hidden_layer_structure_preserved():
+    cfg = NEATConfig(num_inputs=8, num_outputs=4)
+    rng = np.random.default_rng(2)
+    genome = random_irregular_genome(
+        0, cfg, 30, 0.2, rng, num_hidden_layers=1
+    )
+    net = FeedForwardNetwork.create(genome, cfg)
+    assert len(net.layers) == 2  # hidden layer + output layer
+    assert len(net.layers[0]) == 30
+
+    genome3 = random_irregular_genome(
+        1, cfg, 30, 0.2, rng, num_hidden_layers=3
+    )
+    net3 = FeedForwardNetwork.create(genome3, cfg)
+    assert len(net3.layers) == 4
+
+
+def test_no_dead_hidden_nodes():
+    cfg = NEATConfig(num_inputs=8, num_outputs=4)
+    rng = np.random.default_rng(3)
+    genome = random_irregular_genome(0, cfg, 30, 0.05, rng)
+    net = FeedForwardNetwork.create(genome, cfg)
+    # anchors guarantee every hidden node survives pruning
+    assert net.num_evaluated_nodes == 30 + 4
+
+
+def test_sparsity_increases_connections():
+    cfg = NEATConfig(num_inputs=8, num_outputs=4)
+    rng = np.random.default_rng(4)
+    sparse = random_irregular_genome(0, cfg, 30, 0.1, rng)
+    dense = random_irregular_genome(1, cfg, 30, 0.6, rng)
+    assert len(dense.connections) > len(sparse.connections)
+
+
+def test_invalid_parameters():
+    cfg = NEATConfig(num_inputs=2, num_outputs=2)
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        random_irregular_genome(0, cfg, -1, 0.2, rng)
+    with pytest.raises(ValueError):
+        random_irregular_genome(0, cfg, 5, 1.5, rng)
+    with pytest.raises(ValueError):
+        random_irregular_genome(0, cfg, 5, 0.2, rng, num_hidden_layers=0)
+
+
+def test_population_is_reproducible():
+    a = synthetic_population(num_individuals=5, seed=11)
+    b = synthetic_population(num_individuals=5, seed=11)
+    for x, y in zip(a, b):
+        assert x.layer_sizes() == y.layer_sizes()
+        assert x.num_connections == y.num_connections
+
+
+def test_population_compiled_shapes():
+    pop = synthetic_population(num_individuals=6, num_outputs=3, seed=12)
+    assert len(pop) == 6
+    for hw in pop:
+        assert hw.num_inputs == 8
+        assert hw.num_outputs == 3
+        assert hw.num_nodes >= 30  # hidden survive + outputs
+
+
+def test_zero_hidden_nodes():
+    cfg = NEATConfig(num_inputs=3, num_outputs=2)
+    rng = np.random.default_rng(5)
+    genome = random_irregular_genome(0, cfg, 0, 0.5, rng)
+    net = FeedForwardNetwork.create(genome, cfg)
+    assert len(net.layers) == 1  # outputs only

@@ -1,0 +1,90 @@
+"""Unit tests for cycle reports and utilization math."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.inax.dma import DMAModel
+from repro.inax.timing import CycleReport, utilization
+
+
+class TestUtilization:
+    def test_basic(self):
+        assert utilization(50, 100) == 0.5
+
+    def test_zero_provisioned(self):
+        assert utilization(10, 0) == 0.0
+
+    def test_clamped_to_unit_interval(self):
+        assert utilization(101, 100) == 1.0
+        assert utilization(-1, 100) == 0.0
+
+    @given(
+        st.floats(0, 1e9, allow_nan=False),
+        st.floats(1e-9, 1e9, allow_nan=False),
+    )
+    def test_always_in_bounds(self, active, provisioned):
+        assert 0.0 <= utilization(active, provisioned) <= 1.0
+
+
+class TestCycleReport:
+    def test_totals(self):
+        rep = CycleReport(setup_cycles=10, compute_cycles=90)
+        assert rep.total_cycles == 100
+
+    def test_control_cycles(self):
+        rep = CycleReport(
+            pe_provisioned_cycles=100, pe_active_cycles=60
+        )
+        assert rep.control_cycles == 40
+
+    def test_control_never_negative(self):
+        rep = CycleReport(pe_provisioned_cycles=10, pe_active_cycles=20)
+        assert rep.control_cycles == 0
+
+    def test_breakdown_empty(self):
+        rep = CycleReport()
+        assert rep.breakdown() == {
+            "setup": 0.0,
+            "pe_active": 0.0,
+            "evaluate_control": 0.0,
+        }
+
+    def test_breakdown_fractions(self):
+        rep = CycleReport(
+            setup_cycles=20,
+            pe_provisioned_cycles=80,
+            pe_active_cycles=48,
+        )
+        b = rep.breakdown()
+        assert b["setup"] == pytest.approx(0.2)
+        assert b["pe_active"] == pytest.approx(0.48)
+        assert b["evaluate_control"] == pytest.approx(0.32)
+        assert sum(b.values()) == pytest.approx(1.0)
+
+    def test_merge(self):
+        a = CycleReport(setup_cycles=1, compute_cycles=2, steps=3, individuals=1)
+        b = CycleReport(setup_cycles=4, compute_cycles=8, steps=5, individuals=2)
+        a.merge(b)
+        assert a.setup_cycles == 5
+        assert a.compute_cycles == 10
+        assert a.steps == 8
+        assert a.individuals == 3
+
+
+class TestDMA:
+    def test_zero_words_free(self):
+        assert DMAModel().transfer_cycles(0) == 0
+
+    def test_latency_plus_bandwidth(self):
+        dma = DMAModel(words_per_cycle=4, latency_cycles=8)
+        assert dma.transfer_cycles(4) == 9
+        assert dma.transfer_cycles(5) == 10  # ceil
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DMAModel().transfer_cycles(-1)
+
+    @given(st.integers(1, 10_000))
+    def test_monotone_in_words(self, words):
+        dma = DMAModel()
+        assert dma.transfer_cycles(words + 1) >= dma.transfer_cycles(words)

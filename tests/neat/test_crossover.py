@@ -1,0 +1,111 @@
+"""Unit and property tests for NEAT crossover."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.neat.config import NEATConfig
+from repro.neat.crossover import crossover
+from repro.neat.genome import Genome
+from repro.neat.innovation import InnovationTracker
+
+from tests.conftest import evolved_genome
+from tests.neat.test_genome import _has_cycle
+
+
+def _parents(seed: int, mutations: int = 8):
+    cfg = NEATConfig(num_inputs=3, num_outputs=2)
+    tracker = InnovationTracker(cfg.num_outputs)
+    rng = np.random.default_rng(seed)
+    a = evolved_genome(cfg, tracker, rng, mutations=mutations, key=0)
+    b = evolved_genome(cfg, tracker, rng, mutations=mutations, key=1)
+    a.fitness, b.fitness = 2.0, 1.0
+    return cfg, rng, a, b
+
+
+def test_requires_evaluated_parents(small_config, rng, tracker):
+    a = Genome.initial(0, small_config, tracker, rng)
+    b = Genome.initial(1, small_config, tracker, rng)
+    with pytest.raises(ValueError, match="fitness"):
+        crossover(a, b, 2, small_config, rng)
+
+
+def test_child_key_and_outputs():
+    cfg, rng, a, b = _parents(0)
+    child = crossover(a, b, 42, cfg, rng)
+    assert child.key == 42
+    assert set(cfg.output_keys) <= set(child.nodes)
+
+
+def test_child_genes_come_from_parents():
+    cfg, rng, a, b = _parents(1)
+    child = crossover(a, b, 2, cfg, rng)
+    parent_keys = set(a.connections) | set(b.connections)
+    assert set(child.connections) <= parent_keys
+    parent_nodes = set(a.nodes) | set(b.nodes)
+    assert set(child.nodes) <= parent_nodes
+
+
+def test_fitter_parent_donates_disjoint_genes():
+    cfg, rng, a, b = _parents(2)
+    # make a strictly fitter and give it a unique gene set
+    child = crossover(a, b, 3, cfg, rng)
+    b_innovations = {c.innovation for c in b.connections.values()}
+    for key, conn in child.connections.items():
+        if conn.innovation not in b_innovations:
+            # disjoint/excess gene: must exist in the fitter parent a
+            assert key in a.connections
+
+
+def test_connections_reference_existing_nodes():
+    for seed in range(10):
+        cfg, rng, a, b = _parents(seed)
+        child = crossover(a, b, 5, cfg, rng)
+        for in_node, out_node in child.connections:
+            if in_node >= 0:
+                assert in_node in child.nodes
+            assert out_node in child.nodes
+
+
+def test_disable_inheritance_probability():
+    cfg = NEATConfig(num_inputs=1, num_outputs=1)
+    tracker = InnovationTracker(1)
+    rng = np.random.default_rng(0)
+    a = Genome.initial(0, cfg, tracker, rng)
+    b = a.copy(new_key=1)
+    a.fitness = b.fitness = 1.0
+    key = (-1, 0)
+    a.connections[key].enabled = False  # disabled in one parent
+    disabled = 0
+    trials = 400
+    for i in range(trials):
+        child = crossover(a, b, 10 + i, cfg, rng)
+        if not child.connections[key].enabled:
+            disabled += 1
+    assert 0.65 < disabled / trials < 0.85  # ~75% rule
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_crossover_never_creates_cycles(seed):
+    cfg, rng, a, b = _parents(seed)
+    b.fitness = a.fitness  # equal fitness merges both gene sets
+    child = crossover(a, b, 99, cfg, rng)
+    assert not _has_cycle(child.connections.keys())
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_crossover_of_identical_parents_is_identity_structure(seed):
+    cfg = NEATConfig(num_inputs=2, num_outputs=2)
+    tracker = InnovationTracker(2)
+    rng = np.random.default_rng(seed)
+    a = evolved_genome(cfg, tracker, rng, mutations=5, key=0)
+    b = a.copy(new_key=1)
+    a.fitness = b.fitness = 1.0
+    child = crossover(a, b, 2, cfg, rng)
+    assert set(child.connections) == set(a.connections)
+    # genes enabled in both parents are always enabled in the child
+    for key, conn in a.connections.items():
+        if conn.enabled:
+            assert child.connections[key].enabled

@@ -1,0 +1,77 @@
+"""Unit tests for node and connection genes."""
+
+import numpy as np
+
+from repro.neat.config import NEATConfig
+from repro.neat.genes import ConnectionGene, NodeGene
+
+
+def test_node_gene_copy_is_independent():
+    a = NodeGene(1, 0.5, "tanh", "sum")
+    b = a.copy()
+    b.bias = 2.0
+    assert a.bias == 0.5
+
+
+def test_node_gene_distance():
+    a = NodeGene(1, 0.5, "tanh", "sum")
+    b = NodeGene(1, 1.5, "tanh", "sum")
+    assert a.distance(b) == 1.0
+    c = NodeGene(1, 0.5, "relu", "max")
+    assert a.distance(c) == 2.0  # activation + aggregation mismatch
+    assert a.distance(a) == 0.0
+
+
+def test_connection_gene_properties():
+    c = ConnectionGene((-1, 0), 0.3, True, 7)
+    assert c.in_node == -1 and c.out_node == 0
+    assert c.innovation == 7
+
+
+def test_connection_gene_distance():
+    a = ConnectionGene((-1, 0), 0.5, True, 0)
+    b = ConnectionGene((-1, 0), 1.0, False, 0)
+    assert a.distance(b) == 1.5  # |dw| + enabled mismatch
+
+
+def test_node_mutation_respects_bounds():
+    cfg = NEATConfig(bias_min=-2.0, bias_max=2.0, bias_mutate_rate=1.0)
+    rng = np.random.default_rng(0)
+    gene = NodeGene(0, 1.9, "tanh", "sum")
+    for _ in range(100):
+        gene.mutate(cfg, rng)
+        assert cfg.bias_min <= gene.bias <= cfg.bias_max
+
+
+def test_weight_mutation_respects_bounds():
+    cfg = NEATConfig(weight_min=-1.0, weight_max=1.0, weight_mutate_rate=1.0)
+    rng = np.random.default_rng(0)
+    gene = ConnectionGene((-1, 0), 0.9, True, 0)
+    for _ in range(100):
+        gene.mutate(cfg, rng)
+        assert cfg.weight_min <= gene.weight <= cfg.weight_max
+
+
+def test_activation_mutation_draws_from_options():
+    cfg = NEATConfig(
+        activation_options=("tanh", "relu", "sigmoid"),
+        activation_mutate_rate=1.0,
+        bias_mutate_rate=0.0,
+    )
+    rng = np.random.default_rng(1)
+    gene = NodeGene(0, 0.0, "tanh", "sum")
+    seen = set()
+    for _ in range(50):
+        gene.mutate(cfg, rng)
+        seen.add(gene.activation)
+    assert seen <= {"tanh", "relu", "sigmoid"}
+    assert len(seen) > 1
+
+
+def test_random_factories_use_defaults():
+    cfg = NEATConfig(default_activation="relu", activation_options=("relu",))
+    rng = np.random.default_rng(2)
+    node = NodeGene.random(5, cfg, rng)
+    assert node.key == 5 and node.activation == "relu"
+    conn = ConnectionGene.random((-1, 5), 3, cfg, rng)
+    assert conn.enabled and conn.innovation == 3

@@ -1,0 +1,53 @@
+"""Unit tests for the innovation tracker (historical markings)."""
+
+from repro.neat.innovation import InnovationTracker
+
+
+def test_same_connection_same_number():
+    t = InnovationTracker(num_outputs=2)
+    a = t.connection_innovation((-1, 0))
+    b = t.connection_innovation((-2, 0))
+    assert a != b
+    assert t.connection_innovation((-1, 0)) == a  # stable on re-query
+
+
+def test_innovation_numbers_are_sequential():
+    t = InnovationTracker(num_outputs=1)
+    nums = [t.connection_innovation((-1, i)) for i in range(5)]
+    assert nums == [0, 1, 2, 3, 4]
+    assert t.innovation_count == 5
+
+
+def test_hidden_keys_start_after_outputs():
+    t = InnovationTracker(num_outputs=3)
+    assert t.node_for_split((-1, 0)) == 3
+    assert t.node_for_split((-1, 1)) == 4
+
+
+def test_same_split_same_node_within_generation():
+    t = InnovationTracker(num_outputs=1)
+    a = t.node_for_split((-1, 0))
+    b = t.node_for_split((-1, 0))
+    assert a == b
+
+
+def test_split_table_reset_across_generations():
+    t = InnovationTracker(num_outputs=1)
+    a = t.node_for_split((-1, 0))
+    t.reset_generation()
+    b = t.node_for_split((-1, 0))
+    assert b != a  # a new generation's split is a new node
+
+
+def test_connection_innovations_survive_reset():
+    t = InnovationTracker(num_outputs=1)
+    a = t.connection_innovation((-1, 0))
+    t.reset_generation()
+    assert t.connection_innovation((-1, 0)) == a
+
+
+def test_fresh_node_key_monotone():
+    t = InnovationTracker(num_outputs=2)
+    keys = [t.fresh_node_key() for _ in range(4)]
+    assert keys == [2, 3, 4, 5]
+    assert t.node_count == 6

@@ -1,0 +1,205 @@
+"""Unit and property tests for CreateNet (genome -> network decoding)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.neat.activations import activations
+from repro.neat.config import NEATConfig
+from repro.neat.genes import ConnectionGene, NodeGene
+from repro.neat.genome import Genome
+from repro.neat.innovation import InnovationTracker
+from repro.neat.network import FeedForwardNetwork, required_nodes
+
+from tests.conftest import evolved_genome
+
+
+def _genome_from_edges(cfg, edges, biases=None):
+    """Build a genome from (src, dst, weight) triples."""
+    genome = Genome(key=0)
+    node_keys = {dst for _, dst, _ in edges} | set(cfg.output_keys)
+    node_keys |= {src for src, _, _ in edges if src >= 0}
+    for key in node_keys:
+        bias = (biases or {}).get(key, 0.0)
+        genome.nodes[key] = NodeGene(key, bias, "identity", "sum")
+    for i, (src, dst, w) in enumerate(edges):
+        genome.connections[(src, dst)] = ConnectionGene((src, dst), w, True, i)
+    return genome
+
+
+class TestRequiredNodes:
+    def test_outputs_always_required(self):
+        cfg = NEATConfig(num_inputs=2, num_outputs=2)
+        genome = _genome_from_edges(cfg, [])
+        assert required_nodes(genome, cfg) == {0, 1}
+
+    def test_dead_branch_pruned(self):
+        cfg = NEATConfig(num_inputs=2, num_outputs=1)
+        # node 5 feeds nothing -> not required
+        edges = [(-1, 0, 1.0), (-2, 5, 1.0)]
+        genome = _genome_from_edges(cfg, edges)
+        assert required_nodes(genome, cfg) == {0}
+
+    def test_chain_required(self):
+        cfg = NEATConfig(num_inputs=1, num_outputs=1)
+        edges = [(-1, 3, 1.0), (3, 2, 1.0), (2, 0, 1.0)]
+        genome = _genome_from_edges(cfg, edges)
+        assert required_nodes(genome, cfg) == {0, 2, 3}
+
+    def test_disabled_connections_ignored(self):
+        cfg = NEATConfig(num_inputs=1, num_outputs=1)
+        edges = [(-1, 2, 1.0), (2, 0, 1.0)]
+        genome = _genome_from_edges(cfg, edges)
+        genome.connections[(2, 0)].enabled = False
+        assert required_nodes(genome, cfg) == {0}
+
+
+class TestLayering:
+    def test_direct_network_single_layer(self):
+        cfg = NEATConfig(num_inputs=2, num_outputs=2)
+        edges = [(-1, 0, 1.0), (-2, 1, 1.0)]
+        net = FeedForwardNetwork.create(_genome_from_edges(cfg, edges), cfg)
+        assert net.layers == [[0, 1]]
+
+    def test_hidden_chain_layers(self):
+        cfg = NEATConfig(num_inputs=1, num_outputs=1)
+        edges = [(-1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]
+        net = FeedForwardNetwork.create(_genome_from_edges(cfg, edges), cfg)
+        assert net.layers == [[2], [3], [0]]
+
+    def test_skip_connection_depth(self):
+        cfg = NEATConfig(num_inputs=1, num_outputs=1)
+        # output consumes both the input directly and a depth-2 node:
+        # ASAP places the output at depth 3
+        edges = [(-1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (-1, 0, 1.0)]
+        net = FeedForwardNetwork.create(_genome_from_edges(cfg, edges), cfg)
+        assert net.layers == [[2], [3], [0]]
+        assert net.layer_sizes == [1, 1, 1, 1]
+
+    def test_dependencies_precede_dependents(self):
+        cfg = NEATConfig(num_inputs=3, num_outputs=2)
+        tracker = InnovationTracker(2)
+        rng = np.random.default_rng(5)
+        genome = evolved_genome(cfg, tracker, rng, mutations=25)
+        net = FeedForwardNetwork.create(genome, cfg)
+        position = {}
+        for depth, layer in enumerate(net.layers):
+            for key in layer:
+                position[key] = depth
+        for plan in net.node_evals.values():
+            for src, _ in plan.ingress:
+                if src >= 0:  # hidden/output source
+                    assert position[src] < position[plan.key]
+
+
+class TestActivate:
+    def test_linear_identity_chain(self):
+        cfg = NEATConfig(num_inputs=1, num_outputs=1)
+        edges = [(-1, 2, 2.0), (2, 0, 3.0)]
+        net = FeedForwardNetwork.create(_genome_from_edges(cfg, edges), cfg)
+        out = net.activate(np.array([1.5]))
+        assert out[0] == pytest.approx(1.5 * 2.0 * 3.0)
+
+    def test_bias_applied(self):
+        cfg = NEATConfig(num_inputs=1, num_outputs=1)
+        edges = [(-1, 0, 1.0)]
+        genome = _genome_from_edges(cfg, edges, biases={0: 0.25})
+        net = FeedForwardNetwork.create(genome, cfg)
+        assert net.activate(np.array([1.0]))[0] == pytest.approx(1.25)
+
+    def test_tanh_activation_matches_registry(self):
+        cfg = NEATConfig(num_inputs=1, num_outputs=1)
+        genome = _genome_from_edges(cfg, [(-1, 0, 1.0)])
+        genome.nodes[0].activation = "tanh"
+        net = FeedForwardNetwork.create(genome, cfg)
+        expected = activations.get("tanh")(0.7)
+        assert net.activate(np.array([0.7]))[0] == pytest.approx(expected)
+
+    def test_unconnected_output_is_zero(self):
+        cfg = NEATConfig(num_inputs=1, num_outputs=2)
+        genome = _genome_from_edges(cfg, [(-1, 0, 1.0)])
+        del genome.nodes[1]  # output 1 has no gene and no ingress
+        # put it back: outputs always carry genes in real genomes
+        genome.nodes[1] = NodeGene(1, 0.0, "identity", "sum")
+        net = FeedForwardNetwork.create(genome, cfg)
+        out = net.activate(np.array([2.0]))
+        assert out[0] == pytest.approx(2.0)
+        assert out[1] == pytest.approx(0.0)  # bias-only node
+
+    def test_wrong_input_size_rejected(self):
+        cfg = NEATConfig(num_inputs=2, num_outputs=1)
+        net = FeedForwardNetwork.create(
+            _genome_from_edges(cfg, [(-1, 0, 1.0)]), cfg
+        )
+        with pytest.raises(ValueError, match="expected 2 inputs"):
+            net.activate(np.array([1.0]))
+
+    def test_callable_interface(self):
+        cfg = NEATConfig(num_inputs=1, num_outputs=1)
+        net = FeedForwardNetwork.create(
+            _genome_from_edges(cfg, [(-1, 0, 0.5)]), cfg
+        )
+        assert net(np.array([2.0]))[0] == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5_000))
+    def test_random_genomes_produce_finite_outputs(self, seed):
+        cfg = NEATConfig(num_inputs=3, num_outputs=2)
+        tracker = InnovationTracker(2)
+        rng = np.random.default_rng(seed)
+        genome = evolved_genome(cfg, tracker, rng, mutations=15)
+        net = FeedForwardNetwork.create(genome, cfg)
+        for _ in range(5):
+            out = net.activate(rng.standard_normal(3))
+            assert out.shape == (2,)
+            assert np.isfinite(out).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5_000))
+    def test_activate_is_deterministic(self, seed):
+        cfg = NEATConfig(num_inputs=3, num_outputs=2)
+        tracker = InnovationTracker(2)
+        rng = np.random.default_rng(seed)
+        genome = evolved_genome(cfg, tracker, rng, mutations=10)
+        net = FeedForwardNetwork.create(genome, cfg)
+        x = rng.standard_normal(3)
+        assert np.array_equal(net.activate(x), net.activate(x))
+
+
+class TestStatistics:
+    def test_num_macs(self):
+        cfg = NEATConfig(num_inputs=2, num_outputs=1)
+        edges = [(-1, 0, 1.0), (-2, 0, 1.0), (-1, 2, 1.0), (2, 0, 1.0)]
+        net = FeedForwardNetwork.create(_genome_from_edges(cfg, edges), cfg)
+        assert net.num_macs == 4
+
+    def test_density_simple(self):
+        cfg = NEATConfig(num_inputs=3, num_outputs=3)
+        # 3 of the 9 possible direct links; dense counterpart has 9
+        edges = [(-1, 0, 1.0), (-2, 1, 1.0), (-3, 2, 1.0)]
+        net = FeedForwardNetwork.create(_genome_from_edges(cfg, edges), cfg)
+        assert net.density() == pytest.approx(3 / 9)
+
+    def test_density_can_exceed_one(self):
+        # Fig 4(c): skip links push connections past the dense counterpart
+        cfg = NEATConfig(num_inputs=3, num_outputs=1)
+        edges = [
+            (-1, 2, 1.0),
+            (-2, 2, 1.0),
+            (-3, 2, 1.0),
+            (2, 0, 1.0),
+            (-1, 0, 1.0),
+            (-2, 0, 1.0),
+            (-3, 0, 1.0),
+        ]
+        net = FeedForwardNetwork.create(_genome_from_edges(cfg, edges), cfg)
+        # layers: [3 inputs] -> [2] -> [0]; dense = 3*1 + 1*1 = 4; evolved 7
+        assert net.density() == pytest.approx(7 / 4)
+
+    def test_max_fan_in(self):
+        cfg = NEATConfig(num_inputs=3, num_outputs=1)
+        edges = [(-1, 0, 1.0), (-2, 0, 1.0), (-3, 0, 1.0)]
+        net = FeedForwardNetwork.create(_genome_from_edges(cfg, edges), cfg)
+        assert net.max_fan_in == 3

@@ -1,0 +1,212 @@
+"""Unit tests for reporters and checkpointing."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.neat.checkpoint import (
+    checkpoint_to_dict,
+    load_checkpoint,
+    population_from_dict,
+    save_checkpoint,
+)
+from repro.neat.config import NEATConfig
+from repro.neat.population import GenerationStats, Population
+from repro.neat.reporters import (
+    CSVReporter,
+    ConsoleReporter,
+    ReporterSet,
+    render_csv,
+)
+
+
+def _stats(gen=0, best=1.0):
+    return GenerationStats(
+        generation=gen,
+        best_fitness=best,
+        mean_fitness=0.5,
+        num_species=2,
+        best_genome_key=3,
+        mean_nodes=4.0,
+        mean_connections=5.0,
+        population_size=10,
+    )
+
+
+class TestReporters:
+    def test_console_reporter_prints(self, capsys):
+        reporter = ConsoleReporter()
+        reporter.on_generation(_stats(gen=7, best=42.0))
+        out = capsys.readouterr().out
+        assert "gen    7" in out
+        assert "42.00" in out
+
+    def test_console_every(self, capsys):
+        reporter = ConsoleReporter(every=5)
+        for g in range(10):
+            reporter.on_generation(_stats(gen=g))
+        out = capsys.readouterr().out
+        assert out.count("gen") == 2  # generations 0 and 5
+
+    def test_console_invalid_every(self):
+        with pytest.raises(ValueError):
+            ConsoleReporter(every=0)
+
+    def test_csv_reporter_stream(self):
+        buffer = io.StringIO()
+        reporter = CSVReporter(buffer)
+        reporter.on_generation(_stats(gen=1))
+        reporter.on_generation(_stats(gen=2))
+        lines = buffer.getvalue().strip().splitlines()
+        assert lines[0].startswith("generation,best_fitness")
+        assert len(lines) == 3
+
+    def test_csv_reporter_path(self, tmp_path):
+        path = tmp_path / "run.csv"
+        with CSVReporter(path) as reporter:
+            reporter.on_generation(_stats())
+        assert path.read_text().count("\n") == 2
+
+    def test_render_csv(self):
+        text = render_csv([_stats(0), _stats(1)])
+        assert text.count("\n") == 3
+
+    def test_reporter_set_fans_out(self):
+        received = []
+
+        class Probe:
+            def on_generation(self, stats):
+                received.append(stats.generation)
+
+        rs = ReporterSet([Probe()])
+        rs.add(Probe())
+        rs.on_generation(_stats(gen=4))
+        assert received == [4, 4]
+        assert len(rs) == 2
+
+    def test_population_notifies_reporters(self):
+        cfg = NEATConfig(num_inputs=2, num_outputs=1, population_size=10)
+        pop = Population(cfg, seed=0)
+        seen = []
+
+        class Probe:
+            def on_generation(self, stats):
+                seen.append(stats.generation)
+
+        pop.reporters.add(Probe())
+
+        def evaluate(genomes):
+            for g in genomes:
+                g.fitness = 1.0
+
+        pop.run(evaluate, max_generations=3)
+        assert seen == [0, 1, 2]
+
+
+class TestCheckpoint:
+    def _evolved_population(self, generations=3):
+        cfg = NEATConfig(num_inputs=3, num_outputs=2, population_size=15)
+        pop = Population(cfg, seed=4)
+        rng = np.random.default_rng(0)
+
+        def evaluate(genomes):
+            for g in genomes:
+                g.fitness = float(rng.normal())
+
+        for _ in range(generations):
+            pop.advance(evaluate)
+        return pop, evaluate
+
+    def test_round_trip_preserves_state(self, tmp_path):
+        pop, _ = self._evolved_population()
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(pop, path)
+        restored = load_checkpoint(path)
+        assert restored.generation == pop.generation
+        assert len(restored.population) == len(pop.population)
+        assert {g.key for g in restored.population} == {
+            g.key for g in pop.population
+        }
+        assert len(restored.species_set) == len(pop.species_set)
+        assert restored.best_genome.fitness == pop.best_genome.fitness
+
+    def test_resume_is_exact(self, tmp_path):
+        """Resuming from a checkpoint reproduces the original run."""
+        pop_a, _ = self._evolved_population()
+        payload = checkpoint_to_dict(pop_a)
+        pop_b = population_from_dict(payload)
+
+        rng_a = np.random.default_rng(99)
+        rng_b = np.random.default_rng(99)
+
+        def eval_a(genomes):
+            for g in genomes:
+                g.fitness = float(rng_a.normal())
+
+        def eval_b(genomes):
+            for g in genomes:
+                g.fitness = float(rng_b.normal())
+
+        for _ in range(2):
+            best_a = pop_a.advance(eval_a)
+            best_b = pop_b.advance(eval_b)
+            assert best_a.fitness == best_b.fitness
+            assert [g.key for g in pop_a.population] == [
+                g.key for g in pop_b.population
+            ]
+
+    def test_innovation_counters_restored(self, tmp_path):
+        pop, _ = self._evolved_population()
+        restored = population_from_dict(checkpoint_to_dict(pop))
+        assert (
+            restored.tracker.innovation_count
+            == pop.tracker.innovation_count
+        )
+        assert restored.tracker.node_count == pop.tracker.node_count
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            population_from_dict({"format_version": 99})
+
+    def test_checkpoint_survives_json(self, tmp_path):
+        # -inf best_fitness on a never-improved species must round-trip
+        cfg = NEATConfig(num_inputs=2, num_outputs=1, population_size=5)
+        pop = Population(cfg, seed=1)
+        path = tmp_path / "fresh.json"
+        save_checkpoint(pop, path)
+        restored = load_checkpoint(path)
+        for species in restored.species_set.species.values():
+            assert species.best_fitness == float("-inf")
+
+
+class TestCheckpointValidation:
+    def test_corrupted_checkpoint_rejected(self, tmp_path):
+        import json
+
+        from repro.neat.validate import GenomeValidationError
+
+        cfg = NEATConfig(num_inputs=2, num_outputs=1, population_size=5)
+        pop = Population(cfg, seed=1)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(pop, path)
+
+        payload = json.loads(path.read_text())
+        # corrupt one genome: point a connection at a missing node
+        payload["population"][0]["connections"][0]["out"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(GenomeValidationError):
+            load_checkpoint(path)
+
+    def test_validation_can_be_skipped(self, tmp_path):
+        import json
+
+        cfg = NEATConfig(num_inputs=2, num_outputs=1, population_size=5)
+        pop = Population(cfg, seed=1)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(pop, path)
+        payload = json.loads(path.read_text())
+        payload["population"][0]["connections"][0]["out"] = 999
+        path.write_text(json.dumps(payload))
+        restored = load_checkpoint(path, validate=False)
+        assert len(restored.population) == 5

@@ -1,0 +1,125 @@
+"""Unit and property tests for reproduction and offspring allocation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.neat.config import NEATConfig
+from repro.neat.innovation import InnovationTracker
+from repro.neat.reproduction import Reproduction, allocate_offspring
+from repro.neat.species import SpeciesSet
+
+
+class TestAllocateOffspring:
+    def test_exact_total(self):
+        sizes = allocate_offspring([1.0, 2.0, 3.0], [1, 1, 1], 30)
+        assert sum(sizes) == 30
+        assert all(s >= 1 for s in sizes)
+
+    def test_proportionality(self):
+        sizes = allocate_offspring([1.0, 9.0], [0, 0], 100)
+        assert sizes[1] > sizes[0]
+
+    def test_negative_fitness_handled(self):
+        sizes = allocate_offspring([-10.0, -5.0], [1, 1], 20)
+        assert sum(sizes) == 20
+        assert sizes[1] >= sizes[0]
+
+    def test_minimums_respected(self):
+        sizes = allocate_offspring([0.0, 100.0], [3, 1], 10)
+        assert sizes[0] >= 3
+        assert sum(sizes) == 10
+
+    def test_infeasible_minimums_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_offspring([1.0, 1.0], [6, 6], 10)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_offspring([1.0], [1, 1], 5)
+
+    def test_empty(self):
+        assert allocate_offspring([], [], 0) == []
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        fitnesses=st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=1, max_size=10
+        ),
+        extra=st.integers(0, 50),
+    )
+    def test_property_sums_and_minimums(self, fitnesses, extra):
+        mins = [1] * len(fitnesses)
+        total = sum(mins) + extra
+        sizes = allocate_offspring(fitnesses, mins, total)
+        assert sum(sizes) == total
+        assert all(s >= m for s, m in zip(sizes, mins))
+
+
+class TestReproduction:
+    def _setup(self, seed=0, pop=20):
+        cfg = NEATConfig(num_inputs=3, num_outputs=2, population_size=pop)
+        tracker = InnovationTracker(cfg.num_outputs)
+        rng = np.random.default_rng(seed)
+        repro = Reproduction(cfg, tracker)
+        population = repro.create_initial_population(rng)
+        return cfg, tracker, rng, repro, population
+
+    def test_initial_population_size_and_keys(self):
+        cfg, _, _, _, population = self._setup(pop=15)
+        assert len(population) == 15
+        assert len({g.key for g in population}) == 15
+
+    def test_reproduce_maintains_population_size(self):
+        cfg, _, rng, repro, population = self._setup()
+        for i, g in enumerate(population):
+            g.fitness = float(i)
+        ss = SpeciesSet(cfg)
+        ss.speciate(population, 0, rng)
+        ss.update_fitnesses(0)
+        next_pop = repro.reproduce(ss, 0, rng)
+        assert len(next_pop) == cfg.population_size
+
+    def test_children_have_fresh_keys_and_no_fitness(self):
+        cfg, _, rng, repro, population = self._setup()
+        for g in population:
+            g.fitness = 1.0
+        ss = SpeciesSet(cfg)
+        ss.speciate(population, 0, rng)
+        ss.update_fitnesses(0)
+        next_pop = repro.reproduce(ss, 0, rng)
+        old_keys = {g.key for g in population}
+        new_keys = {g.key for g in next_pop}
+        assert old_keys.isdisjoint(new_keys)
+        # elites keep their fitness (copied), children have none
+        assert any(g.fitness is None for g in next_pop)
+
+    def test_elites_preserved_structurally(self):
+        cfg, _, rng, repro, population = self._setup(seed=3)
+        best = population[0]
+        best.fitness = 100.0
+        for g in population[1:]:
+            g.fitness = 0.0
+        ss = SpeciesSet(cfg)
+        ss.speciate(population, 0, rng)
+        ss.update_fitnesses(0)
+        next_pop = repro.reproduce(ss, 0, rng)
+        # an exact structural copy of the champion must exist
+        best_conns = {
+            k: (c.weight, c.enabled) for k, c in best.connections.items()
+        }
+        found = any(
+            {
+                k: (c.weight, c.enabled) for k, c in g.connections.items()
+            }
+            == best_conns
+            and g.fitness == 100.0
+            for g in next_pop
+        )
+        assert found
+
+    def test_total_extinction_restarts(self):
+        cfg, _, rng, repro, _ = self._setup()
+        empty = SpeciesSet(cfg)
+        next_pop = repro.reproduce(empty, 0, rng)
+        assert len(next_pop) == cfg.population_size

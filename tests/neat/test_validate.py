@@ -1,0 +1,149 @@
+"""Unit and property tests for genome validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.neat.config import NEATConfig
+from repro.neat.genes import ConnectionGene, NodeGene
+from repro.neat.genome import Genome
+from repro.neat.innovation import InnovationTracker
+from repro.neat.validate import (
+    GenomeValidationError,
+    iter_violations,
+    validate_genome,
+)
+
+from tests.conftest import evolved_genome
+
+
+@pytest.fixture
+def cfg():
+    return NEATConfig(num_inputs=2, num_outputs=1)
+
+
+def _valid_genome(cfg):
+    genome = Genome(key=0)
+    genome.nodes[0] = NodeGene(0, 0.0, "tanh", "sum")
+    genome.connections[(-1, 0)] = ConnectionGene((-1, 0), 0.5, True, 0)
+    return genome
+
+
+class TestValid:
+    def test_valid_genome_passes(self, cfg):
+        validate_genome(_valid_genome(cfg), cfg)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5_000), mutations=st.integers(0, 25))
+    def test_evolved_genomes_always_valid(self, seed, mutations):
+        """The whole mutation pipeline preserves every invariant."""
+        config = NEATConfig(num_inputs=3, num_outputs=2)
+        tracker = InnovationTracker(2)
+        rng = np.random.default_rng(seed)
+        genome = evolved_genome(config, tracker, rng, mutations=mutations)
+        validate_genome(genome, config)
+
+
+class TestViolations:
+    def test_missing_output(self, cfg):
+        genome = _valid_genome(cfg)
+        del genome.nodes[0]
+        with pytest.raises(GenomeValidationError, match="missing output"):
+            validate_genome(genome, cfg)
+
+    def test_connection_into_input(self, cfg):
+        genome = _valid_genome(cfg)
+        genome.connections[(0, -1)] = ConnectionGene((0, -1), 1.0, True, 1)
+        assert any(
+            "writes into input" in v for v in iter_violations(genome, cfg)
+        )
+
+    def test_unknown_input_key(self, cfg):
+        genome = _valid_genome(cfg)
+        genome.connections[(-9, 0)] = ConnectionGene((-9, 0), 1.0, True, 1)
+        assert any(
+            "unknown input" in v for v in iter_violations(genome, cfg)
+        )
+
+    def test_dangling_node_reference(self, cfg):
+        genome = _valid_genome(cfg)
+        genome.connections[(7, 0)] = ConnectionGene((7, 0), 1.0, True, 1)
+        assert any(
+            "reads missing node" in v for v in iter_violations(genome, cfg)
+        )
+
+    def test_cycle_detected(self, cfg):
+        genome = _valid_genome(cfg)
+        genome.nodes[1] = NodeGene(1, 0.0, "tanh", "sum")
+        genome.nodes[2] = NodeGene(2, 0.0, "tanh", "sum")
+        genome.connections[(1, 2)] = ConnectionGene((1, 2), 1.0, True, 1)
+        genome.connections[(2, 1)] = ConnectionGene((2, 1), 1.0, True, 2)
+        assert any("cycle" in v for v in iter_violations(genome, cfg))
+
+    def test_disabled_cycle_is_fine(self, cfg):
+        genome = _valid_genome(cfg)
+        genome.nodes[1] = NodeGene(1, 0.0, "tanh", "sum")
+        genome.nodes[2] = NodeGene(2, 0.0, "tanh", "sum")
+        genome.connections[(1, 2)] = ConnectionGene((1, 2), 1.0, True, 1)
+        genome.connections[(2, 1)] = ConnectionGene((2, 1), 1.0, False, 2)
+        assert not any("cycle" in v for v in iter_violations(genome, cfg))
+
+    def test_duplicate_innovations(self, cfg):
+        genome = _valid_genome(cfg)
+        genome.connections[(-2, 0)] = ConnectionGene((-2, 0), 1.0, True, 0)
+        assert any(
+            "duplicate innovation" in v for v in iter_violations(genome, cfg)
+        )
+
+    def test_non_finite_weight(self, cfg):
+        genome = _valid_genome(cfg)
+        genome.connections[(-1, 0)].weight = float("nan")
+        assert any(
+            "non-finite weight" in v for v in iter_violations(genome, cfg)
+        )
+
+    def test_out_of_bounds_bias(self, cfg):
+        genome = _valid_genome(cfg)
+        genome.nodes[0].bias = cfg.bias_max * 10
+        assert any(
+            "outside configured bounds" in v
+            for v in iter_violations(genome, cfg)
+        )
+
+    def test_wrong_storage_key(self, cfg):
+        genome = _valid_genome(cfg)
+        gene = ConnectionGene((-2, 0), 1.0, True, 3)
+        genome.connections[(-1, 0)] = gene  # stored under the wrong key
+        assert any(
+            "wrong key" in v for v in iter_violations(genome, cfg)
+        )
+
+
+class TestInterspeciesCrossover:
+    def test_rate_validated(self):
+        with pytest.raises(ValueError, match="interspecies"):
+            NEATConfig(interspecies_crossover_rate=1.5)
+
+    def test_reproduction_with_interspecies_mating(self):
+        """High interspecies rate exercises the cross-pool path."""
+        from repro.neat.population import Population
+
+        cfg = NEATConfig(
+            num_inputs=2,
+            num_outputs=1,
+            population_size=20,
+            crossover_rate=1.0,
+            interspecies_crossover_rate=1.0,
+            compatibility_threshold=1.0,  # encourage several species
+        )
+        pop = Population(cfg, seed=2)
+        rng = np.random.default_rng(0)
+
+        def evaluate(genomes):
+            for g in genomes:
+                g.fitness = float(rng.normal())
+
+        result = pop.run(evaluate, max_generations=4)
+        assert result.generations == 4
+        for genome in pop.population:
+            validate_genome(genome, cfg)

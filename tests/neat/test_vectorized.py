@@ -1,0 +1,89 @@
+"""Tests for the vectorized network evaluator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.neat.config import NEATConfig
+from repro.neat.innovation import InnovationTracker
+from repro.neat.network import FeedForwardNetwork
+from repro.neat.vectorized import VectorizedNetwork, vectorize
+
+from tests.conftest import evolved_genome
+from tests.neat.test_network import _genome_from_edges
+
+
+def _reference(seed=0, mutations=15, activation="tanh"):
+    cfg = NEATConfig(
+        num_inputs=4,
+        num_outputs=3,
+        default_activation=activation,
+        activation_options=(activation,),
+    )
+    tracker = InnovationTracker(3)
+    rng = np.random.default_rng(seed)
+    genome = evolved_genome(cfg, tracker, rng, mutations=mutations)
+    return FeedForwardNetwork.create(genome, cfg), rng
+
+
+class TestEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 5_000),
+        activation=st.sampled_from(["tanh", "sigmoid", "relu", "identity"]),
+    )
+    def test_matches_reference(self, seed, activation):
+        net, rng = _reference(seed=seed, activation=activation)
+        fast = vectorize(net)
+        for _ in range(4):
+            x = rng.standard_normal(4)
+            assert np.allclose(
+                fast.activate(x), net.activate(x), atol=1e-12
+            )
+
+    def test_batch_matches_loop(self):
+        net, rng = _reference(seed=3)
+        fast = vectorize(net)
+        batch = rng.standard_normal((16, 4))
+        out = fast.activate_batch(batch)
+        assert out.shape == (16, 3)
+        for i in range(16):
+            assert np.allclose(out[i], net.activate(batch[i]), atol=1e-12)
+
+    def test_skip_connections_handled(self):
+        cfg = NEATConfig(num_inputs=1, num_outputs=1)
+        edges = [(-1, 2, 2.0), (2, 0, 3.0), (-1, 0, 1.0)]  # direct skip
+        genome = _genome_from_edges(cfg, edges)
+        net = FeedForwardNetwork.create(genome, cfg)
+        fast = vectorize(net)
+        x = np.array([1.5])
+        assert np.allclose(fast.activate(x), net.activate(x))
+
+    def test_bias_only_output(self):
+        cfg = NEATConfig(num_inputs=1, num_outputs=2)
+        genome = _genome_from_edges(cfg, [(-1, 0, 1.0)], biases={1: 0.5})
+        net = FeedForwardNetwork.create(genome, cfg)
+        fast = vectorize(net)
+        ref = net.activate(np.array([2.0]))
+        assert np.allclose(fast.activate(np.array([2.0])), ref)
+
+
+class TestValidation:
+    def test_non_sum_aggregation_rejected(self):
+        cfg = NEATConfig(num_inputs=1, num_outputs=1)
+        genome = _genome_from_edges(cfg, [(-1, 0, 1.0)])
+        genome.nodes[0].aggregation = "max"
+        net = FeedForwardNetwork.create(genome, cfg)
+        with pytest.raises(ValueError, match="sum"):
+            VectorizedNetwork(net)
+
+    def test_wrong_input_width_rejected(self):
+        net, _ = _reference()
+        fast = vectorize(net)
+        with pytest.raises(ValueError, match="expected 4"):
+            fast.activate_batch(np.zeros((2, 7)))
+
+    def test_callable_interface(self):
+        net, _ = _reference()
+        fast = vectorize(net)
+        assert fast(np.zeros(4)).shape == (3,)

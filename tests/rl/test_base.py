@@ -1,0 +1,75 @@
+"""Unit tests for the shared RL trainer plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.envs.cartpole import CartPole
+from repro.envs.pendulum import Pendulum
+from repro.rl.a2c import A2C
+from repro.rl.base import TimeBreakdown
+
+
+class TestTimeBreakdown:
+    def test_total(self):
+        t = TimeBreakdown(forward=1.0, env=2.0, training=3.0)
+        assert t.total == 6.0
+
+    def test_fractions_sum_to_one(self):
+        t = TimeBreakdown(forward=1.0, env=1.0, training=2.0)
+        fr = t.fractions()
+        assert fr["training"] == pytest.approx(0.5)
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_empty_breakdown_safe(self):
+        fr = TimeBreakdown().fractions()
+        assert all(v == 0.0 for v in fr.values())
+
+
+class TestEnvActionTranslation:
+    def test_discrete_action_is_int(self):
+        agent = A2C(CartPole(seed=0), hidden=(4,), seed=0)
+        action = agent._to_env_action(np.array(1))
+        assert isinstance(action, int)
+
+    def test_box_action_clipped(self):
+        agent = A2C(Pendulum(seed=0), hidden=(4,), seed=0)
+        action = agent._to_env_action(np.array([100.0]))
+        assert agent.env.action_space.contains(np.asarray(action))
+        assert float(np.asarray(action)[0]) == pytest.approx(2.0)
+
+
+class TestRolloutCollection:
+    def test_buffer_filled_to_horizon(self):
+        agent = A2C(CartPole(seed=0), hidden=(4,), seed=0)
+        steps = agent._collect_rollout()
+        assert steps == agent.n_steps
+        assert agent.buffer.full
+
+    def test_episode_reset_inside_rollout(self):
+        # with an 8-step horizon and a random policy, cartpole episodes
+        # end inside the buffer; the loop must reset and keep rolling
+        agent = A2C(CartPole(seed=0), hidden=(4,), seed=1)
+        for _ in range(30):
+            agent._collect_rollout()
+            agent.buffer.reset()
+        # if we got here without RuntimeError the reset path works
+
+    def test_rollout_records_bootstrapped_values(self):
+        agent = A2C(CartPole(seed=0), hidden=(4,), seed=0)
+        agent._collect_rollout()
+        _, _, _, adv, ret = agent.buffer.batch()
+        assert np.isfinite(adv).all()
+        assert np.isfinite(ret).all()
+
+
+class TestEvaluation:
+    def test_eval_uses_fixed_env_seed(self):
+        agent = A2C(CartPole(seed=0), hidden=(4,), seed=0)
+        a = agent._evaluate(episodes=2)
+        b = agent._evaluate(episodes=2)
+        assert a == b  # greedy policy + fixed eval seed
+
+    def test_gaussian_eval_path(self):
+        agent = A2C(Pendulum(seed=0), hidden=(4,), seed=0)
+        fitness = agent._evaluate(episodes=1)
+        assert np.isfinite(fitness)

@@ -1,0 +1,117 @@
+"""Unit tests for rollout storage and GAE."""
+
+import numpy as np
+import pytest
+
+from repro.rl.buffers import RolloutBuffer, compute_gae
+
+
+class TestGAE:
+    def test_single_step(self):
+        adv, ret = compute_gae(
+            rewards=np.array([1.0]),
+            values=np.array([0.5]),
+            dones=np.array([False]),
+            last_value=2.0,
+            gamma=0.9,
+            lam=0.95,
+        )
+        # delta = 1 + 0.9*2 - 0.5 = 2.3
+        assert adv[0] == pytest.approx(2.3)
+        assert ret[0] == pytest.approx(2.8)
+
+    def test_terminal_cuts_bootstrap(self):
+        adv, _ = compute_gae(
+            rewards=np.array([1.0]),
+            values=np.array([0.5]),
+            dones=np.array([True]),
+            last_value=100.0,
+            gamma=0.9,
+        )
+        assert adv[0] == pytest.approx(0.5)  # 1 - 0.5, no bootstrap
+
+    def test_lambda_one_is_monte_carlo(self):
+        rewards = np.array([1.0, 1.0, 1.0])
+        values = np.array([0.0, 0.0, 0.0])
+        dones = np.array([False, False, True])
+        adv, ret = compute_gae(rewards, values, dones, 0.0, gamma=1.0, lam=1.0)
+        assert ret[0] == pytest.approx(3.0)
+        assert ret[1] == pytest.approx(2.0)
+        assert ret[2] == pytest.approx(1.0)
+
+    def test_lambda_zero_is_td0(self):
+        rewards = np.array([1.0, 2.0])
+        values = np.array([0.5, 0.25])
+        dones = np.array([False, False])
+        adv, _ = compute_gae(rewards, values, dones, 1.0, gamma=0.5, lam=0.0)
+        assert adv[0] == pytest.approx(1.0 + 0.5 * 0.25 - 0.5)
+        assert adv[1] == pytest.approx(2.0 + 0.5 * 1.0 - 0.25)
+
+    def test_hand_computed_two_step(self):
+        rewards = np.array([1.0, 0.0])
+        values = np.array([0.0, 1.0])
+        dones = np.array([False, False])
+        gamma, lam = 0.9, 0.5
+        d1 = 0.0 + gamma * 2.0 - 1.0  # last step, bootstrap 2.0
+        d0 = 1.0 + gamma * 1.0 - 0.0
+        adv, _ = compute_gae(rewards, values, dones, 2.0, gamma, lam)
+        assert adv[1] == pytest.approx(d1)
+        assert adv[0] == pytest.approx(d0 + gamma * lam * d1)
+
+
+class TestRolloutBuffer:
+    def _full_buffer(self, n=4):
+        buf = RolloutBuffer(obs_dim=2, action_shape=(), capacity=n)
+        for i in range(n):
+            buf.add(
+                obs=np.array([i, i]),
+                action=np.array(i % 2),
+                reward=float(i),
+                done=(i == n - 1),
+                value=0.5,
+                log_prob=-0.1,
+            )
+        return buf
+
+    def test_add_and_len(self):
+        buf = self._full_buffer()
+        assert len(buf) == 4
+        assert buf.full
+
+    def test_overflow_rejected(self):
+        buf = self._full_buffer()
+        with pytest.raises(RuntimeError, match="full"):
+            buf.add(np.zeros(2), np.array(0), 0.0, False, 0.0, 0.0)
+
+    def test_reset(self):
+        buf = self._full_buffer()
+        buf.reset()
+        assert len(buf) == 0 and not buf.full
+
+    def test_finalize_and_batch(self):
+        buf = self._full_buffer()
+        buf.finalize(last_value=0.0, normalize_advantages=False)
+        obs, actions, logp, adv, ret = buf.batch()
+        assert obs.shape == (4, 2)
+        assert np.allclose(ret, adv + buf.values[:4])
+
+    def test_advantage_normalization(self):
+        buf = self._full_buffer()
+        buf.finalize(last_value=0.0, normalize_advantages=True)
+        _, _, _, adv, _ = buf.batch()
+        assert abs(adv.mean()) < 1e-9
+        assert abs(adv.std() - 1.0) < 1e-6
+
+    def test_minibatches_cover_everything(self):
+        buf = self._full_buffer(8)
+        buf.finalize(last_value=0.0)
+        rng = np.random.default_rng(0)
+        seen = []
+        for batch in buf.minibatches(3, rng):
+            seen.extend(batch[0][:, 0].tolist())
+        assert sorted(seen) == list(range(8))
+
+    def test_memory_bytes_positive_and_scales(self):
+        small = RolloutBuffer(obs_dim=4, action_shape=(), capacity=8)
+        large = RolloutBuffer(obs_dim=4, action_shape=(), capacity=128)
+        assert 0 < small.memory_bytes() < large.memory_bytes()

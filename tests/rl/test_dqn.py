@@ -1,0 +1,123 @@
+"""Unit tests for DQN and the replay buffer."""
+
+import numpy as np
+import pytest
+
+from repro.envs.cartpole import CartPole
+from repro.envs.pendulum import Pendulum
+from repro.rl.dqn import DQN
+from repro.rl.replay import ReplayBuffer
+
+
+class TestReplayBuffer:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(obs_dim=2, capacity=0)
+
+    def test_add_and_len(self):
+        buf = ReplayBuffer(obs_dim=2, capacity=5)
+        for i in range(3):
+            buf.add(np.full(2, i), i % 2, float(i), np.full(2, i + 1), False)
+        assert len(buf) == 3
+        assert not buf.full
+
+    def test_ring_overwrite(self):
+        buf = ReplayBuffer(obs_dim=1, capacity=3)
+        for i in range(5):
+            buf.add(np.array([i]), 0, float(i), np.array([i]), False)
+        assert len(buf) == 3
+        assert buf.full
+        # oldest entries (0, 1) were overwritten by (3, 4)
+        stored = set(buf.observations.reshape(-1).tolist())
+        assert stored == {2.0, 3.0, 4.0}
+
+    def test_sample_shapes(self):
+        buf = ReplayBuffer(obs_dim=4, capacity=10)
+        for i in range(6):
+            buf.add(np.zeros(4), 1, 0.5, np.ones(4), i == 5)
+        obs, actions, rewards, next_obs, dones = buf.sample(
+            8, np.random.default_rng(0)
+        )
+        assert obs.shape == (8, 4)
+        assert actions.shape == (8,)
+        assert dones.dtype == bool
+
+    def test_sample_empty_rejected(self):
+        buf = ReplayBuffer(obs_dim=2, capacity=4)
+        with pytest.raises(ValueError):
+            buf.sample(2, np.random.default_rng(0))
+
+    def test_memory_scales_with_capacity(self):
+        small = ReplayBuffer(obs_dim=4, capacity=100)
+        large = ReplayBuffer(obs_dim=4, capacity=10_000)
+        assert large.memory_bytes() > 50 * small.memory_bytes()
+
+
+class TestDQN:
+    def test_continuous_env_rejected(self):
+        with pytest.raises(TypeError, match="Discrete"):
+            DQN(Pendulum(seed=0))
+
+    def test_epsilon_decays(self):
+        agent = DQN(CartPole(seed=0), epsilon_decay_steps=100, seed=0)
+        assert agent.epsilon() == agent.epsilon_start
+        agent._steps = 50
+        mid = agent.epsilon()
+        agent._steps = 200
+        assert agent.epsilon() == pytest.approx(agent.epsilon_end)
+        assert agent.epsilon_end < mid < agent.epsilon_start
+
+    def test_greedy_action_is_argmax(self):
+        agent = DQN(CartPole(seed=0), hidden=(8,), seed=0)
+        obs = np.zeros(4)
+        q = agent.q_net.predict(obs[None, :])[0]
+        assert agent.act(obs, greedy=True) == int(np.argmax(q))
+
+    def test_update_moves_parameters_and_syncs_target(self):
+        agent = DQN(
+            CartPole(seed=0),
+            hidden=(8,),
+            target_sync_every=2,
+            seed=0,
+        )
+        for i in range(10):
+            agent.buffer.add(
+                np.random.default_rng(i).standard_normal(4),
+                i % 2,
+                1.0,
+                np.random.default_rng(i + 1).standard_normal(4),
+                False,
+            )
+        before = [p.copy() for p in agent.q_net.parameters]
+        agent.update()
+        assert any(
+            not np.array_equal(a, b)
+            for a, b in zip(agent.q_net.parameters, before)
+        )
+        agent.update()  # second update triggers the target sync
+        x = np.ones((1, 4))
+        assert np.array_equal(
+            agent.q_net.predict(x), agent.target_net.predict(x)
+        )
+
+    def test_learn_report(self):
+        agent = DQN(
+            CartPole(seed=0),
+            hidden=(16,),
+            learning_starts=50,
+            seed=0,
+        )
+        report = agent.learn(
+            total_timesteps=400, eval_every_steps=200, eval_episodes=1
+        )
+        assert report.timesteps >= 400 or report.solved
+        assert report.updates > 0
+        assert report.fitness_trace
+        assert report.times.training > 0
+
+    def test_memory_dominated_by_replay_buffer(self):
+        # the Table IV point: DQN's memory is the buffer, not the nets
+        agent = DQN(CartPole(seed=0), hidden=(64, 64), buffer_capacity=50_000)
+        net_bytes = agent.q_net.num_parameters * 8 * 4
+        assert agent.buffer.memory_bytes() > 10 * net_bytes
+        assert agent.memory_bytes() > agent.buffer.memory_bytes()

@@ -1,0 +1,146 @@
+"""Unit tests for the NumPy MLP and Adam, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.rl.nn import MLP, Adam, mlp_op_counts
+
+
+def _numerical_grads(net, x, loss_fn, eps=1e-6):
+    """Central-difference gradients of loss_fn(net.predict(x))."""
+    grads = []
+    for p in net.parameters:
+        g = np.zeros_like(p)
+        it = np.nditer(p, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            old = p[idx]
+            p[idx] = old + eps
+            plus = loss_fn(net.predict(x))
+            p[idx] = old - eps
+            minus = loss_fn(net.predict(x))
+            p[idx] = old
+            g[idx] = (plus - minus) / (2 * eps)
+            it.iternext()
+        grads.append(g)
+    return grads
+
+
+class TestMLP:
+    def test_shapes(self):
+        net = MLP([3, 8, 2], rng=np.random.default_rng(0))
+        out = net.predict(np.zeros(3))
+        assert out.shape == (1, 2)
+        out = net.predict(np.zeros((5, 3)))
+        assert out.shape == (5, 2)
+
+    def test_too_few_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            MLP([2, 2], activation="selu")
+
+    def test_num_parameters(self):
+        net = MLP([3, 8, 2])
+        assert net.num_parameters == 3 * 8 + 8 + 8 * 2 + 2
+
+    @pytest.mark.parametrize("activation", ["tanh", "relu", "identity"])
+    def test_backward_matches_numerical_gradient(self, activation):
+        rng = np.random.default_rng(1)
+        net = MLP([4, 6, 3], activation=activation, rng=rng)
+        x = rng.standard_normal((5, 4))
+        target = rng.standard_normal((5, 3))
+
+        def loss_fn(out):
+            return 0.5 * float(np.sum((out - target) ** 2))
+
+        out, cache = net.forward(x)
+        analytic, _ = net.backward(cache, out - target)
+        numerical = _numerical_grads(net, x, loss_fn)
+        for a, n in zip(analytic, numerical):
+            assert np.allclose(a, n, atol=1e-5), (a, n)
+
+    def test_backward_input_gradient(self):
+        rng = np.random.default_rng(2)
+        net = MLP([3, 5, 2], rng=rng)
+        x = rng.standard_normal((1, 3))
+        target = rng.standard_normal((1, 2))
+        out, cache = net.forward(x)
+        _, dx = net.backward(cache, out - target)
+        # numerical check on the input gradient
+        eps = 1e-6
+        num = np.zeros_like(x)
+        for i in range(3):
+            xp, xm = x.copy(), x.copy()
+            xp[0, i] += eps
+            xm[0, i] -= eps
+            lp = 0.5 * np.sum((net.predict(xp) - target) ** 2)
+            lm = 0.5 * np.sum((net.predict(xm) - target) ** 2)
+            num[0, i] = (lp - lm) / (2 * eps)
+        assert np.allclose(dx, num, atol=1e-5)
+
+    def test_copy_weights(self):
+        a = MLP([2, 4, 1], rng=np.random.default_rng(0))
+        b = MLP([2, 4, 1], rng=np.random.default_rng(9))
+        b.copy_weights_from(a)
+        x = np.ones((1, 2))
+        assert np.array_equal(a.predict(x), b.predict(x))
+
+    def test_copy_weights_shape_mismatch(self):
+        a = MLP([2, 4, 1])
+        b = MLP([2, 5, 1])
+        with pytest.raises(ValueError):
+            b.copy_weights_from(a)
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        p = np.array([5.0])
+        opt = Adam([p], lr=0.1, max_grad_norm=None)
+        for _ in range(300):
+            opt.step([2 * p])  # grad of p^2
+        assert abs(p[0]) < 0.1
+
+    def test_gradient_clipping(self):
+        p = np.zeros(4)
+        opt = Adam([p], lr=1.0, max_grad_norm=1.0)
+        opt.step([np.full(4, 100.0)])
+        # clipped direction: update magnitude bounded by lr regardless
+        assert np.all(np.abs(p) <= 1.0 + 1e-9)
+
+    def test_gradient_count_mismatch(self):
+        opt = Adam([np.zeros(2)])
+        with pytest.raises(ValueError):
+            opt.step([np.zeros(2), np.zeros(2)])
+
+    def test_trains_mlp_on_regression(self):
+        rng = np.random.default_rng(4)
+        net = MLP([1, 16, 1], rng=rng)
+        opt = Adam(net.parameters, lr=1e-2, max_grad_norm=None)
+        x = np.linspace(-1, 1, 32)[:, None]
+        y = x**2
+
+        def mse():
+            return float(np.mean((net.predict(x) - y) ** 2))
+
+        before = mse()
+        for _ in range(500):
+            out, cache = net.forward(x)
+            grads, _ = net.backward(cache, (out - y) / len(x))
+            opt.step(grads)
+        assert mse() < before * 0.1
+
+
+class TestOpCounts:
+    def test_formula(self):
+        counts = mlp_op_counts([4, 64, 64, 2])
+        macs = 4 * 64 + 64 * 64 + 64 * 2
+        assert counts["forward"] == macs + 64 + 64 + 2
+        assert counts["backward"] == 2 * macs + 64 + 64 + 2
+        assert counts["parameters"] == macs + 64 + 64 + 2
+
+    def test_backward_roughly_double_forward(self):
+        counts = mlp_op_counts([8, 256, 256, 256, 4])
+        assert 1.8 < counts["backward"] / counts["forward"] < 2.1

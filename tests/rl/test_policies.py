@@ -1,0 +1,191 @@
+"""Unit tests for the actor-critic policies, with gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.envs.cartpole import CartPole
+from repro.envs.pendulum import Pendulum
+from repro.rl.policies import (
+    CategoricalPolicy,
+    GaussianPolicy,
+    LARGE_HIDDEN,
+    SMALL_HIDDEN,
+    make_policy,
+)
+
+
+class TestMakePolicy:
+    def test_discrete_env_gets_categorical(self):
+        policy = make_policy(CartPole(), rng=np.random.default_rng(0))
+        assert isinstance(policy, CategoricalPolicy)
+        assert policy.action_dim == 2
+
+    def test_continuous_env_gets_gaussian(self):
+        policy = make_policy(Pendulum(), rng=np.random.default_rng(0))
+        assert isinstance(policy, GaussianPolicy)
+        assert policy.action_dim == 1
+
+    def test_hidden_configs(self):
+        small = make_policy(CartPole(), hidden=SMALL_HIDDEN)
+        large = make_policy(CartPole(), hidden=LARGE_HIDDEN)
+        assert small.actor.sizes == [4, 64, 64, 2]
+        assert large.actor.sizes == [4, 256, 256, 256, 2]
+
+
+class TestCategorical:
+    def _policy(self, seed=0):
+        return CategoricalPolicy(
+            3, 4, hidden=(8,), rng=np.random.default_rng(seed)
+        )
+
+    def test_sample_shapes(self):
+        policy = self._policy()
+        obs = np.zeros((5, 3))
+        actions, logp = policy.sample(obs)
+        assert actions.shape == (5,) and logp.shape == (5,)
+        assert np.all((actions >= 0) & (actions < 4))
+
+    def test_log_prob_matches_softmax(self):
+        policy = self._policy(1)
+        obs = np.random.default_rng(0).standard_normal((6, 3))
+        actions = np.array([0, 1, 2, 3, 0, 1])
+        logp, entropy, _, logits = policy.log_prob_entropy(obs, actions)
+        z = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(z) / np.exp(z).sum(axis=1, keepdims=True)
+        expected = np.log(probs[np.arange(6), actions])
+        assert np.allclose(logp, expected, atol=1e-9)
+        assert np.all(entropy >= 0)
+        assert np.all(entropy <= np.log(4) + 1e-9)
+
+    def test_grad_wrt_logits_numerical(self):
+        policy = self._policy(2)
+        rng = np.random.default_rng(3)
+        obs = rng.standard_normal((4, 3))
+        actions = np.array([1, 0, 3, 2])
+        dlogp = rng.standard_normal(4)
+        ent_grad = -0.01 / 4
+
+        logits = policy.actor.predict(obs)
+        analytic = policy.grad_wrt_actor_output(logits, actions, dlogp, ent_grad)
+
+        def loss(z):
+            zs = z - z.max(axis=1, keepdims=True)
+            probs = np.exp(zs) / np.exp(zs).sum(axis=1, keepdims=True)
+            lp = np.log(probs[np.arange(4), actions])
+            ent = -(probs * np.log(probs + 1e-12)).sum(axis=1)
+            return float(np.sum(dlogp * lp) + ent_grad * np.sum(ent))
+
+        eps = 1e-6
+        numerical = np.zeros_like(logits)
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                zp, zm = logits.copy(), logits.copy()
+                zp[i, j] += eps
+                zm[i, j] -= eps
+                numerical[i, j] = (loss(zp) - loss(zm)) / (2 * eps)
+        assert np.allclose(analytic, numerical, atol=1e-5)
+
+    def test_greedy_policy_returns_logits(self):
+        policy = self._policy()
+        fn = policy.greedy_policy()
+        out = fn(np.zeros(3))
+        assert out.shape == (4,)
+
+
+class TestGaussian:
+    def _policy(self, seed=0):
+        return GaussianPolicy(
+            2, 2, hidden=(8,), rng=np.random.default_rng(seed)
+        )
+
+    def test_sample_shapes(self):
+        policy = self._policy()
+        actions, logp = policy.sample(np.zeros((3, 2)))
+        assert actions.shape == (3, 2) and logp.shape == (3,)
+
+    def test_log_prob_matches_scipy(self):
+        from scipy import stats
+
+        policy = self._policy(1)
+        obs = np.random.default_rng(0).standard_normal((4, 2))
+        actions = np.random.default_rng(1).standard_normal((4, 2))
+        logp, _, _, mean = policy.log_prob_entropy(obs, actions)
+        std = np.exp(policy.log_std)
+        expected = np.array(
+            [
+                stats.multivariate_normal(m, np.diag(std**2)).logpdf(a)
+                for m, a in zip(mean, actions)
+            ]
+        )
+        assert np.allclose(logp, expected, atol=1e-8)
+
+    def test_entropy_formula(self):
+        policy = self._policy()
+        _, entropy, _, _ = policy.log_prob_entropy(
+            np.zeros((2, 2)), np.zeros((2, 2))
+        )
+        expected = policy.log_std.sum() + 0.5 * 2 * np.log(2 * np.pi * np.e)
+        assert np.allclose(entropy, expected)
+
+    def test_grad_wrt_mean_numerical(self):
+        policy = self._policy(2)
+        rng = np.random.default_rng(5)
+        obs = rng.standard_normal((3, 2))
+        actions = rng.standard_normal((3, 2))
+        dlogp = rng.standard_normal(3)
+
+        mean = policy.actor.predict(obs)
+        analytic = policy.grad_wrt_actor_output(mean, actions, dlogp, 0.0)
+
+        std2 = np.exp(2 * policy.log_std)
+
+        def loss(mu):
+            z = (actions - mu) ** 2 / std2
+            lp = (
+                -0.5 * z.sum(axis=1)
+                - policy.log_std.sum()
+                - np.log(2 * np.pi)
+            )
+            return float(np.sum(dlogp * lp))
+
+        eps = 1e-6
+        numerical = np.zeros_like(mean)
+        for i in range(mean.shape[0]):
+            for j in range(mean.shape[1]):
+                mp, mm = mean.copy(), mean.copy()
+                mp[i, j] += eps
+                mm[i, j] -= eps
+                numerical[i, j] = (loss(mp) - loss(mm)) / (2 * eps)
+        assert np.allclose(analytic, numerical, atol=1e-5)
+
+    def test_log_std_is_a_parameter(self):
+        policy = self._policy()
+        assert any(p is policy.log_std for p in policy.parameters)
+
+    def test_log_std_grad_consumed(self):
+        policy = self._policy()
+        rng = np.random.default_rng(0)
+        obs = rng.standard_normal((3, 2))
+        actions = rng.standard_normal((3, 2))
+        mean = policy.actor.predict(obs)
+        policy.grad_wrt_actor_output(mean, actions, np.ones(3), 0.0)
+        g1 = policy.consume_log_std_grad()
+        g2 = policy.consume_log_std_grad()
+        assert np.any(g1 != 0)
+        assert np.all(g2 == 0)  # consumed
+
+
+class TestValue:
+    def test_value_shape(self):
+        policy = CategoricalPolicy(3, 2, hidden=(8,))
+        values = policy.value(np.zeros((7, 3)))
+        assert values.shape == (7,)
+
+    def test_num_parameters_counts_everything(self):
+        policy = GaussianPolicy(2, 3, hidden=(4,))
+        expected = (
+            policy.actor.num_parameters
+            + policy.critic.num_parameters
+            + 3  # log_std
+        )
+        assert policy.num_parameters == expected

@@ -1,0 +1,101 @@
+"""Unit tests for the Table IV/V accounting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.neat.config import NEATConfig
+from repro.neat.innovation import InnovationTracker
+from repro.rl.policies import CategoricalPolicy, SMALL_HIDDEN
+from repro.rl.profiling import (
+    ea_overhead,
+    genome_memory_bytes,
+    mlp_complexity,
+    neat_overhead,
+    rl_overhead,
+)
+
+from tests.conftest import evolved_genome
+
+
+def _neat_population(n=10, seed=0):
+    cfg = NEATConfig(num_inputs=4, num_outputs=2)
+    tracker = InnovationTracker(2)
+    rng = np.random.default_rng(seed)
+    return cfg, [
+        evolved_genome(cfg, tracker, rng, mutations=5, key=i) for i in range(n)
+    ]
+
+
+class TestMlpComplexity:
+    def test_small_cartpole_matches_table5_scale(self):
+        # paper Table V small/cartpole: 133 nodes, 4,416 connections
+        nodes, conns = mlp_complexity(4, SMALL_HIDDEN, 2)
+        assert nodes == 4 + 64 + 64 + 2
+        assert conns == 4 * 64 + 64 * 64 + 64 * 2
+        assert abs(nodes - 133) <= 5
+        assert abs(conns - 4416) <= 100
+
+    def test_large_is_orders_bigger(self):
+        _, small = mlp_complexity(4, SMALL_HIDDEN, 2)
+        _, large = mlp_complexity(4, (256, 256, 256), 2)
+        # paper Table V: large/cartpole has ~1.26M connections vs 4.4K small
+        assert large > 25 * small
+
+
+class TestOverheadRows:
+    def test_rl_has_backward_ops(self):
+        policy = CategoricalPolicy(4, 2, hidden=SMALL_HIDDEN)
+        row = rl_overhead(policy, buffer_bytes=1000)
+        assert row.ops_backward > row.ops_forward * 0.8
+        assert row.memory_bytes > policy.num_parameters * 4
+
+    def test_ea_no_backward(self):
+        row = ea_overhead(4, SMALL_HIDDEN, 2)
+        assert row.ops_backward == 0
+        assert row.ops_forward > 0
+
+    def test_neat_tiny_footprint(self):
+        cfg, genomes = _neat_population()
+        row = neat_overhead(genomes, cfg)
+        assert row.ops_backward == 0
+        ea_row = ea_overhead(4, SMALL_HIDDEN, 2)
+        # the Table IV ordering: NEAT << EA (both in ops and memory)
+        assert row.ops_forward < ea_row.ops_forward / 10
+        assert row.memory_bytes < ea_row.memory_bytes / 10
+
+    def test_table4_ordering(self):
+        cfg, genomes = _neat_population()
+        policy = CategoricalPolicy(4, 2, hidden=SMALL_HIDDEN)
+        rl = rl_overhead(policy, buffer_bytes=4096)
+        ea = ea_overhead(4, SMALL_HIDDEN, 2)
+        neat = neat_overhead(genomes, cfg)
+        assert rl.memory_bytes > ea.memory_bytes > neat.memory_bytes
+        assert rl.ops_backward > ea.ops_backward == neat.ops_backward == 0
+
+    def test_neat_requires_genomes(self):
+        cfg, _ = _neat_population()
+        with pytest.raises(ValueError):
+            neat_overhead([], cfg)
+
+    def test_row_formatting(self):
+        row = ea_overhead(4, SMALL_HIDDEN, 2)
+        formatted = row.as_row()
+        assert formatted["algorithm"] == "EA"
+        assert formatted["Op. Backward"] == "0.0"
+        assert formatted["Local Memory"].endswith("(B)")
+
+
+class TestGenomeMemory:
+    def test_scales_with_genes(self):
+        cfg, genomes = _neat_population()
+        small = genomes[0]
+        tracker = InnovationTracker(2)
+        rng = np.random.default_rng(1)
+        big = evolved_genome(cfg, tracker, rng, mutations=40, key=99)
+        if len(big.connections) > len(small.connections):
+            assert genome_memory_bytes(big) > genome_memory_bytes(small)
+
+    def test_sub_kilobyte_for_typical_genomes(self):
+        # Table IV reports NEAT local memory ~0.4 KB
+        cfg, genomes = _neat_population()
+        assert all(genome_memory_bytes(g) < 2048 for g in genomes)

@@ -1,0 +1,92 @@
+"""Unit tests for the A2C and PPO trainers."""
+
+import numpy as np
+import pytest
+
+from repro.envs.cartpole import CartPole
+from repro.envs.pendulum import Pendulum
+from repro.rl.a2c import A2C
+from repro.rl.ppo import PPO
+
+
+class TestA2C:
+    def test_learn_reports_structure(self):
+        agent = A2C(CartPole(seed=0), hidden=(16,), seed=0)
+        report = agent.learn(total_timesteps=200, eval_every_updates=10)
+        assert report.timesteps >= 200
+        assert report.updates >= 1
+        assert report.fitness_trace
+        assert report.times.total > 0
+
+    def test_update_changes_parameters(self):
+        agent = A2C(CartPole(seed=0), hidden=(16,), seed=0)
+        before = [p.copy() for p in agent.policy.parameters]
+        agent.learn(total_timesteps=64, eval_every_updates=100)
+        after = agent.policy.parameters
+        assert any(not np.array_equal(a, b) for a, b in zip(after, before))
+
+    def test_time_breakdown_populated(self):
+        agent = A2C(CartPole(seed=0), hidden=(16,), seed=0)
+        agent.learn(total_timesteps=160, eval_every_updates=100)
+        fracs = agent.times.fractions()
+        assert abs(sum(fracs.values()) - 1.0) < 1e-9
+        assert agent.times.training > 0
+        assert agent.times.forward > 0
+
+    def test_continuous_env(self):
+        agent = A2C(Pendulum(seed=0), hidden=(16,), seed=0)
+        report = agent.learn(total_timesteps=120, eval_every_updates=100)
+        assert report.timesteps >= 120
+
+    def test_time_limit_stops_early(self):
+        agent = A2C(CartPole(seed=0), hidden=(16,), seed=0)
+        report = agent.learn(
+            total_timesteps=10_000_000,
+            eval_every_updates=1,
+            time_limit=0.2,
+        )
+        assert report.timesteps < 10_000_000
+
+    def test_improves_on_cartpole(self):
+        # loose learning check: best fitness after training beats the
+        # untrained policy's fitness
+        agent = A2C(CartPole(seed=0), hidden=(32, 32), seed=1, lr=2e-3)
+        before = agent._evaluate(episodes=5)
+        report = agent.learn(total_timesteps=6_000, eval_every_updates=25)
+        assert report.best_fitness >= before
+
+
+class TestPPO:
+    def test_learn_reports_structure(self):
+        agent = PPO(CartPole(seed=0), hidden=(16,), seed=0)
+        report = agent.learn(total_timesteps=256, eval_every_updates=1)
+        assert report.timesteps >= 128
+        assert report.updates >= 1
+
+    def test_clip_fraction_reported(self):
+        agent = PPO(CartPole(seed=0), hidden=(16,), seed=0)
+        agent._collect_rollout()
+        stats = agent.update()
+        assert 0.0 <= stats["clip_fraction"] <= 1.0
+
+    def test_multiple_epochs_run(self):
+        agent = PPO(
+            CartPole(seed=0), hidden=(16,), n_epochs=3, batch_size=32, seed=0
+        )
+        before = [p.copy() for p in agent.policy.parameters]
+        agent._collect_rollout()
+        agent.update()
+        after = agent.policy.parameters
+        assert any(not np.array_equal(a, b) for a, b in zip(after, before))
+
+    def test_continuous_env(self):
+        agent = PPO(Pendulum(seed=0), hidden=(16,), seed=0)
+        report = agent.learn(total_timesteps=256, eval_every_updates=100)
+        assert report.timesteps >= 128
+
+    def test_training_dominates_forward(self):
+        # the paper's Fig 3 observation: Training ~60% of RL runtime
+        agent = PPO(CartPole(seed=0), hidden=(64, 64), seed=0)
+        agent.learn(total_timesteps=1024, eval_every_updates=100)
+        fracs = agent.times.fractions()
+        assert fracs["training"] > fracs["forward"]
