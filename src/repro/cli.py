@@ -38,8 +38,13 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run NEAT on one environment")
     run.add_argument("--env", required=True, help="environment name")
     run.add_argument(
-        "--backend", default="inax", choices=("cpu", "gpu", "inax"),
+        "--backend", default="inax",
+        choices=("cpu", "cpu-fast", "gpu", "inax"),
         help="where the evaluate phase runs",
+    )
+    run.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the cpu-fast backend (0 = in-process)",
     )
     run.add_argument("--population", type=int, default=100)
     run.add_argument("--generations", type=int, default=20)
@@ -62,7 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--checkpoint", required=True)
     resume.add_argument("--env", required=True, help="environment name")
     resume.add_argument(
-        "--backend", default="inax", choices=("cpu", "gpu", "inax")
+        "--backend", default="inax",
+        choices=("cpu", "cpu-fast", "gpu", "inax"),
+    )
+    resume.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the cpu-fast backend (0 = in-process)",
     )
     resume.add_argument("--generations", type=int, default=20)
     resume.add_argument("--seed", type=int, default=0)
@@ -149,6 +159,7 @@ def _cmd_run(args) -> int:
         backend=args.backend,
         neat_config=NEATConfig(population_size=args.population),
         seed=args.seed,
+        workers=args.workers,
     )
     if not args.quiet:
         platform.population.reporters.add(ConsoleReporter())
@@ -158,6 +169,7 @@ def _cmd_run(args) -> int:
         platform.population.reporters.add(csv_reporter)
 
     result = platform.run(max_generations=args.generations)
+    platform.backend.close()
     if csv_reporter is not None:
         csv_reporter.close()
     if args.checkpoint:
@@ -179,7 +191,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_resume(args) -> int:
-    from repro.core.backends import CPUBackend, INAXBackend
+    from repro.core.backends import BACKENDS, FastCPUBackend
     from repro.envs.registry import spec
     from repro.neat.checkpoint import load_checkpoint, save_checkpoint
     from repro.neat.reporters import ConsoleReporter
@@ -199,14 +211,11 @@ def _cmd_resume(args) -> int:
             file=sys.stderr,
         )
         return 2
-    from repro.core.backends import GPUBackend
-
-    backend_cls = {
-        "cpu": CPUBackend,
-        "gpu": GPUBackend,
-        "inax": INAXBackend,
-    }[args.backend]
-    backend = backend_cls(args.env, population.config, base_seed=args.seed)
+    backend_cls = BACKENDS[args.backend]
+    kwargs = {"base_seed": args.seed}
+    if issubclass(backend_cls, FastCPUBackend):
+        kwargs["workers"] = args.workers
+    backend = backend_cls(args.env, population.config, **kwargs)
     if not args.quiet:
         population.reporters.add(ConsoleReporter())
 
@@ -216,6 +225,7 @@ def _cmd_resume(args) -> int:
         max_generations=args.generations,
         fitness_threshold=env_spec.required_fitness,
     )
+    backend.close()
     save_checkpoint(population, args.checkpoint)
     print(
         f"\nresumed {args.env} from generation {start_generation}: "

@@ -7,8 +7,10 @@ E3-INAX platform models, producing the Fig 9/10 comparisons.
 """
 
 from repro.core.backends import (
+    BACKENDS,
     CPUBackend,
     EvaluationBackend,
+    FastCPUBackend,
     GPUBackend,
     GenerationRecord,
     INAXBackend,
@@ -42,6 +44,7 @@ from repro.core.results import (
 )
 
 __all__ = [
+    "BACKENDS",
     "BENCH_SETTINGS",
     "CPUBackend",
     "E3",
@@ -49,6 +52,7 @@ __all__ = [
     "EnergyReport",
     "EvaluationBackend",
     "ExperimentResult",
+    "FastCPUBackend",
     "GPUBackend",
     "GenerationRecord",
     "INAXBackend",

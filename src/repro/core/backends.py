@@ -4,16 +4,27 @@ The E3 platform (Fig 5) keeps "evolve" on the CPU and chooses where to
 run "evaluate":
 
 * :class:`CPUBackend` — the SW-only baseline (E3-CPU): decode each
-  genome and run its episodes with the software forward pass;
+  genome and run its episodes with the interpreted per-node forward
+  pass;
+* :class:`FastCPUBackend` — the production software path (``cpu-fast``):
+  decode each genome **once** per generation into a
+  :class:`~repro.neat.vectorized.VectorizedNetwork` (an LRU cache keyed
+  on the genome's structural hash carries elites' decoded networks
+  across generations), run the whole population's episodes in lock-step
+  through one :class:`~repro.neat.vectorized.PopulationEvaluator`, and
+  optionally shard the population across a ``multiprocessing`` pool.
+  Fitness trajectories are bit-identical to :class:`CPUBackend`;
 * :class:`INAXBackend` — the co-designed path (E3-INAX): compile each
   genome to a HW configuration, dispatch the population in waves to the
-  functional INAX device, and drive the closed CPU<->FPGA loop: the CPU
-  scatters observations, the device infers, the CPU steps the envs with
-  the returned actions, until every individual's episode terminates.
+  functional INAX device, and drive the closed CPU<->FPGA loop until
+  every individual's episode terminates.
 
-Both backends evaluate episodes under the same per-genome seeds, so a
-NEAT run's fitness trajectory is identical regardless of backend — the
-property the integration tests pin down.
+All backends drive episodes through the shared rollout machinery
+(:func:`repro.envs.rollout.run_episode` for sequential evaluation,
+:func:`repro.envs.rollout.run_lockstep` for wave evaluation) and
+evaluate under the same per-(genome, episode) seeds, so a NEAT run's
+fitness trajectory is identical regardless of backend — the property
+the integration tests pin down.
 
 Every backend also records the generation's *workload* (for the
 CPU/GPU cost models) and, when an INAX configuration is attached, the
@@ -23,13 +34,14 @@ benchmark harnesses consume.
 
 from __future__ import annotations
 
+import hashlib
+import multiprocessing
+from collections import OrderedDict
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.envs.base import Environment
 from repro.envs.registry import make
-from repro.envs.rollout import decode_action
+from repro.envs.rollout import run_episode, run_lockstep
 from repro.hw.workload import GenerationWorkload, IndividualWork
 from repro.inax.accelerator import INAX, INAXConfig, schedule_generation
 from repro.inax.compiler import HWNetConfig, compile_genome
@@ -38,8 +50,17 @@ from repro.inax.timing import CycleReport
 from repro.neat.config import NEATConfig
 from repro.neat.genome import Genome
 from repro.neat.network import FeedForwardNetwork
+from repro.neat.vectorized import PopulationEvaluator, VectorizedNetwork
 
-__all__ = ["GenerationRecord", "EvaluationBackend", "CPUBackend", "INAXBackend"]
+__all__ = [
+    "GenerationRecord",
+    "EvaluationBackend",
+    "CPUBackend",
+    "FastCPUBackend",
+    "GPUBackend",
+    "INAXBackend",
+    "BACKENDS",
+]
 
 
 @dataclass
@@ -82,10 +103,22 @@ class EvaluationBackend:
         """Set ``fitness`` on every genome; record the workload."""
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release any resources (worker pools, devices). Idempotent."""
+
     # ---------------------------------------------------------- helpers
     def _episode_seed(self, genome: Genome, episode: int) -> int:
-        # deterministic per (run, genome, episode); independent of backend
-        return (self.base_seed * 1_000_003 + genome.key * 31 + episode) % (2**31)
+        """Deterministic per (run, genome, episode); independent of backend.
+
+        The (base_seed, genome key, episode) triple is hashed through
+        SHA-256 and truncated to 63 bits, so distinct triples get
+        distinct, well-mixed seeds (the old ``key * 31 + episode``
+        scheme collided for adjacent keys as soon as
+        ``episodes_per_genome`` exceeded 31).
+        """
+        payload = f"{self.base_seed}|{genome.key}|{episode}".encode()
+        digest = hashlib.sha256(payload).digest()
+        return int.from_bytes(digest[:8], "little") >> 1
 
     def _make_env(self) -> Environment:
         return make(self.env_name, **self.env_kwargs)
@@ -118,7 +151,12 @@ class EvaluationBackend:
 
 
 class CPUBackend(EvaluationBackend):
-    """SW-only evaluation: the E3-CPU baseline."""
+    """SW-only evaluation: the E3-CPU baseline.
+
+    Episodes run through the shared :func:`run_episode` driver with the
+    interpreted per-node forward pass — deliberately the slow reference
+    path the paper profiles in Fig 1(b).
+    """
 
     name = "cpu"
 
@@ -131,14 +169,13 @@ class CPUBackend(EvaluationBackend):
             total_reward = 0.0
             total_steps = 0
             for episode in range(self.episodes_per_genome):
-                env = self._make_env()
-                obs = env.reset(seed=self._episode_seed(genome, episode))
-                done = False
-                while not done:
-                    action = decode_action(env, net.activate(obs))
-                    obs, reward, done, _ = env.step(action)
-                    total_reward += reward
-                    total_steps += 1
+                record = run_episode(
+                    self._make_env(),
+                    net,
+                    seed=self._episode_seed(genome, episode),
+                )
+                total_reward += record.total_reward
+                total_steps += record.steps
             genome.fitness = total_reward / self.episodes_per_genome
             lengths.append(total_steps)
         self._record(configs, lengths)
@@ -157,6 +194,283 @@ class GPUBackend(CPUBackend):
     name = "gpu"
 
 
+@dataclass
+class _Decoded:
+    """One genome's per-generation decode products, cached together."""
+
+    config: HWNetConfig
+    net: FeedForwardNetwork
+    #: None when the genome's plan is not vectorizable (exotic
+    #: aggregation/activation) — those fall back to the interpreted path.
+    vnet: VectorizedNetwork | None
+
+
+class _DecodeCache:
+    """LRU of structural-hash -> :class:`_Decoded`.
+
+    Elites are copied unchanged between generations, so their decoded
+    networks and compiled HW configs hash identically and need decoding
+    only once per run instead of once per generation.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[str, _Decoded] = OrderedDict()
+
+    def get(self, genome: Genome, config: NEATConfig) -> _Decoded:
+        key = genome.structural_hash()
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        net = FeedForwardNetwork.create(genome, config)
+        try:
+            vnet = VectorizedNetwork(net)
+        except ValueError:
+            vnet = None
+        entry = _Decoded(
+            config=compile_genome(genome, config), net=net, vnet=vnet
+        )
+        self._entries[key] = entry
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ------------------------------------------------------------------ pool
+# Per-worker-process state for FastCPUBackend's multiprocessing shards.
+_WORKER_BACKEND: "FastCPUBackend | None" = None
+
+
+def _fastcpu_worker_init(
+    env_name: str,
+    neat_config: NEATConfig,
+    episodes_per_genome: int,
+    base_seed: int,
+    env_kwargs: dict,
+    cache_size: int,
+) -> None:
+    global _WORKER_BACKEND
+    _WORKER_BACKEND = FastCPUBackend(
+        env_name,
+        neat_config,
+        episodes_per_genome=episodes_per_genome,
+        base_seed=base_seed,
+        env_kwargs=env_kwargs,
+        workers=0,
+        cache_size=cache_size,
+    )
+
+
+def _fastcpu_worker_evaluate(
+    genomes: list[Genome],
+) -> list[tuple[int, float, int]]:
+    assert _WORKER_BACKEND is not None, "worker pool not initialized"
+    fitnesses, lengths = _WORKER_BACKEND._fitness_for(genomes)
+    return [
+        (genome.key, fitness, length)
+        for genome, fitness, length in zip(genomes, fitnesses, lengths)
+    ]
+
+
+class FastCPUBackend(CPUBackend):
+    """Vectorized + sharded + cached software evaluation (``cpu-fast``).
+
+    Three optimizations over :class:`CPUBackend`, none of which change a
+    single bit of any fitness value:
+
+    1. **Vectorized inference** — each genome decodes once into a
+       :class:`VectorizedNetwork`; the whole population's episodes run
+       in lock-step through one :class:`PopulationEvaluator`, so a
+       generation's forward passes cost a handful of NumPy ops per
+       environment tick instead of a Python per-node loop per
+       individual.
+    2. **Sharding** — with ``workers > 1`` the population splits across
+       a persistent ``multiprocessing`` pool.  Per-(genome, episode)
+       seeding makes shard placement irrelevant to results.
+    3. **Decode caching** — an LRU keyed on
+       :meth:`Genome.structural_hash` carries elites' decoded networks
+       and compiled HW configs across generations.
+
+    Genomes whose plans cannot vectorize (exotic aggregations) fall back
+    to the interpreted :func:`run_episode` path, which produces the same
+    bits by construction.
+    """
+
+    name = "cpu-fast"
+
+    #: below this many alive episodes, a lock-step tick dispatches to the
+    #: interpreted nets instead of the population evaluator — the flat
+    #: tensors' fixed per-tick cost only pays off on wide waves, and the
+    #: two paths produce identical bits, so the crossover is pure tuning
+    SMALL_WAVE = 12
+
+    def __init__(
+        self,
+        env_name: str,
+        neat_config: NEATConfig,
+        episodes_per_genome: int = 1,
+        base_seed: int = 0,
+        inax_config: INAXConfig | None = None,
+        env_kwargs: dict | None = None,
+        workers: int = 0,
+        cache_size: int = 512,
+    ):
+        """``workers`` > 1 shards evaluation across that many worker
+        processes; 0 or 1 evaluates in-process.  ``cache_size`` bounds
+        the decoded-network LRU (structural hashes -> decoded nets)."""
+        super().__init__(
+            env_name,
+            neat_config,
+            episodes_per_genome=episodes_per_genome,
+            base_seed=base_seed,
+            inax_config=inax_config,
+            env_kwargs=env_kwargs,
+        )
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self._cache = _DecodeCache(cache_size)
+        self._pool = None
+
+    # --------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown guard
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def cache_info(self) -> dict[str, int]:
+        """Decode-cache statistics: hits, misses, current size."""
+        return {
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+            "size": len(self._cache),
+        }
+
+    # -------------------------------------------------------- evaluation
+    def evaluate(self, genomes: list[Genome]) -> None:
+        decoded = [self._cache.get(g, self.neat_config) for g in genomes]
+        configs = [d.config for d in decoded]
+        if self.workers > 1 and len(genomes) > 1:
+            fitnesses, lengths = self._fitness_sharded(genomes)
+        else:
+            fitnesses, lengths = self._fitness_for(genomes, decoded)
+        for genome, fitness in zip(genomes, fitnesses):
+            genome.fitness = fitness
+        self._record(configs, lengths)
+
+    def _fitness_for(
+        self,
+        genomes: list[Genome],
+        decoded: list[_Decoded] | None = None,
+    ) -> tuple[list[float], list[int]]:
+        """Evaluate ``genomes`` in-process; returns (fitnesses, lengths).
+
+        Reward/step accumulation mirrors :class:`CPUBackend` exactly:
+        per-episode totals in step order, summed in episode order, then
+        one division — so the resulting floats are bit-identical.
+        """
+        if decoded is None:
+            decoded = [self._cache.get(g, self.neat_config) for g in genomes]
+        episodes = self.episodes_per_genome
+
+        vector_ids = [i for i, d in enumerate(decoded) if d.vnet is not None]
+        records: dict[tuple[int, int], object] = {}
+        if vector_ids:
+            slots: list[tuple[int, int]] = [
+                (i, episode)
+                for i in vector_ids
+                for episode in range(episodes)
+            ]
+            envs = [self._make_env() for _ in slots]
+            seeds = [
+                self._episode_seed(genomes[i], episode)
+                for i, episode in slots
+            ]
+            evaluator = PopulationEvaluator(
+                [decoded[i].vnet for i, _ in slots]
+            )
+            interpreted = [decoded[i].net for i, _ in slots]
+
+            def infer(observations):
+                if len(observations) >= self.SMALL_WAVE:
+                    return evaluator.infer(observations)
+                return {
+                    m: interpreted[m].activate(obs)
+                    for m, obs in observations.items()
+                }
+
+            for slot, record in zip(
+                slots, run_lockstep(envs, infer, seeds=seeds)
+            ):
+                records[slot] = record
+
+        fitnesses: list[float] = []
+        lengths: list[int] = []
+        for i, genome in enumerate(genomes):
+            total_reward = 0.0
+            total_steps = 0
+            for episode in range(episodes):
+                record = records.get((i, episode))
+                if record is None:  # non-vectorizable genome: reference path
+                    record = run_episode(
+                        self._make_env(),
+                        decoded[i].net,
+                        seed=self._episode_seed(genome, episode),
+                    )
+                total_reward += record.total_reward
+                total_steps += record.steps
+            fitnesses.append(total_reward / episodes)
+            lengths.append(total_steps)
+        return fitnesses, lengths
+
+    def _fitness_sharded(
+        self, genomes: list[Genome]
+    ) -> tuple[list[float], list[int]]:
+        """Shard the population across the worker pool and merge."""
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self._pool = context.Pool(
+                self.workers,
+                initializer=_fastcpu_worker_init,
+                initargs=(
+                    self.env_name,
+                    self.neat_config,
+                    self.episodes_per_genome,
+                    self.base_seed,
+                    self.env_kwargs,
+                    self._cache.capacity,
+                ),
+            )
+        shards = [genomes[i :: self.workers] for i in range(self.workers)]
+        merged: dict[int, tuple[float, int]] = {}
+        for shard_result in self._pool.map(
+            _fastcpu_worker_evaluate, [s for s in shards if s]
+        ):
+            for key, fitness, length in shard_result:
+                merged[key] = (fitness, length)
+        fitnesses = [merged[g.key][0] for g in genomes]
+        lengths = [merged[g.key][1] for g in genomes]
+        return fitnesses, lengths
+
+
 class INAXBackend(EvaluationBackend):
     """HW/SW co-designed evaluation on the functional INAX device.
 
@@ -164,7 +478,9 @@ class INAXBackend(EvaluationBackend):
     device step infers every still-alive individual, then the CPU steps
     each individual's environment with the decoded action.  Early
     terminations drop out of subsequent steps (the §V-B2 idle-PU
-    effect), and the device's cycle report reflects it.
+    effect), and the device's cycle report reflects it.  The wave loop
+    itself is the shared :func:`run_lockstep` driver with the device as
+    the inference function.
     """
 
     name = "inax"
@@ -269,25 +585,20 @@ class INAXBackend(EvaluationBackend):
         rewards: list[float],
     ) -> None:
         self.device.begin_wave(configs)
-        envs: list[Environment] = []
-        observations: list[np.ndarray] = []
-        for genome in genomes:
-            env = self._make_env()
-            envs.append(env)
-            observations.append(
-                env.reset(seed=self._episode_seed(genome, episode))
-            )
-        alive = set(range(len(genomes)))
-        while alive:
-            inputs = {slot: observations[slot] for slot in alive}
-            outputs = self.device.step(inputs)
-            for slot, raw in outputs.items():
-                env = envs[slot]
-                action = decode_action(env, raw)
-                obs, reward, done, _ = env.step(action)
-                observations[slot] = obs
-                rewards[offset + slot] += reward
-                lengths[offset + slot] += 1
-                if done:
-                    alive.discard(slot)
+        envs = [self._make_env() for _ in genomes]
+        seeds = [self._episode_seed(genome, episode) for genome in genomes]
+        episode_records = run_lockstep(envs, self.device.step, seeds=seeds)
         self.device.end_wave()
+        for slot, record in enumerate(episode_records):
+            rewards[offset + slot] += record.total_reward
+            lengths[offset + slot] += record.steps
+
+
+#: CLI/platform name -> backend class, for everything that selects a
+#: backend by string.
+BACKENDS: dict[str, type[EvaluationBackend]] = {
+    "cpu": CPUBackend,
+    "cpu-fast": FastCPUBackend,
+    "gpu": GPUBackend,
+    "inax": INAXBackend,
+}

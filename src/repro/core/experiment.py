@@ -142,8 +142,16 @@ def run_experiment(
     episodes_per_genome: int = 1,
     backend: str = "cpu",
     fitness_threshold: float | None = None,
+    workers: int = 0,
 ) -> ExperimentResult:
-    """Run NEAT on ``env_name`` and price it on all three platforms."""
+    """Run NEAT on ``env_name`` and price it on all three platforms.
+
+    ``backend`` picks where the functional run executes — ``cpu-fast``
+    prices identically to ``cpu`` because the fitness trajectory,
+    workloads, and episode lengths are bit-identical; it just finishes
+    the functional run sooner.  ``workers`` shards ``cpu-fast``
+    evaluation across processes.
+    """
     env_spec = spec(env_name)
     env = make(env_name)
     if inax_config is None:
@@ -156,10 +164,12 @@ def run_experiment(
         inax_config=inax_config,
         episodes_per_genome=episodes_per_genome,
         seed=seed,
+        workers=workers,
     )
     run = platform.run(
         max_generations=max_generations, fitness_threshold=fitness_threshold
     )
+    platform.backend.close()
     platforms, merged = price_run(
         run.records, inax_config, cpu_model=cpu_model_for(env_name)
     )

@@ -12,11 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.core.backends import (
-    CPUBackend,
+    BACKENDS,
     EvaluationBackend,
+    FastCPUBackend,
     GenerationRecord,
-    GPUBackend,
-    INAXBackend,
 )
 from repro.core.profiler import PhaseProfiler
 from repro.envs.registry import make, spec
@@ -70,11 +69,14 @@ class E3:
         seed: int = 0,
         env_kwargs: dict | None = None,
         seed_genome=None,
+        workers: int = 0,
     ):
         """``env_kwargs`` override the environment's physics (the
         model-tuning plant perturbation); ``seed_genome`` warm-starts
         the population from a deployed champion (§I's model-tuning
-        use-case — see ``examples/model_tuning.py``)."""
+        use-case — see ``examples/model_tuning.py``); ``workers``
+        shards the ``cpu-fast`` backend's evaluation across that many
+        worker processes (ignored by the other backends)."""
         env_spec = spec(env_name)  # validates the name early
         env_kwargs = dict(env_kwargs or {})
         env = make(env_name, **env_kwargs)
@@ -94,28 +96,21 @@ class E3:
 
         if isinstance(backend, EvaluationBackend):
             self.backend = backend
-        elif backend in ("cpu", "gpu"):
-            backend_cls = CPUBackend if backend == "cpu" else GPUBackend
-            self.backend = backend_cls(
-                env_name,
-                self.neat_config,
+        elif backend in BACKENDS:
+            backend_cls = BACKENDS[backend]
+            kwargs = dict(
                 episodes_per_genome=episodes_per_genome,
                 base_seed=seed,
                 inax_config=inax_config,
                 env_kwargs=env_kwargs,
             )
-        elif backend == "inax":
-            self.backend = INAXBackend(
-                env_name,
-                self.neat_config,
-                inax_config=inax_config,
-                episodes_per_genome=episodes_per_genome,
-                base_seed=seed,
-                env_kwargs=env_kwargs,
-            )
+            if issubclass(backend_cls, FastCPUBackend):
+                kwargs["workers"] = workers
+            self.backend = backend_cls(env_name, self.neat_config, **kwargs)
         else:
+            names = ", ".join(repr(n) for n in sorted(BACKENDS))
             raise ValueError(
-                f"unknown backend {backend!r}; use 'cpu', 'gpu', 'inax', "
+                f"unknown backend {backend!r}; use one of {names} "
                 "or an EvaluationBackend instance"
             )
         self.population = Population(

@@ -19,13 +19,21 @@ from repro.envs.spaces import Box, Discrete
 
 __all__ = [
     "PolicyFn",
+    "InferFn",
     "EpisodeRecord",
     "decode_action",
+    "decode_action_batch",
     "run_episode",
+    "run_lockstep",
     "evaluate_policy",
 ]
 
 PolicyFn = Callable[[np.ndarray], np.ndarray]
+#: Lock-step inference: ``{slot: observation} -> {slot: raw output}``
+#: for every still-alive slot.  Both the INAX device's scatter/infer/
+#: gather step and :class:`repro.neat.vectorized.PopulationEvaluator`
+#: satisfy this signature.
+InferFn = Callable[[dict[int, np.ndarray]], dict[int, np.ndarray]]
 
 
 @dataclass
@@ -72,6 +80,42 @@ def decode_action(env: Environment, raw_output: np.ndarray):
     raise TypeError(f"unsupported action space {space!r}")
 
 
+def decode_action_batch(env: Environment, raw_outputs: np.ndarray) -> list:
+    """Decode a ``(batch, num_outputs)`` block of raw outputs at once.
+
+    Bit-identical to calling :func:`decode_action` row by row (ties in
+    the argmax resolve to the first maximum in both, and the Box path
+    applies the same value-pure elementwise ops), but pays the NumPy
+    call overhead once per lock-step tick instead of once per individual.
+    """
+    raw = np.atleast_2d(np.asarray(raw_outputs, dtype=np.float64))
+    space = env.action_space
+    if isinstance(space, Discrete):
+        if raw.shape[1] < space.n:
+            raise ValueError(
+                f"policy produced {raw.shape[1]} outputs but {env.name} "
+                f"needs {space.n}"
+            )
+        return [int(a) for a in np.argmax(raw[:, : space.n], axis=1)]
+    if isinstance(space, Box):
+        dim = space.flat_dim
+        if raw.shape[1] < dim:
+            raise ValueError(
+                f"policy produced {raw.shape[1]} outputs but {env.name} "
+                f"needs {dim}"
+            )
+        squashed = np.tanh(raw[:, :dim])
+        center = (space.high + space.low) / 2.0
+        half_range = (space.high - space.low) / 2.0
+        half_range = np.where(np.isfinite(half_range), half_range, 1.0)
+        center = np.where(np.isfinite(center), center, 0.0)
+        actions = center + half_range * squashed.reshape(
+            (raw.shape[0],) + space.shape
+        )
+        return [actions[i] for i in range(raw.shape[0])]
+    raise TypeError(f"unsupported action space {space!r}")
+
+
 def run_episode(
     env: Environment,
     policy: PolicyFn,
@@ -79,7 +123,14 @@ def run_episode(
     max_steps: int | None = None,
     keep_rewards: bool = False,
 ) -> EpisodeRecord:
-    """Run one episode of ``policy`` in ``env`` and return its record."""
+    """Run one episode of ``policy`` in ``env`` and return its record.
+
+    ``truncated`` reports the *environment's* truncation flag when the
+    episode ends on its own (an episode that terminates naturally on
+    exactly the last allowed step is **not** truncated), and is only
+    forced ``True`` when the external ``max_steps`` cap cuts a
+    still-running episode short.
+    """
     obs = env.reset(seed=seed)
     total = 0.0
     steps = 0
@@ -93,12 +144,85 @@ def run_episode(
         steps += 1
         if keep_rewards:
             rewards.append(reward)
-        if done or steps >= limit:
-            truncated = bool(info.get("truncated", False)) or steps >= limit
+        if done:
+            truncated = bool(info.get("truncated", False))
+            break
+        if steps >= limit:
+            truncated = True
             break
     return EpisodeRecord(
         total_reward=total, steps=steps, truncated=truncated, rewards=rewards
     )
+
+
+def run_lockstep(
+    envs: Sequence[Environment],
+    infer: InferFn,
+    seeds: Sequence[int | None] | None = None,
+    max_steps: int | None = None,
+    keep_rewards: bool = False,
+) -> list[EpisodeRecord]:
+    """Run one episode per env, all in lock-step, and return the records.
+
+    This is the shared multi-episode driver behind every batched
+    evaluation path: each synchronized tick infers every still-alive
+    slot at once (``infer`` maps ``{slot: obs}`` to ``{slot: raw
+    output}``), decodes the whole wave's actions in one batch, then
+    steps each slot's environment.  Slots whose episodes terminate drop
+    out of subsequent ticks — the software analogue of the paper's
+    §V-B2 idle-PU effect — so the INAX backend's device waves and the
+    ``cpu-fast`` backend's population inference run through identical
+    bookkeeping.
+
+    Per-slot rewards accumulate in step order, and truncation follows
+    :func:`run_episode`'s rule exactly, so a lock-step episode's record
+    is bit-identical to running it alone.
+    """
+    if seeds is not None and len(seeds) != len(envs):
+        raise ValueError("seeds, when given, must have one entry per env")
+    n = len(envs)
+    observations: list[np.ndarray] = [
+        env.reset(seed=seeds[i] if seeds is not None else None)
+        for i, env in enumerate(envs)
+    ]
+    limits = [
+        max_steps if max_steps is not None else env.max_episode_steps
+        for env in envs
+    ]
+    totals = [0.0] * n
+    steps = [0] * n
+    truncated = [False] * n
+    rewards: list[list[float]] = [[] for _ in range(n)]
+    alive = list(range(n))
+    while alive:
+        outputs = infer({slot: observations[slot] for slot in alive})
+        actions = decode_action_batch(
+            envs[alive[0]], np.stack([outputs[slot] for slot in alive])
+        )
+        survivors = []
+        for action, slot in zip(actions, alive):
+            obs, reward, done, info = envs[slot].step(action)
+            observations[slot] = obs
+            totals[slot] += reward
+            steps[slot] += 1
+            if keep_rewards:
+                rewards[slot].append(reward)
+            if done:
+                truncated[slot] = bool(info.get("truncated", False))
+            elif steps[slot] >= limits[slot]:
+                truncated[slot] = True
+            else:
+                survivors.append(slot)
+        alive = survivors
+    return [
+        EpisodeRecord(
+            total_reward=totals[i],
+            steps=steps[i],
+            truncated=truncated[i],
+            rewards=rewards[i],
+        )
+        for i in range(n)
+    ]
 
 
 def evaluate_policy(

@@ -34,7 +34,11 @@ from repro.neat.validate import (
     iter_violations,
     validate_genome,
 )
-from repro.neat.vectorized import VectorizedNetwork, vectorize
+from repro.neat.vectorized import (
+    PopulationEvaluator,
+    VectorizedNetwork,
+    vectorize,
+)
 
 __all__ = [
     "CSVReporter",
@@ -49,6 +53,7 @@ __all__ = [
     "NodeEval",
     "NodeGene",
     "Population",
+    "PopulationEvaluator",
     "Reporter",
     "ReporterSet",
     "Reproduction",

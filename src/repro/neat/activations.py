@@ -6,12 +6,28 @@ functions behind string-keyed registries keeps genomes serializable and
 lets the INAX simulator's PE activation unit resolve exactly the same
 functions the software forward pass uses, so hardware and software
 results can be compared bit-for-bit.
+
+Two representation choices exist solely to keep the interpreted
+reference, the INAX PE simulator, and the vectorized batch evaluator
+(:mod:`repro.neat.vectorized`) bit-identical:
+
+* transcendental functions (``exp``/``tanh``/``sin``) go through NumPy's
+  scalar ufuncs rather than :mod:`math` — NumPy's SIMD kernels produce
+  slightly different last-ulp results than libm, and they are value-pure
+  (the same input gives the same bits whether evaluated as a scalar or
+  as an element of any array), so scalar and batched paths agree exactly;
+* the ``sum`` aggregation accumulates left-to-right in ingress order —
+  the same order a MAC-accumulator PE sums in hardware and the order the
+  batched evaluator replays — instead of an order-insensitive
+  ``math.fsum``.
 """
 
 from __future__ import annotations
 
 import math
 from typing import Callable, Iterable
+
+import numpy as np
 
 __all__ = [
     "ActivationRegistry",
@@ -28,12 +44,12 @@ def _sigmoid(x: float) -> float:
     # NEAT's steepened sigmoid (Stanley & Miikkulainen use 4.9x); clamp the
     # argument so exp never overflows for extreme evolved weights.
     z = max(-60.0, min(60.0, 4.9 * x))
-    return 1.0 / (1.0 + math.exp(-z))
+    return float(1.0 / (1.0 + np.exp(-z)))
 
 
 def _tanh(x: float) -> float:
     z = max(-60.0, min(60.0, 2.5 * x))
-    return math.tanh(z)
+    return float(np.tanh(z))
 
 
 def _relu(x: float) -> float:
@@ -51,7 +67,7 @@ def _identity(x: float) -> float:
 def _mlp_tanh(x: float) -> float:
     """Plain tanh, no NEAT steepening — matches :class:`repro.rl.nn.MLP`
     so dense policies lowered via ``compile_mlp`` run bit-compatibly."""
-    return math.tanh(x)
+    return float(np.tanh(x))
 
 
 def _clamped(x: float) -> float:
@@ -60,12 +76,12 @@ def _clamped(x: float) -> float:
 
 def _gauss(x: float) -> float:
     z = max(-3.4, min(3.4, x))
-    return math.exp(-5.0 * z * z)
+    return float(np.exp(-5.0 * z * z))
 
 
 def _sin(x: float) -> float:
     z = max(-60.0, min(60.0, 5.0 * x))
-    return math.sin(z)
+    return float(np.sin(z))
 
 
 def _abs(x: float) -> float:
@@ -131,10 +147,19 @@ activations = ActivationRegistry(
     },
 )
 
+def _sum(values: Iterable[float]) -> float:
+    # Left-to-right accumulation, matching both a hardware MAC
+    # accumulator and the batched evaluator's term-by-term replay.
+    total = 0.0
+    for v in values:
+        total = total + v
+    return total
+
+
 aggregations = AggregationRegistry(
     "aggregation",
     {
-        "sum": lambda values: math.fsum(values),
+        "sum": _sum,
         "mean": lambda values: _mean(values),
         "max": lambda values: max(values, default=0.0),
         "min": lambda values: min(values, default=0.0),

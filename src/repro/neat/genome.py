@@ -9,6 +9,7 @@ and the compatibility distance speciation uses.  Crossover lives in
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -116,6 +117,34 @@ class Genome:
     def size(self, config: NEATConfig) -> tuple[int, int]:
         """(nodes, enabled connections) — the Table V complexity pair."""
         return self.num_nodes(config), self.num_enabled_connections
+
+    # ------------------------------------------------------------ hashing
+    def structural_hash(self) -> str:
+        """SHA-256 digest of everything that shapes the decoded network.
+
+        Covers every node's (key, bias, activation, aggregation) and
+        every connection's (endpoints, weight, enabled) — the full input
+        of ``CreateNet`` — but **not** ``key``, ``fitness`` or innovation
+        numbers, so an elite copied unchanged across generations hashes
+        identically.  Decoded-network caches (the ``cpu-fast`` backend's
+        LRU) key on this: equal hashes ⇒ bit-identical decoded networks
+        under one config.  Floats hash by exact bit pattern
+        (``float.hex``), matching the bit-for-bit evaluation guarantees.
+        """
+        hasher = hashlib.sha256()
+        for key in sorted(self.nodes):
+            node = self.nodes[key]
+            hasher.update(
+                f"n|{key}|{float(node.bias).hex()}|{node.activation}"
+                f"|{node.aggregation}\n".encode()
+            )
+        for key in sorted(self.connections):
+            conn = self.connections[key]
+            hasher.update(
+                f"c|{conn.in_node}|{conn.out_node}|{float(conn.weight).hex()}"
+                f"|{int(conn.enabled)}\n".encode()
+            )
+        return hasher.hexdigest()
 
     # ---------------------------------------------------------- mutation
     def mutate(

@@ -2,19 +2,39 @@
 
 The interpreted per-node forward pass (:class:`FeedForwardNetwork`) is
 the *reference* — INAX's PEs match it bit-for-bit.  For software-side
-throughput (e.g. evaluating one network on a batch of observations, or
-Monte-Carlo fitness over many rollouts), this module compiles the same
-layered plan into per-layer NumPy matrices:
+throughput (the ``cpu-fast`` backend, batch inference, Monte-Carlo
+fitness over many rollouts), this module compiles the same layered plan
+into padded per-layer index/weight matrices and replays the reference
+computation with NumPy:
 
-* each layer becomes a dense ``(fan_out, num_sources)`` weight matrix
-  over the *currently known values* (inputs + all earlier nodes — the
-  value-buffer view, so skip connections cost nothing extra);
-* activation functions apply vectorized via a NumPy registry mirroring
-  :mod:`repro.neat.activations`.
+* each layer becomes ``(fan_out, max_fan_in)`` source-slot and weight
+  matrices over a flat value buffer (inputs first, then every node in
+  layer order — the value-buffer view, so skip connections cost nothing
+  extra);
+* pre-activations accumulate **term by term in ingress order** — the
+  same left-to-right order the interpreted path and a hardware MAC
+  accumulator use — rather than via a BLAS dot whose summation order is
+  opaque, so results are bit-identical to the reference;
+* activation functions apply via NumPy's value-pure ufunc kernels, the
+  exact functions :mod:`repro.neat.activations` evaluates for scalars.
+
+Two evaluators share that compiled plan:
+
+* :class:`VectorizedNetwork` — one network over a batch of observations;
+* :class:`PopulationEvaluator` — many networks in lock-step, one
+  observation each, flattened into a single value buffer so a whole
+  population's forward pass costs a handful of NumPy ops per layer.
+  This is the inference engine behind ``FastCPUBackend``.
 
 Only ``sum`` aggregation is supported (the default and the only one
 NEAT's evolved networks use here); anything else falls back to the
 reference implementation.
+
+Known (theoretical) bit-equality caveat: padded fan-in entries append
+``value * 0.0`` terms to a node's accumulation, which is an exact no-op
+for every sum except one that is exactly ``-0.0``; NEAT's continuous
+weights make that case unobservable in practice, and ``-0.0 == 0.0``
+anyway under IEEE comparison.
 """
 
 from __future__ import annotations
@@ -23,26 +43,66 @@ import numpy as np
 
 from repro.neat.network import FeedForwardNetwork
 
-__all__ = ["VectorizedNetwork", "vectorize"]
+__all__ = ["VectorizedNetwork", "PopulationEvaluator", "vectorize"]
 
-# NumPy twins of repro.neat.activations (same clamping, same constants)
+
+def _vec_sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-np.clip(4.9 * x, -60.0, 60.0)))
+
+
+def _vec_tanh(x):
+    return np.tanh(np.clip(2.5 * x, -60.0, 60.0))
+
+
+def _vec_gauss(x):
+    z = np.clip(x, -3.4, 3.4)
+    # ((-5.0 * z) * z), matching the scalar registry's evaluation order
+    return np.exp(-5.0 * z * z)
+
+
+# NumPy twins of repro.neat.activations: same constants, same clamping,
+# and crucially the same operation *order* (clamp before scale, multiply
+# chains associated identically), so each is bit-identical to its scalar
+# counterpart elementwise.
 _VECTOR_ACTIVATIONS = {
-    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-np.clip(4.9 * x, -60, 60))),
-    "tanh": lambda x: np.tanh(np.clip(2.5 * x, -60, 60)),
-    "relu": lambda x: np.maximum(x, 0.0),
-    "leaky_relu": lambda x: np.where(x > 0, x, 0.005 * x),
+    "sigmoid": _vec_sigmoid,
+    "tanh": _vec_tanh,
+    "relu": lambda x: np.where(x > 0.0, x, 0.0),
+    "leaky_relu": lambda x: np.where(x > 0.0, x, 0.005 * x),
     "identity": lambda x: x,
     "mlp_tanh": np.tanh,
     "clamped": lambda x: np.clip(x, -1.0, 1.0),
-    "gauss": lambda x: np.exp(-5.0 * np.clip(x, -3.4, 3.4) ** 2),
-    "sin": lambda x: np.sin(np.clip(5.0 * x, -60, 60)),
+    "gauss": _vec_gauss,
+    "sin": lambda x: np.sin(np.clip(5.0 * x, -60.0, 60.0)),
     "abs": np.abs,
-    "step": lambda x: (x > 0).astype(np.float64),
+    "step": lambda x: (x > 0.0).astype(np.float64),
 }
 
 
-class VectorizedNetwork:
-    """A compiled batch evaluator for one decoded network."""
+class _LayerPlan:
+    """One layer's padded execution plan over the flat value buffer.
+
+    ``sources``/``weights`` are ``(rows, max_fan_in)``; rows with fewer
+    ingress terms are padded with ``(slot 0, weight 0.0)`` entries so a
+    layer evaluates with dense array ops.  ``act_groups`` maps each
+    distinct activation to the row indices using it.
+    """
+
+    __slots__ = ("sources", "weights", "biases", "act_groups", "slots")
+
+    def __init__(self, sources, weights, biases, act_groups, slots):
+        self.sources = sources
+        self.weights = weights
+        self.biases = biases
+        self.act_groups = act_groups
+        self.slots = slots
+
+
+class _NetPlan:
+    """A full network compiled to layered padded matrices."""
+
+    __slots__ = ("num_inputs", "num_outputs", "num_slots", "layers",
+                 "output_slots")
 
     def __init__(self, net: FeedForwardNetwork):
         for plan in net.node_evals.values():
@@ -55,53 +115,89 @@ class VectorizedNetwork:
                 raise ValueError(
                     f"no vectorized activation {plan.activation!r}"
                 )
-        self._reference = net
-        self.input_keys = net.input_keys
-        self.output_keys = net.output_keys
+        self.num_inputs = len(net.input_keys)
+        self.num_outputs = len(net.output_keys)
 
         # value-buffer slot index for every key, inputs first
         index: dict[int, int] = {
             key: i for i, key in enumerate(net.input_keys)
         }
-        self._layers: list[tuple[np.ndarray, np.ndarray, list, list[int]]] = []
+        self.layers: list[_LayerPlan] = []
         for layer in net.layers:
-            num_known = len(index)
-            weights = np.zeros((len(layer), num_known))
-            biases = np.empty(len(layer))
-            activations: list = []
+            rows = len(layer)
+            fan_in = max(
+                (net.node_evals[key].fan_in for key in layer), default=0
+            )
+            sources = np.zeros((rows, fan_in), dtype=np.intp)
+            weights = np.zeros((rows, fan_in))
+            biases = np.empty(rows)
+            act_rows: dict[str, list[int]] = {}
             for row, key in enumerate(layer):
                 plan = net.node_evals[key]
                 biases[row] = plan.bias
-                activations.append(_VECTOR_ACTIVATIONS[plan.activation])
-                for src, w in plan.ingress:
-                    weights[row, index[src]] = w
-            slots = []
-            for key in layer:
+                act_rows.setdefault(plan.activation, []).append(row)
+                for term, (src, w) in enumerate(plan.ingress):
+                    sources[row, term] = index[src]
+                    weights[row, term] = w
+            slots = np.empty(rows, dtype=np.intp)
+            for row, key in enumerate(layer):
                 index[key] = len(index)
-                slots.append(index[key])
-            self._layers.append((weights, biases, activations, slots))
-        self._num_slots = len(index)
-        self._output_slots = [index.get(k, -1) for k in net.output_keys]
+                slots[row] = index[key]
+            act_groups = [
+                (_VECTOR_ACTIVATIONS[name], np.array(r, dtype=np.intp))
+                for name, r in act_rows.items()
+            ]
+            self.layers.append(
+                _LayerPlan(sources, weights, biases, act_groups, slots)
+            )
+        self.num_slots = len(index)
+        self.output_slots = np.array(
+            [index.get(k, -1) for k in net.output_keys], dtype=np.intp
+        )
+
+
+def _apply_activations(layer: _LayerPlan, pre: np.ndarray) -> np.ndarray:
+    """Apply per-row activations along the last axis of ``pre``."""
+    if len(layer.act_groups) == 1:
+        return layer.act_groups[0][0](pre)
+    out = np.empty_like(pre)
+    for fn, rows in layer.act_groups:
+        out[..., rows] = fn(pre[..., rows])
+    return out
+
+
+class VectorizedNetwork:
+    """A compiled batch evaluator for one decoded network."""
+
+    def __init__(self, net: FeedForwardNetwork):
+        self._reference = net
+        self.input_keys = net.input_keys
+        self.output_keys = net.output_keys
+        self.plan = _NetPlan(net)
 
     # ---------------------------------------------------------- evaluate
     def activate_batch(self, inputs: np.ndarray) -> np.ndarray:
         """(batch, num_inputs) -> (batch, num_outputs)."""
+        plan = self.plan
         x = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
-        if x.shape[1] != len(self.input_keys):
+        if x.shape[1] != plan.num_inputs:
             raise ValueError(
-                f"expected {len(self.input_keys)} inputs, got {x.shape[1]}"
+                f"expected {plan.num_inputs} inputs, got {x.shape[1]}"
             )
         batch = x.shape[0]
-        values = np.zeros((batch, self._num_slots))
-        values[:, : x.shape[1]] = x
-        for weights, biases, activations, slots in self._layers:
-            pre = values[:, : weights.shape[1]] @ weights.T + biases
-            for column, activation in enumerate(activations):
-                values[:, slots[column]] = activation(pre[:, column])
-        out = np.zeros((batch, len(self.output_keys)))
-        for column, slot in enumerate(self._output_slots):
-            if slot >= 0:
-                out[:, column] = values[:, slot]
+        values = np.zeros((batch, plan.num_slots))
+        values[:, : plan.num_inputs] = x
+        for layer in plan.layers:
+            gathered = values[:, layer.sources]  # (batch, rows, fan_in)
+            products = gathered * layer.weights
+            acc = np.zeros((batch, layer.sources.shape[0]))
+            for term in range(products.shape[2]):
+                acc += products[:, :, term]
+            pre = acc + layer.biases
+            values[:, layer.slots] = _apply_activations(layer, pre)
+        out = np.zeros((batch, plan.num_outputs))
+        visible = plan.output_slots >= 0
+        out[:, visible] = values[:, plan.output_slots[visible]]
         return out
 
     def activate(self, inputs: np.ndarray) -> np.ndarray:
@@ -110,6 +206,157 @@ class VectorizedNetwork:
 
     def __call__(self, inputs: np.ndarray) -> np.ndarray:
         return self.activate(inputs)
+
+
+class PopulationEvaluator:
+    """Lock-step inference over many compiled networks at once.
+
+    All member networks' value buffers concatenate into one flat vector;
+    each "layer" of the population (every member's nodes at that depth)
+    evaluates with a handful of NumPy ops regardless of population size.
+    This is what makes software evaluation of a NEAT generation cheap:
+    the per-step cost is a few microseconds per *population*, not per
+    individual.
+
+    The interface mirrors the INAX device's scatter/infer/gather step:
+    :meth:`infer` takes ``{slot: observation}`` for the still-alive
+    subset and returns ``{slot: raw_output}``.  When episodes terminate
+    and the alive set shrinks past a threshold, the flat tensors are
+    rebuilt for the survivors so dead individuals stop costing inference
+    work (the software analogue of the paper's idle-PU effect).
+    """
+
+    #: rebuild the flattened tensors once the alive set falls below this
+    #: fraction of the currently built set
+    REBUILD_FRACTION = 0.6
+
+    def __init__(self, nets: list[VectorizedNetwork]):
+        if not nets:
+            raise ValueError("PopulationEvaluator needs at least one network")
+        plans = [net.plan for net in nets]
+        num_inputs = {p.num_inputs for p in plans}
+        num_outputs = {p.num_outputs for p in plans}
+        if len(num_inputs) != 1 or len(num_outputs) != 1:
+            raise ValueError(
+                "all member networks must share input/output arity; got "
+                f"inputs {sorted(num_inputs)}, outputs {sorted(num_outputs)}"
+            )
+        self.num_inputs = num_inputs.pop()
+        self.num_outputs = num_outputs.pop()
+        self._plans = plans
+        self.rebuilds = 0
+        self._build(list(range(len(plans))))
+
+    # ------------------------------------------------------------- build
+    def _build(self, members: list[int]) -> None:
+        """Flatten ``members``' plans into shared per-depth tensors."""
+        plans = [self._plans[m] for m in members]
+        offsets = np.zeros(len(plans), dtype=np.intp)
+        total = 0
+        for i, plan in enumerate(plans):
+            offsets[i] = total
+            total += plan.num_slots
+        zero_slot = total  # always-zero scratch, used for absent outputs
+
+        depth = max(len(plan.layers) for plan in plans)
+        layers: list[_LayerPlan] = []
+        for level in range(depth):
+            sources, weights, biases, slots = [], [], [], []
+            act_rows: dict[int, tuple] = {}
+            row = 0
+            fan_in = max(
+                (
+                    plan.layers[level].sources.shape[1]
+                    for plan in plans
+                    if len(plan.layers) > level
+                ),
+                default=0,
+            )
+            for i, plan in enumerate(plans):
+                if len(plan.layers) <= level:
+                    continue
+                layer = plan.layers[level]
+                rows, terms = layer.sources.shape
+                src = np.zeros((rows, fan_in), dtype=np.intp)
+                wgt = np.zeros((rows, fan_in))
+                src[:, :terms] = layer.sources + offsets[i]
+                wgt[:, :terms] = layer.weights
+                sources.append(src)
+                weights.append(wgt)
+                biases.append(layer.biases)
+                slots.append(layer.slots + offsets[i])
+                for fn, local_rows in layer.act_groups:
+                    bucket = act_rows.setdefault(id(fn), (fn, []))
+                    bucket[1].extend(local_rows + row)
+                row += rows
+            act_groups = [
+                (fn, np.array(r, dtype=np.intp))
+                for fn, r in act_rows.values()
+            ]
+            layers.append(
+                _LayerPlan(
+                    np.concatenate(sources),
+                    np.concatenate(weights),
+                    np.concatenate(biases),
+                    act_groups,
+                    np.concatenate(slots),
+                )
+            )
+
+        self._built = list(members)
+        self._position = {m: i for i, m in enumerate(members)}
+        self._total = total
+        self._layers = layers
+        self._input_index = (
+            offsets[:, None] + np.arange(self.num_inputs)
+        ).ravel()
+        out_index = np.empty((len(plans), self.num_outputs), dtype=np.intp)
+        for i, plan in enumerate(plans):
+            out_index[i] = np.where(
+                plan.output_slots >= 0,
+                plan.output_slots + offsets[i],
+                zero_slot,
+            )
+        self._output_index = out_index
+        self._obs = np.zeros((len(plans), self.num_inputs))
+        self._values = np.zeros(total + 1)
+        self.rebuilds += 1
+
+    # ------------------------------------------------------------- infer
+    def infer(
+        self, observations: dict[int, np.ndarray]
+    ) -> dict[int, np.ndarray]:
+        """One lock-step tick: ``{slot: obs}`` -> ``{slot: raw output}``."""
+        alive = sorted(observations)
+        if alive != self._built:
+            if not all(m in self._position for m in alive):
+                raise KeyError(
+                    "infer() saw a slot outside the built population"
+                )
+            if len(alive) < self.REBUILD_FRACTION * len(self._built):
+                self._build(alive)
+        position = self._position
+        obs = self._obs
+        for member, observation in observations.items():
+            obs[position[member]] = observation
+        # _values persists across ticks: stale non-input slots are always
+        # rewritten before being read (every built member's every node
+        # recomputes each tick), and the trailing zero_slot is never
+        # written, so it stays 0.0 for absent outputs.
+        values = self._values
+        values[self._input_index] = obs.ravel()
+        for layer in self._layers:
+            gathered = values[layer.sources]  # (rows, fan_in)
+            # one elementwise product, then in-place column accumulation:
+            # identical term order (and bits) to the scalar sum loop
+            products = gathered * layer.weights
+            acc = np.zeros(products.shape[0])
+            for term in range(products.shape[1]):
+                acc += products[:, term]
+            pre = acc + layer.biases
+            values[layer.slots] = _apply_activations(layer, pre)
+        out = values[self._output_index]
+        return {m: out[position[m]] for m in alive}
 
 
 def vectorize(net: FeedForwardNetwork) -> VectorizedNetwork:

@@ -9,11 +9,12 @@ per genome.
 import numpy as np
 import pytest
 
-from repro.core.backends import CPUBackend, INAXBackend
+from repro.core.backends import CPUBackend, FastCPUBackend, INAXBackend
 from repro.inax.accelerator import INAXConfig
 from repro.neat.config import NEATConfig
 from repro.neat.genome import Genome
 from repro.neat.innovation import InnovationTracker
+from repro.neat.population import Population
 
 from tests.conftest import evolved_genome
 
@@ -140,6 +141,115 @@ class TestINAXBackend:
         assert all(g.fitness is not None for g in genomes)
 
 
+class TestFastCPUBackend:
+    def test_single_generation_bitwise_identical_to_cpu(self, cartpole_cfg):
+        cpu = CPUBackend("cartpole", cartpole_cfg, base_seed=5,
+                         episodes_per_genome=3)
+        fast = FastCPUBackend("cartpole", cartpole_cfg, base_seed=5,
+                              episodes_per_genome=3)
+        gc = _genomes(cartpole_cfg, seed=3)
+        gf = _genomes(cartpole_cfg, seed=3)
+        cpu.evaluate(gc)
+        fast.evaluate(gf)
+        assert [g.fitness for g in gc] == [g.fitness for g in gf]
+        assert cpu.records[0].episode_lengths == fast.records[0].episode_lengths
+
+    def test_five_generation_trajectory_identical_to_cpu(self, cartpole_cfg):
+        """The tentpole acceptance property: a seeded 5-generation
+        CartPole run produces the exact same fitness trajectory on both
+        software backends (same floats, same champions, same history)."""
+        def run(backend):
+            population = Population(cartpole_cfg, seed=9)
+            result = population.run(backend.evaluate, max_generations=5)
+            return result
+
+        cpu_result = run(CPUBackend("cartpole", cartpole_cfg, base_seed=9))
+        fast = FastCPUBackend("cartpole", cartpole_cfg, base_seed=9)
+        fast_result = run(fast)
+        fast.close()
+        assert [s.best_fitness for s in cpu_result.history] == [
+            s.best_fitness for s in fast_result.history
+        ]
+        assert [s.mean_fitness for s in cpu_result.history] == [
+            s.mean_fitness for s in fast_result.history
+        ]
+        assert (
+            cpu_result.best_genome.structural_hash()
+            == fast_result.best_genome.structural_hash()
+        )
+
+    def test_sharded_matches_serial(self, cartpole_cfg):
+        serial = FastCPUBackend("cartpole", cartpole_cfg, base_seed=2,
+                                episodes_per_genome=2)
+        sharded = FastCPUBackend("cartpole", cartpole_cfg, base_seed=2,
+                                 episodes_per_genome=2, workers=2)
+        gs = _genomes(cartpole_cfg, seed=1)
+        gp = _genomes(cartpole_cfg, seed=1)
+        serial.evaluate(gs)
+        sharded.evaluate(gp)
+        sharded.close()
+        serial.close()
+        assert [g.fitness for g in gs] == [g.fitness for g in gp]
+        assert (
+            serial.records[0].episode_lengths
+            == sharded.records[0].episode_lengths
+        )
+
+    def test_decode_cache_hits_across_generations(self, cartpole_cfg):
+        backend = FastCPUBackend("cartpole", cartpole_cfg, base_seed=1)
+        genomes = _genomes(cartpole_cfg)
+        backend.evaluate(genomes)
+        info = backend.cache_info()
+        assert info["hits"] == 0 and info["misses"] == len(genomes)
+        backend.evaluate(genomes)  # e.g. elites carried over unchanged
+        info = backend.cache_info()
+        assert info["hits"] == len(genomes)
+        assert info["misses"] == len(genomes)
+
+    def test_cache_capacity_bounded(self, cartpole_cfg):
+        backend = FastCPUBackend(
+            "cartpole", cartpole_cfg, base_seed=1, cache_size=2
+        )
+        backend.evaluate(_genomes(cartpole_cfg, n=5))
+        assert backend.cache_info()["size"] == 2
+
+    def test_unvectorizable_genome_falls_back(self, cartpole_cfg):
+        genomes_fast = _genomes(cartpole_cfg, n=4)
+        genomes_cpu = _genomes(cartpole_cfg, n=4)
+        for gs in (genomes_fast, genomes_cpu):
+            node = gs[1].nodes[0]
+            node.aggregation = "mean"  # vectorizer only supports sum
+        cpu = CPUBackend("cartpole", cartpole_cfg, base_seed=3)
+        fast = FastCPUBackend("cartpole", cartpole_cfg, base_seed=3)
+        cpu.evaluate(genomes_cpu)
+        fast.evaluate(genomes_fast)
+        assert [g.fitness for g in genomes_cpu] == [
+            g.fitness for g in genomes_fast
+        ]
+
+    def test_negative_workers_rejected(self, cartpole_cfg):
+        with pytest.raises(ValueError, match="workers"):
+            FastCPUBackend("cartpole", cartpole_cfg, workers=-1)
+
+    def test_close_is_idempotent(self, cartpole_cfg):
+        backend = FastCPUBackend("cartpole", cartpole_cfg)
+        backend.close()
+        backend.close()
+
+    def test_e3_accepts_cpu_fast(self):
+        from repro.core.platform import E3
+
+        platform = E3(
+            "cartpole",
+            backend="cpu-fast",
+            neat_config=NEATConfig(population_size=15),
+            seed=2,
+        )
+        result = platform.run(max_generations=1)
+        platform.backend.close()
+        assert result.backend_name == "cpu-fast"
+
+
 class TestSeeding:
     def test_seed_depends_on_genome_key(self, cartpole_cfg):
         backend = CPUBackend("cartpole", cartpole_cfg, base_seed=1)
@@ -151,6 +261,42 @@ class TestSeeding:
         backend = CPUBackend("cartpole", cartpole_cfg, base_seed=1)
         g = Genome(key=1)
         assert backend._episode_seed(g, 0) != backend._episode_seed(g, 1)
+
+    def test_no_collisions_across_key_episode_grid(self, cartpole_cfg):
+        """Regression: the old ``key * 31 + episode`` mix collided as
+        soon as (key, episode) pairs aliased — e.g. genome 1 episode 31
+        vs genome 2 episode 0 — silently evaluating different genomes
+        on identical episode streams."""
+        backend = CPUBackend("cartpole", cartpole_cfg, base_seed=1)
+        seeds = {
+            backend._episode_seed(Genome(key=k), e)
+            for k in range(200)
+            for e in range(50)
+        }
+        assert len(seeds) == 200 * 50
+
+    def test_deterministic_and_backend_independent(self, cartpole_cfg):
+        cpu = CPUBackend("cartpole", cartpole_cfg, base_seed=6)
+        fast = FastCPUBackend("cartpole", cartpole_cfg, base_seed=6)
+        inax = INAXBackend("cartpole", cartpole_cfg, base_seed=6)
+        g = Genome(key=17)
+        assert (
+            cpu._episode_seed(g, 4)
+            == fast._episode_seed(g, 4)
+            == inax._episode_seed(g, 4)
+        )
+
+    def test_seed_depends_on_base_seed(self, cartpole_cfg):
+        a = CPUBackend("cartpole", cartpole_cfg, base_seed=1)
+        b = CPUBackend("cartpole", cartpole_cfg, base_seed=2)
+        g = Genome(key=1)
+        assert a._episode_seed(g, 0) != b._episode_seed(g, 0)
+
+    def test_seed_fits_numpy_seeding(self, cartpole_cfg):
+        backend = CPUBackend("cartpole", cartpole_cfg, base_seed=1)
+        seed = backend._episode_seed(Genome(key=3), 2)
+        assert 0 <= seed < 2**63
+        np.random.default_rng(seed)  # must be accepted
 
 
 class TestOversizePolicy:

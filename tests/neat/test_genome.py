@@ -201,3 +201,74 @@ class TestSerialization:
         first.weight = 99.0
         assert genome.connections[first.key].weight != 99.0
         assert clone.key == 9
+
+
+class TestStructuralHash:
+    def _genome(self, seed=0, mutations=8):
+        cfg = NEATConfig(num_inputs=3, num_outputs=2)
+        tracker = InnovationTracker(cfg.num_outputs)
+        rng = np.random.default_rng(seed)
+        return evolved_genome(cfg, tracker, rng, mutations=mutations)
+
+    def test_copy_hashes_identically(self):
+        genome = self._genome()
+        assert genome.copy().structural_hash() == genome.structural_hash()
+
+    def test_key_and_fitness_ignored(self):
+        """Elites re-keyed across generations must hit the decode cache."""
+        genome = self._genome()
+        clone = genome.copy(new_key=genome.key + 100)
+        clone.fitness = 123.0
+        assert clone.structural_hash() == genome.structural_hash()
+
+    def test_innovation_numbers_ignored(self):
+        genome = self._genome()
+        clone = genome.copy()
+        for conn in clone.connections.values():
+            conn.innovation += 1000
+        assert clone.structural_hash() == genome.structural_hash()
+
+    def test_weight_change_changes_hash(self):
+        genome = self._genome()
+        clone = genome.copy()
+        conn = next(iter(clone.connections.values()))
+        conn.weight += 1e-12  # even one ulp-scale nudge must be visible
+        assert clone.structural_hash() != genome.structural_hash()
+
+    def test_bias_change_changes_hash(self):
+        genome = self._genome()
+        clone = genome.copy()
+        clone.nodes[0].bias += 0.5
+        assert clone.structural_hash() != genome.structural_hash()
+
+    def test_enabled_flag_changes_hash(self):
+        genome = self._genome()
+        clone = genome.copy()
+        conn = next(iter(clone.connections.values()))
+        conn.enabled = not conn.enabled
+        assert clone.structural_hash() != genome.structural_hash()
+
+    def test_activation_change_changes_hash(self):
+        genome = self._genome()
+        clone = genome.copy()
+        clone.nodes[0].activation = "sigmoid"
+        assert clone.structural_hash() != genome.structural_hash()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5_000))
+    def test_distinct_topologies_hash_distinctly(self, seed):
+        a = self._genome(seed=seed)
+        b = self._genome(seed=seed + 1)
+
+        def structure(genome):
+            snapshot = genome.to_dict()
+            for conn in snapshot["connections"]:
+                del conn["innovation"]  # not part of the decoded network
+            del snapshot["key"]
+            del snapshot["fitness"]
+            return snapshot
+
+        if structure(a) == structure(b):
+            assert a.structural_hash() == b.structural_hash()
+        else:
+            assert a.structural_hash() != b.structural_hash()
