@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the platform's day-to-day workflows::
+Eight subcommands cover the platform's day-to-day workflows::
 
     python -m repro envs                       # list benchmark tasks
     python -m repro run --env cartpole ...     # evolve on a backend
@@ -9,8 +9,13 @@ Seven subcommands cover the platform's day-to-day workflows::
     python -m repro sweep --axis pe ...        # SV parallelism sweeps
     python -m repro resources --pus 50 --pes 4 # FPGA sizing
     python -m repro dot --checkpoint ...       # champion topology as DOT
+    python -m repro trace-summary out.jsonl    # phase/PU table from a trace
 
-Every command prints plain-text tables (the same formatters the
+``run``, ``resume``, and ``compare`` accept ``--trace PATH`` /
+``--metrics PATH`` to record the run's telemetry: ``--trace`` writes
+schema-checked JSONL spans plus a ``chrome://tracing`` trace-event file
+alongside it, ``--metrics`` writes the metrics-registry snapshot as
+JSON.  Every command prints plain-text tables (the same formatters the
 benchmark harness uses) and exits non-zero on invalid input.
 """
 
@@ -59,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true", help="suppress per-generation lines"
     )
+    _add_telemetry_args(run)
 
     # ----------------------------------------------------------- resume
     resume = sub.add_parser(
@@ -76,7 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume.add_argument("--generations", type=int, default=20)
     resume.add_argument("--seed", type=int, default=0)
+    resume.add_argument(
+        "--csv", default=None,
+        help="append per-generation rows to this CSV log (the header is "
+        "written only when the file is new or empty)",
+    )
     resume.add_argument("--quiet", action="store_true")
+    _add_telemetry_args(resume)
 
     # ---------------------------------------------------------- compare
     compare = sub.add_parser(
@@ -86,6 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--population", type=int, default=100)
     compare.add_argument("--generations", type=int, default=10)
     compare.add_argument("--seed", type=int, default=0)
+    _add_telemetry_args(compare)
+
+    # ----------------------------------------------------- trace-summary
+    trace_summary = sub.add_parser(
+        "trace-summary",
+        help="print the phase/PU-utilization tables from a trace JSONL",
+    )
+    trace_summary.add_argument(
+        "path", help="JSONL trace file written by --trace"
+    )
 
     # ------------------------------------------------------------ sweep
     sweep = sub.add_parser(
@@ -117,6 +139,69 @@ def build_parser() -> argparse.ArgumentParser:
     resources.add_argument("--pes", type=int, required=True)
 
     return parser
+
+
+def _add_telemetry_args(command) -> None:
+    command.add_argument(
+        "--trace", default=None,
+        help="record spans to this JSONL file (a chrome://tracing "
+        "trace-event file is written alongside as *.chrome.json)",
+    )
+    command.add_argument(
+        "--metrics", default=None,
+        help="write the metrics-registry snapshot to this JSON file",
+    )
+
+
+def _telemetry_session(args, command: str):
+    """Build a TelemetrySession when --trace/--metrics were given."""
+    if not (getattr(args, "trace", None) or getattr(args, "metrics", None)):
+        return None
+    from repro.telemetry import RunManifest, TelemetrySession
+
+    manifest = RunManifest.collect(
+        command=command,
+        env=getattr(args, "env", ""),
+        backend=getattr(args, "backend", ""),
+        workers=getattr(args, "workers", 0),
+        population=getattr(args, "population", 0),
+        generations=getattr(args, "generations", 0),
+        seed=getattr(args, "seed", 0),
+    )
+    return TelemetrySession(manifest=manifest)
+
+
+def _export_telemetry(session, args) -> None:
+    """Write the sinks the user asked for and say where they went."""
+    if session is None:
+        return
+    from pathlib import Path
+
+    chrome = (
+        str(Path(args.trace).with_suffix(".chrome.json"))
+        if args.trace
+        else None
+    )
+    written = session.export(
+        trace_path=args.trace or None,
+        chrome_path=chrome,
+        metrics_path=args.metrics or None,
+    )
+    for sink, path in sorted(written.items()):
+        print(f"{sink} written to {path}")
+
+
+def _print_cache_summary(backend) -> None:
+    """Surface the decode-cache statistics in the run summary."""
+    if not hasattr(backend, "cache_info"):
+        return
+    info = backend.cache_info()
+    lookups = info["hits"] + info["misses"]
+    rate = 100.0 * info["hits"] / lookups if lookups else 0.0
+    print(
+        f"decode cache: {info['hits']} hits / {info['misses']} misses "
+        f"({rate:.1f}% hit rate), {info['size']} entries"
+    )
 
 
 # ---------------------------------------------------------------- commands
@@ -154,12 +239,14 @@ def _cmd_run(args) -> int:
     from repro.neat.config import NEATConfig
     from repro.neat.reporters import ConsoleReporter, CSVReporter
 
+    session = _telemetry_session(args, "run")
     platform = E3(
         args.env,
         backend=args.backend,
         neat_config=NEATConfig(population_size=args.population),
         seed=args.seed,
         workers=args.workers,
+        telemetry=session,
     )
     if not args.quiet:
         platform.population.reporters.add(ConsoleReporter())
@@ -187,6 +274,8 @@ def _cmd_run(args) -> int:
         f"champion: {champion.num_evaluated_nodes} nodes, "
         f"{champion.num_macs} connections"
     )
+    _print_cache_summary(platform.backend)
+    _export_telemetry(session, args)
     return 0 if result.solved else 2
 
 
@@ -194,7 +283,7 @@ def _cmd_resume(args) -> int:
     from repro.core.backends import BACKENDS, FastCPUBackend
     from repro.envs.registry import spec
     from repro.neat.checkpoint import load_checkpoint, save_checkpoint
-    from repro.neat.reporters import ConsoleReporter
+    from repro.neat.reporters import ConsoleReporter, CSVReporter
 
     population = load_checkpoint(args.checkpoint)
     env_spec = spec(args.env)
@@ -218,14 +307,33 @@ def _cmd_resume(args) -> int:
     backend = backend_cls(args.env, population.config, **kwargs)
     if not args.quiet:
         population.reporters.add(ConsoleReporter())
+    csv_reporter = None
+    if args.csv:
+        # append so a resumed run extends the original history instead
+        # of truncating it
+        csv_reporter = CSVReporter(args.csv, append=True)
+        population.reporters.add(csv_reporter)
+    session = _telemetry_session(args, "resume")
+    if session is not None:
+        session.manifest.extra["checkpoint"] = args.checkpoint
+        # the restored population has a null recorder; route its phase
+        # timings into the session's registry
+        population.profiler = session.phase_timer
+        session.install()
 
     start_generation = population.generation
-    result = population.run(
-        backend.evaluate,
-        max_generations=args.generations,
-        fitness_threshold=env_spec.required_fitness,
-    )
+    try:
+        result = population.run(
+            backend.evaluate,
+            max_generations=args.generations,
+            fitness_threshold=env_spec.required_fitness,
+        )
+    finally:
+        if session is not None:
+            session.uninstall()
     backend.close()
+    if csv_reporter is not None:
+        csv_reporter.close()
     save_checkpoint(population, args.checkpoint)
     print(
         f"\nresumed {args.env} from generation {start_generation}: "
@@ -233,6 +341,8 @@ def _cmd_resume(args) -> int:
         f"{result.best_genome.fitness:.1f} "
         f"(required {env_spec.required_fitness}); checkpoint updated"
     )
+    _print_cache_summary(backend)
+    _export_telemetry(session, args)
     return 0 if result.solved else 2
 
 
@@ -240,12 +350,20 @@ def _cmd_compare(args) -> int:
     from repro.core.experiment import run_experiment
     from repro.neat.config import NEATConfig
 
-    result = run_experiment(
-        args.env,
-        seed=args.seed,
-        neat_config=NEATConfig(population_size=args.population),
-        max_generations=args.generations,
-    )
+    session = _telemetry_session(args, "compare")
+    if session is not None:
+        session.manifest.backend = "cpu"  # the functional run's backend
+        session.install()
+    try:
+        result = run_experiment(
+            args.env,
+            seed=args.seed,
+            neat_config=NEATConfig(population_size=args.population),
+            max_generations=args.generations,
+        )
+    finally:
+        if session is not None:
+            session.uninstall()
     rows = []
     for name in ("cpu", "gpu", "inax"):
         platform = result.platforms[name]
@@ -268,6 +386,29 @@ def _cmd_compare(args) -> int:
     print(
         f"energy  E3-INAX vs CPU: {result.energy_ratio('inax') * 100:.1f}%"
     )
+    _export_telemetry(session, args)
+    return 0
+
+
+def _cmd_trace_summary(args) -> int:
+    from repro.telemetry.export import (
+        format_trace_summary,
+        summarize_trace,
+        validate_trace_jsonl,
+    )
+
+    try:
+        errors = validate_trace_jsonl(args.path)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if errors:
+        for problem in errors[:10]:
+            print(f"error: {problem}", file=sys.stderr)
+        if len(errors) > 10:
+            print(f"error: ... and {len(errors) - 10} more", file=sys.stderr)
+        return 2
+    print(format_trace_summary(summarize_trace(args.path)))
     return 0
 
 
@@ -386,6 +527,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
     "resources": _cmd_resources,
+    "trace-summary": _cmd_trace_summary,
 }
 
 

@@ -36,9 +36,11 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.core.profiler import PhaseProfiler
 from repro.envs.base import Environment
 from repro.envs.registry import make
 from repro.envs.rollout import run_episode, run_lockstep
@@ -51,6 +53,8 @@ from repro.neat.config import NEATConfig
 from repro.neat.genome import Genome
 from repro.neat.network import FeedForwardNetwork
 from repro.neat.vectorized import PopulationEvaluator, VectorizedNetwork
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.spans import span as _span
 
 __all__ = [
     "GenerationRecord",
@@ -100,7 +104,21 @@ class EvaluationBackend:
 
     # ------------------------------------------------------------ hooks
     def evaluate(self, genomes: list[Genome]) -> None:
-        """Set ``fitness`` on every genome; record the workload."""
+        """Set ``fitness`` on every genome; record the workload.
+
+        Wraps the backend-specific :meth:`_evaluate` in a telemetry
+        span so every backend's generation shows up on the trace
+        timeline with the same name and attributes.
+        """
+        with _span(
+            "backend.evaluate",
+            backend=self.name,
+            generation=self._generation,
+            genomes=len(genomes),
+        ):
+            self._evaluate(genomes)
+
+    def _evaluate(self, genomes: list[Genome]) -> None:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -160,7 +178,7 @@ class CPUBackend(EvaluationBackend):
 
     name = "cpu"
 
-    def evaluate(self, genomes: list[Genome]) -> None:
+    def _evaluate(self, genomes: list[Genome]) -> None:
         configs: list[HWNetConfig] = []
         lengths: list[int] = []
         for genome in genomes:
@@ -269,15 +287,55 @@ def _fastcpu_worker_init(
     )
 
 
+#: cumulative cache counters already reported by this worker process, so
+#: each result ships a *delta* the parent can sum regardless of which
+#: worker a shard landed on
+_WORKER_REPORTED_CACHE = {"hits": 0, "misses": 0}
+
+
 def _fastcpu_worker_evaluate(
-    genomes: list[Genome],
-) -> list[tuple[int, float, int]]:
+    task: tuple[list[Genome], bool],
+) -> tuple[list[tuple[int, float, int]], dict]:
+    """Evaluate one shard; returns (per-genome rows, shard telemetry).
+
+    The telemetry payload carries the worker-side wall seconds, the
+    decode-cache activity since the worker's last report, and — when
+    the parent has a metrics registry installed — a fresh worker-side
+    registry snapshot (episode-step and wave-size histograms), so
+    sharded evaluation no longer discards worker-side telemetry.
+    """
+    genomes, want_metrics = task
     assert _WORKER_BACKEND is not None, "worker pool not initialized"
-    fitnesses, lengths = _WORKER_BACKEND._fitness_for(genomes)
-    return [
+    from repro.telemetry.metrics import MetricsRegistry, set_metrics
+
+    registry = MetricsRegistry() if want_metrics else None
+    previous = set_metrics(registry) if want_metrics else None
+    t0 = time.perf_counter()
+    try:
+        fitnesses, lengths = _WORKER_BACKEND._fitness_for(genomes)
+    finally:
+        if want_metrics:
+            set_metrics(previous)
+    seconds = time.perf_counter() - t0
+    info = _WORKER_BACKEND.cache_info()
+    cache_delta = {
+        "hits": info["hits"] - _WORKER_REPORTED_CACHE["hits"],
+        "misses": info["misses"] - _WORKER_REPORTED_CACHE["misses"],
+    }
+    _WORKER_REPORTED_CACHE["hits"] = info["hits"]
+    _WORKER_REPORTED_CACHE["misses"] = info["misses"]
+    telemetry = {
+        "phase_seconds": {"evaluate": seconds},
+        "cache_delta": cache_delta,
+        "cache_size": info["size"],
+        "genomes": len(genomes),
+        "metrics": registry.snapshot() if registry is not None else None,
+    }
+    rows = [
         (genome.key, fitness, length)
         for genome, fitness, length in zip(genomes, fitnesses, lengths)
     ]
+    return rows, telemetry
 
 
 class FastCPUBackend(CPUBackend):
@@ -339,6 +397,11 @@ class FastCPUBackend(CPUBackend):
         self.workers = workers
         self._cache = _DecodeCache(cache_size)
         self._pool = None
+        #: worker-side phase seconds, merged back from every shard call
+        #: (parallel CPU-seconds, not wall time — the parent's own
+        #: "evaluate" wall span already covers the blocking map call)
+        self.shard_profiler = PhaseProfiler()
+        self._shard_cache = {"hits": 0, "misses": 0, "size": 0}
 
     # --------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -354,16 +417,23 @@ class FastCPUBackend(CPUBackend):
             pass
 
     def cache_info(self) -> dict[str, int]:
-        """Decode-cache statistics: hits, misses, current size."""
+        """Decode-cache statistics: hits, misses, current size.
+
+        With ``workers > 1`` the counts combine the parent cache with
+        every worker shard's (workers report deltas back with each
+        evaluated shard; ``size`` adds the workers' sizes at their last
+        report).
+        """
         return {
-            "hits": self._cache.hits,
-            "misses": self._cache.misses,
-            "size": len(self._cache),
+            "hits": self._cache.hits + self._shard_cache["hits"],
+            "misses": self._cache.misses + self._shard_cache["misses"],
+            "size": len(self._cache) + self._shard_cache["size"],
         }
 
     # -------------------------------------------------------- evaluation
-    def evaluate(self, genomes: list[Genome]) -> None:
-        decoded = [self._cache.get(g, self.neat_config) for g in genomes]
+    def _evaluate(self, genomes: list[Genome]) -> None:
+        with _span("fastcpu.decode", genomes=len(genomes)):
+            decoded = [self._cache.get(g, self.neat_config) for g in genomes]
         configs = [d.config for d in decoded]
         if self.workers > 1 and len(genomes) > 1:
             fitnesses, lengths = self._fitness_sharded(genomes)
@@ -371,7 +441,17 @@ class FastCPUBackend(CPUBackend):
             fitnesses, lengths = self._fitness_for(genomes, decoded)
         for genome, fitness in zip(genomes, fitnesses):
             genome.fitness = fitness
+        self._publish_metrics()
         self._record(configs, lengths)
+
+    def _publish_metrics(self) -> None:
+        registry = get_metrics()
+        if registry is None:
+            return
+        info = self.cache_info()
+        registry.gauge("fastcpu.cache.hits").set(info["hits"])
+        registry.gauge("fastcpu.cache.misses").set(info["misses"])
+        registry.gauge("fastcpu.cache.size").set(info["size"])
 
     def _fitness_for(
         self,
@@ -460,15 +540,51 @@ class FastCPUBackend(CPUBackend):
                 ),
             )
         shards = [genomes[i :: self.workers] for i in range(self.workers)]
+        want_metrics = get_metrics() is not None
         merged: dict[int, tuple[float, int]] = {}
-        for shard_result in self._pool.map(
-            _fastcpu_worker_evaluate, [s for s in shards if s]
+        payloads: list[dict] = []
+        for shard_rows, shard_telemetry in self._pool.map(
+            _fastcpu_worker_evaluate,
+            [(s, want_metrics) for s in shards if s],
         ):
-            for key, fitness, length in shard_result:
+            for key, fitness, length in shard_rows:
                 merged[key] = (fitness, length)
+            payloads.append(shard_telemetry)
+        self._merge_shard_telemetry(payloads)
         fitnesses = [merged[g.key][0] for g in genomes]
         lengths = [merged[g.key][1] for g in genomes]
         return fitnesses, lengths
+
+    def _merge_shard_telemetry(self, payloads: list[dict]) -> None:
+        """Fold worker-side telemetry into the parent's accumulators.
+
+        Phase seconds merge into :attr:`shard_profiler` (so
+        ``fractions()`` over worker CPU time is available next to the
+        population's wall-clock profile instead of being lost), cache
+        deltas into the combined :meth:`cache_info`, and — when a
+        metrics registry is installed — counters/histograms for the
+        shard workload.
+        """
+        registry = get_metrics()
+        size = 0
+        for payload in payloads:
+            shard = PhaseProfiler()
+            for phase, seconds in payload["phase_seconds"].items():
+                shard.record(phase, seconds)
+            self.shard_profiler.merge(shard)
+            self._shard_cache["hits"] += payload["cache_delta"]["hits"]
+            self._shard_cache["misses"] += payload["cache_delta"]["misses"]
+            size += payload["cache_size"]
+            if registry is not None:
+                registry.counter("fastcpu.shard.evaluate_seconds").inc(
+                    payload["phase_seconds"].get("evaluate", 0.0)
+                )
+                registry.histogram("fastcpu.shard.genomes").observe(
+                    payload["genomes"]
+                )
+                if payload.get("metrics"):
+                    registry.merge_snapshot(payload["metrics"])
+        self._shard_cache["size"] = size
 
 
 class INAXBackend(EvaluationBackend):
@@ -535,7 +651,7 @@ class INAXBackend(EvaluationBackend):
             return False
         return True
 
-    def evaluate(self, genomes: list[Genome]) -> None:
+    def _evaluate(self, genomes: list[Genome]) -> None:
         assert self.inax_config is not None
         all_configs = [compile_genome(g, self.neat_config) for g in genomes]
 

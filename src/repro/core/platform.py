@@ -25,6 +25,8 @@ from repro.neat.config import NEATConfig
 from repro.neat.genome import Genome
 from repro.neat.network import FeedForwardNetwork
 from repro.neat.population import GenerationStats, Population
+from repro.telemetry import RunManifest, TelemetrySession
+from repro.telemetry.metrics import TeeRecorder
 
 __all__ = ["E3", "E3RunResult", "default_inax_config"]
 
@@ -50,6 +52,8 @@ class E3RunResult:
     history: list[GenerationStats] = field(default_factory=list)
     records: list[GenerationRecord] = field(default_factory=list)
     profiler: PhaseProfiler = field(default_factory=PhaseProfiler)
+    #: the run's telemetry session, when one was attached
+    telemetry: TelemetrySession | None = None
 
     def best_network(self) -> FeedForwardNetwork:
         """Decode the champion genome into an executable network."""
@@ -70,13 +74,18 @@ class E3:
         env_kwargs: dict | None = None,
         seed_genome=None,
         workers: int = 0,
+        telemetry: TelemetrySession | None = None,
     ):
         """``env_kwargs`` override the environment's physics (the
         model-tuning plant perturbation); ``seed_genome`` warm-starts
         the population from a deployed champion (§I's model-tuning
         use-case — see ``examples/model_tuning.py``); ``workers``
         shards the ``cpu-fast`` backend's evaluation across that many
-        worker processes (ignored by the other backends)."""
+        worker processes (ignored by the other backends); ``telemetry``
+        attaches a :class:`~repro.telemetry.TelemetrySession` — it is
+        installed for the duration of :meth:`run`, phase timings tee
+        into its metrics registry, and the backend's cache/shard
+        statistics are published into it at run end."""
         env_spec = spec(env_name)  # validates the name early
         env_kwargs = dict(env_kwargs or {})
         env = make(env_name, **env_kwargs)
@@ -93,6 +102,8 @@ class E3:
             inax_config = default_inax_config(env.num_outputs)
         self.inax_config = inax_config
         self.profiler = PhaseProfiler()
+        self.seed = seed
+        self.telemetry = telemetry
 
         if isinstance(backend, EvaluationBackend):
             self.backend = backend
@@ -113,10 +124,15 @@ class E3:
                 f"unknown backend {backend!r}; use one of {names} "
                 "or an EvaluationBackend instance"
             )
+        recorder = (
+            self.profiler
+            if telemetry is None
+            else TeeRecorder(self.profiler, telemetry.phase_timer)
+        )
         self.population = Population(
             self.neat_config,
             seed=seed,
-            profiler=self.profiler,
+            profiler=recorder,
             seed_genome=seed_genome,
         )
 
@@ -127,11 +143,30 @@ class E3:
         fitness_threshold: float | None = None,
     ) -> E3RunResult:
         """Run evaluate/evolve until solved or out of generations."""
-        result = self.population.run(
-            self.backend.evaluate,
-            max_generations=max_generations,
-            fitness_threshold=fitness_threshold,
-        )
+        session = self.telemetry
+        if session is not None:
+            if session.manifest is None:
+                session.manifest = RunManifest.collect(
+                    command="e3.run",
+                    env=self.env_name,
+                    backend=self.backend.name,
+                    workers=getattr(self.backend, "workers", 0),
+                    population=self.neat_config.population_size,
+                    generations=max_generations or 0,
+                    episodes_per_genome=self.backend.episodes_per_genome,
+                    seed=self.seed,
+                )
+            session.install()
+        try:
+            result = self.population.run(
+                self.backend.evaluate,
+                max_generations=max_generations,
+                fitness_threshold=fitness_threshold,
+            )
+        finally:
+            if session is not None:
+                self._publish_backend_telemetry(session)
+                session.uninstall()
         return E3RunResult(
             env_name=self.env_name,
             backend_name=self.backend.name,
@@ -143,4 +178,17 @@ class E3:
             history=result.history,
             records=list(self.backend.records),
             profiler=self.profiler,
+            telemetry=session,
         )
+
+    def _publish_backend_telemetry(self, session: TelemetrySession) -> None:
+        """Publish end-of-run backend statistics into the session."""
+        registry = session.metrics
+        backend = self.backend
+        if hasattr(backend, "cache_info"):
+            info = backend.cache_info()
+            registry.gauge("fastcpu.cache.hits").set(info["hits"])
+            registry.gauge("fastcpu.cache.misses").set(info["misses"])
+            registry.gauge("fastcpu.cache.size").set(info["size"])
+        if getattr(backend, "oversize_count", 0):
+            registry.gauge("inax.oversize_genomes").set(backend.oversize_count)

@@ -16,6 +16,8 @@ import numpy as np
 
 from repro.envs.base import Environment
 from repro.envs.spaces import Box, Discrete
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.spans import span as _span
 
 __all__ = [
     "PolicyFn",
@@ -150,6 +152,10 @@ def run_episode(
         if steps >= limit:
             truncated = True
             break
+    registry = get_metrics()
+    if registry is not None:
+        registry.histogram("episode.steps").observe(steps)
+        registry.counter("episode.count").inc()
     return EpisodeRecord(
         total_reward=total, steps=steps, truncated=truncated, rewards=rewards
     )
@@ -194,26 +200,40 @@ def run_lockstep(
     truncated = [False] * n
     rewards: list[list[float]] = [[] for _ in range(n)]
     alive = list(range(n))
-    while alive:
-        outputs = infer({slot: observations[slot] for slot in alive})
-        actions = decode_action_batch(
-            envs[alive[0]], np.stack([outputs[slot] for slot in alive])
-        )
-        survivors = []
-        for action, slot in zip(actions, alive):
-            obs, reward, done, info = envs[slot].step(action)
-            observations[slot] = obs
-            totals[slot] += reward
-            steps[slot] += 1
-            if keep_rewards:
-                rewards[slot].append(reward)
-            if done:
-                truncated[slot] = bool(info.get("truncated", False))
-            elif steps[slot] >= limits[slot]:
-                truncated[slot] = True
-            else:
-                survivors.append(slot)
-        alive = survivors
+    ticks = 0
+    inferences = 0
+    with _span("rollout.lockstep", envs=n):
+        while alive:
+            ticks += 1
+            inferences += len(alive)
+            outputs = infer({slot: observations[slot] for slot in alive})
+            actions = decode_action_batch(
+                envs[alive[0]], np.stack([outputs[slot] for slot in alive])
+            )
+            survivors = []
+            for action, slot in zip(actions, alive):
+                obs, reward, done, info = envs[slot].step(action)
+                observations[slot] = obs
+                totals[slot] += reward
+                steps[slot] += 1
+                if keep_rewards:
+                    rewards[slot].append(reward)
+                if done:
+                    truncated[slot] = bool(info.get("truncated", False))
+                elif steps[slot] >= limits[slot]:
+                    truncated[slot] = True
+                else:
+                    survivors.append(slot)
+            alive = survivors
+    registry = get_metrics()
+    if registry is not None:
+        registry.histogram("rollout.wave_size").observe(n)
+        registry.counter("rollout.ticks").inc(ticks)
+        registry.counter("rollout.inferences").inc(inferences)
+        registry.counter("episode.count").inc(n)
+        episode_steps = registry.histogram("episode.steps")
+        for count in steps:
+            episode_steps.observe(count)
     return [
         EpisodeRecord(
             total_reward=totals[i],

@@ -29,6 +29,7 @@ from repro.inax.dma import DMAModel
 from repro.inax.pe import PECosts
 from repro.inax.pu import ProcessingUnit, PUCosts, _static_step_cycles
 from repro.inax.timing import CycleReport
+from repro.telemetry.spans import get_tracer
 
 __all__ = ["INAXConfig", "INAX", "schedule_generation", "waves_required"]
 
@@ -91,6 +92,18 @@ class INAX:
         ]
         self.report = CycleReport()
         self._wave_slots: list[HWNetConfig] = []
+        #: cycles -> seconds for exported spans; ``None`` uses the
+        #: calibrated FPGA clock (:data:`repro.hw.calibration.FPGA_CLOCK_HZ`)
+        self.clock_hz: float | None = None
+        # device-timeline cursor (cycles since reset) and per-wave slot
+        # activity, kept only while a tracer is installed
+        self._cycle = 0
+        self._tracing = False
+        self._wave_start_cycle = 0
+        self._wave_setup_cycles = 0
+        self._slot_last_active: list[int] = []
+        self._slot_active_cycles: list[int] = []
+        self._slot_steps: list[int] = []
 
     # -------------------------------------------------------------- wave
     def begin_wave(self, configs: list[HWNetConfig]) -> None:
@@ -124,6 +137,15 @@ class INAX:
         self.report.pu_provisioned_cycles += self.config.num_pus * setup_wall
         self.report.pu_active_cycles += len(configs) * setup_wall
         self.report.individuals += len(configs)
+        self._tracing = get_tracer() is not None
+        self._wave_start_cycle = self._cycle
+        self._wave_setup_cycles = setup_wall
+        self._cycle += setup_wall
+        if self._tracing:
+            end_of_setup = self._cycle
+            self._slot_last_active = [end_of_setup] * len(configs)
+            self._slot_active_cycles = [0] * len(configs)
+            self._slot_steps = [0] * len(configs)
 
     def step(self, inputs: dict[int, np.ndarray]) -> dict[int, np.ndarray]:
         """One synchronized inference across the wave's live slots.
@@ -151,6 +173,9 @@ class INAX:
             slowest = max(slowest, timing.cycles)
             pe_active += timing.pe_active_cycles
             pu_active += timing.cycles
+            if self._tracing:
+                self._slot_active_cycles[slot] += timing.cycles
+                self._slot_steps[slot] += 1
             in_words += self._wave_slots[slot].num_inputs
             out_words += self._wave_slots[slot].num_outputs
             self.report.layer_iterations.extend(timing.iterations_per_layer)
@@ -160,6 +185,10 @@ class INAX:
             step_wall = max(slowest, io) + cfg.step_sync_cycles
         else:
             step_wall = slowest + io + cfg.step_sync_cycles
+        self._cycle += step_wall
+        if self._tracing:
+            for slot in inputs:
+                self._slot_last_active[slot] = self._cycle
         self.report.compute_cycles += step_wall
         self.report.io_cycles += io
         self.report.pe_active_cycles += pe_active
@@ -176,10 +205,77 @@ class INAX:
             raise RuntimeError(
                 "no wave in progress; end_wave() must pair with begin_wave()"
             )
+        if self._tracing:
+            self._emit_wave_spans()
         self._wave_slots = []
+        self._tracing = False
+
+    def _emit_wave_spans(self) -> None:
+        """Record the finished wave as per-PU setup/compute/drain spans.
+
+        Cycle counts map to seconds through the FPGA clock, so the
+        device timeline lines up with host wall-clock spans in a trace
+        viewer and Fig 9(a)'s three buckets are visible per PU: the
+        serialized set-up window, the compute window (with the PU's
+        true active cycles as an attribute), and the idle drain tail
+        after the slot's episode terminated while the wave ran on
+        (§V-B2's idle-PU effect).
+        """
+        tracer = get_tracer()
+        if tracer is None:
+            return
+        clock = self.clock_hz
+        if clock is None:
+            from repro.hw.calibration import FPGA_CLOCK_HZ
+
+            clock = FPGA_CLOCK_HZ
+        scale = 1.0 / clock
+        wave_end = self._cycle
+        setup_start = self._wave_start_cycle
+        setup_cycles = self._wave_setup_cycles
+        setup_end = setup_start + setup_cycles
+        for slot, cfg in enumerate(self._wave_slots):
+            track = f"pu{slot}"
+            tracer.add_span(
+                "pu.setup",
+                setup_start * scale,
+                setup_cycles * scale,
+                track=track,
+                cycles=setup_cycles,
+                config_words=cfg.config_words,
+            )
+            active_until = self._slot_last_active[slot]
+            compute_cycles = active_until - setup_end
+            tracer.add_span(
+                "pu.compute",
+                setup_end * scale,
+                compute_cycles * scale,
+                track=track,
+                cycles=compute_cycles,
+                active_cycles=self._slot_active_cycles[slot],
+                steps=self._slot_steps[slot],
+            )
+            drain_cycles = wave_end - active_until
+            if drain_cycles > 0:
+                tracer.add_span(
+                    "pu.drain",
+                    active_until * scale,
+                    drain_cycles * scale,
+                    track=track,
+                    cycles=drain_cycles,
+                )
+        tracer.add_span(
+            "inax.wave",
+            setup_start * scale,
+            (wave_end - setup_start) * scale,
+            track="inax",
+            individuals=len(self._wave_slots),
+            cycles=wave_end - setup_start,
+        )
 
     def reset_report(self) -> None:
         self.report = CycleReport()
+        self._cycle = 0
 
 
 StepCycleFn = "Callable[[HWNetConfig], int]"

@@ -26,6 +26,8 @@ from repro.neat.genome import Genome
 from repro.neat.innovation import InnovationTracker
 from repro.neat.reproduction import Reproduction
 from repro.neat.species import SpeciesSet
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.spans import span as _span
 
 __all__ = ["Population", "GenerationStats", "PhaseRecorder"]
 
@@ -141,7 +143,12 @@ class Population:
     def advance(self, evaluate: EvaluateFn) -> Genome:
         """Run one evaluate + evolve cycle; returns the generation's best."""
         t0 = time.perf_counter()
-        evaluate(self.population)
+        with _span(
+            "phase.evaluate",
+            generation=self.generation,
+            population=len(self.population),
+        ):
+            evaluate(self.population)
         self.profiler.record("evaluate", time.perf_counter() - t0)
 
         missing = [g.key for g in self.population if g.fitness is None]
@@ -167,21 +174,24 @@ class Population:
         rng = self.rng
 
         t0 = time.perf_counter()
-        self.species_set.update_fitnesses(self.generation)
-        self.species_set.remove_stagnant(self.generation)
+        with _span("phase.stagnation", generation=self.generation):
+            self.species_set.update_fitnesses(self.generation)
+            self.species_set.remove_stagnant(self.generation)
         self.profiler.record("stagnation", time.perf_counter() - t0)
 
         t0 = time.perf_counter()
-        self.population = self.reproduction.reproduce(
-            self.species_set, self.generation, rng
-        )
+        with _span("phase.reproduce", generation=self.generation):
+            self.population = self.reproduction.reproduce(
+                self.species_set, self.generation, rng
+            )
         self.profiler.record("reproduce", time.perf_counter() - t0)
 
         self.generation += 1
         self.tracker.reset_generation()
 
         t0 = time.perf_counter()
-        self.species_set.speciate(self.population, self.generation, rng)
+        with _span("phase.speciate", generation=self.generation):
+            self.species_set.speciate(self.population, self.generation, rng)
         self.profiler.record("speciate", time.perf_counter() - t0)
 
     def _record_stats(self, best: Genome) -> None:
@@ -201,4 +211,11 @@ class Population:
             population_size=len(self.population),
         )
         self.history.append(stats)
+        registry = get_metrics()
+        if registry is not None:
+            registry.counter("neat.generations").inc()
+            registry.gauge("neat.best_fitness").set(stats.best_fitness)
+            registry.gauge("neat.mean_fitness").set(stats.mean_fitness)
+            registry.gauge("neat.num_species").set(stats.num_species)
+            registry.gauge("neat.population_size").set(stats.population_size)
         self.reporters.on_generation(stats)

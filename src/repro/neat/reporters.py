@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import io
+import os
 from typing import Protocol
 
 from repro.neat.population import GenerationStats
@@ -58,16 +59,34 @@ class CSVReporter:
         "population_size",
     )
 
-    def __init__(self, target):
-        """``target`` is a file path (str/Path) or a text stream."""
+    def __init__(self, target, append: bool = False):
+        """``target`` is a file path (str/Path) or a text stream.
+
+        With ``append`` the file is opened in append mode and the
+        header row is skipped when the target already has content —
+        the resume flow uses this so continuing a checkpointed run
+        extends its CSV history instead of truncating it.
+        """
+        has_content = False
         if isinstance(target, (str,)) or hasattr(target, "__fspath__"):
-            self._stream = open(target, "w", newline="")
+            if append:
+                try:
+                    has_content = os.path.getsize(target) > 0
+                except OSError:
+                    has_content = False
+            self._stream = open(target, "a" if append else "w", newline="")
             self._owns_stream = True
         else:
             self._stream = target
             self._owns_stream = False
+            if append:
+                try:
+                    has_content = self._stream.tell() > 0
+                except (OSError, ValueError):
+                    has_content = False
         self._writer = csv.DictWriter(self._stream, fieldnames=self.FIELDS)
-        self._writer.writeheader()
+        if not has_content:
+            self._writer.writeheader()
 
     def on_generation(self, stats: GenerationStats) -> None:
         self._writer.writerow(

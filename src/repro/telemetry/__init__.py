@@ -1,0 +1,147 @@
+"""Unified telemetry: span tracing, metrics, export, run manifests.
+
+The paper's headline results are observability artifacts — the Fig
+1(b)/9(d) phase breakdowns, the Eq. (1) PE/PU utilization rates, and
+the Fig 9(a) setup/active/control bars.  This package is the single
+instrumentation layer those artifacts flow through:
+
+* :mod:`repro.telemetry.spans` — nestable context-manager spans on a
+  monotonic clock, recorded into a bounded in-memory tracer;
+* :mod:`repro.telemetry.metrics` — counters / gauges / fixed-bucket
+  histograms, plus :class:`~repro.telemetry.metrics.PhaseTimer`, which
+  subsumes :class:`repro.core.profiler.PhaseProfiler` behind the same
+  API;
+* :mod:`repro.telemetry.export` — JSONL and Chrome trace-event sinks
+  and the ``trace-summary`` table builder;
+* :mod:`repro.telemetry.manifest` — the run manifest emitted at run
+  start.
+
+Everything is **off by default**.  A :class:`TelemetrySession` bundles
+one tracer + one registry + one manifest; installing it sets the
+module-level globals the instrumentation sites check, and uninstalling
+restores whatever was there before.  Disabled sites cost one global
+``None`` check, and enabling telemetry never touches an RNG or a float
+path — deterministic runs stay bit-identical either way.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.export import (
+    format_trace_summary,
+    read_trace_jsonl,
+    summarize_trace,
+    validate_trace_jsonl,
+    write_chrome_trace,
+    write_metrics_json,
+    write_trace_jsonl,
+)
+from repro.telemetry.manifest import RunManifest
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PhaseTimer,
+    TeeRecorder,
+    get_metrics,
+    set_metrics,
+)
+from repro.telemetry.spans import Span, Tracer, get_tracer, set_tracer, span
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "get_tracer",
+    "set_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseTimer",
+    "TeeRecorder",
+    "get_metrics",
+    "set_metrics",
+    "RunManifest",
+    "TelemetrySession",
+    "write_trace_jsonl",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "read_trace_jsonl",
+    "validate_trace_jsonl",
+    "summarize_trace",
+    "format_trace_summary",
+]
+
+
+class TelemetrySession:
+    """One run's telemetry: tracer + metrics registry + manifest.
+
+    Use as a context manager (or call :meth:`install` / :meth:`uninstall`)
+    to route the platform's instrumentation here for the session's
+    lifetime, then :meth:`export` the results::
+
+        session = TelemetrySession(manifest=RunManifest.collect(...))
+        with session:
+            E3("cartpole", backend="inax", telemetry=session).run()
+        session.export(trace_path="out.jsonl", metrics_path="m.json")
+    """
+
+    def __init__(
+        self,
+        manifest: RunManifest | None = None,
+        max_spans: int = 200_000,
+    ):
+        self.tracer = Tracer(max_spans=max_spans)
+        self.metrics = MetricsRegistry()
+        self.manifest = manifest
+        self.phase_timer = PhaseTimer(self.metrics)
+        self._previous: tuple | None = None
+
+    # --------------------------------------------------------- lifecycle
+    @property
+    def installed(self) -> bool:
+        return self._previous is not None
+
+    def install(self) -> "TelemetrySession":
+        """Route global instrumentation into this session (idempotent)."""
+        if self._previous is None:
+            self._previous = (set_tracer(self.tracer), set_metrics(self.metrics))
+        return self
+
+    def uninstall(self) -> None:
+        """Restore whatever tracer/registry was installed before."""
+        if self._previous is not None:
+            previous_tracer, previous_metrics = self._previous
+            set_tracer(previous_tracer)
+            set_metrics(previous_metrics)
+            self._previous = None
+
+    def __enter__(self) -> "TelemetrySession":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------ export
+    def export(
+        self,
+        trace_path=None,
+        chrome_path=None,
+        metrics_path=None,
+    ) -> dict[str, str]:
+        """Write the selected sinks; returns ``{sink: path}`` written."""
+        written: dict[str, str] = {}
+        if trace_path is not None:
+            write_trace_jsonl(
+                trace_path, self.tracer, manifest=self.manifest,
+                metrics=self.metrics,
+            )
+            written["trace"] = str(trace_path)
+        if chrome_path is not None:
+            write_chrome_trace(chrome_path, self.tracer, manifest=self.manifest)
+            written["chrome"] = str(chrome_path)
+        if metrics_path is not None:
+            write_metrics_json(metrics_path, self.metrics, manifest=self.manifest)
+            written["metrics"] = str(metrics_path)
+        return written

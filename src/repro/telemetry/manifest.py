@@ -1,0 +1,69 @@
+"""Run manifest: the "what produced this trace" record.
+
+A trace or metrics file without its run configuration is a puzzle, not
+an artifact.  The manifest captures the command, environment, backend,
+worker count, seed, and the software platform (Python/NumPy/OS
+versions) at run start, and is emitted as the first row of every JSONL
+trace and embedded in every metrics JSON file.
+"""
+
+from __future__ import annotations
+
+import platform as _platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["RunManifest"]
+
+
+def _numpy_version() -> str:
+    try:
+        import numpy
+
+        return numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        return "unavailable"
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to attribute and reproduce a telemetry file."""
+
+    command: str = ""
+    env: str = ""
+    backend: str = ""
+    workers: int = 0
+    population: int = 0
+    generations: int = 0
+    episodes_per_genome: int = 1
+    seed: int = 0
+    #: free-form extras (checkpoint path, sweep axis, ...)
+    extra: dict = field(default_factory=dict)
+    # -- captured automatically at collection time --
+    python_version: str = ""
+    platform: str = ""
+    numpy_version: str = ""
+    created_unix: float = 0.0
+
+    @classmethod
+    def collect(cls, **fields) -> "RunManifest":
+        """Build a manifest, filling the platform fields automatically."""
+        return cls(
+            python_version=sys.version.split()[0],
+            platform=_platform.platform(),
+            numpy_version=_numpy_version(),
+            created_unix=time.time(),
+            **fields,
+        )
+
+    def to_dict(self) -> dict:
+        """JSONL row for this manifest (the ``type: "manifest"`` schema)."""
+        row = {"type": "manifest"}
+        row.update(asdict(self))
+        return row
+
+    @classmethod
+    def from_dict(cls, row: dict) -> "RunManifest":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in row.items() if k in known})

@@ -1,0 +1,306 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the single store for everything the platform counts —
+episode steps, lock-step wave sizes, decode-cache hits/misses, and the
+per-generation phase seconds that :class:`repro.core.profiler.
+PhaseProfiler` used to be the only home for.  :class:`PhaseTimer`
+re-exposes the profiler's exact API (``record`` / ``phase`` /
+``fractions`` / ``merge``) on top of registry counters, so phase
+timing, cache statistics, and workload histograms all land in one
+snapshot and one exported JSON file.
+
+Like the tracer, the registry is off by default: call sites check the
+module-level :func:`get_metrics` for ``None`` before touching any
+metric, so disabled telemetry costs one global read per site.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseTimer",
+    "TeeRecorder",
+    "get_metrics",
+    "set_metrics",
+]
+
+
+class Counter:
+    """Monotonically-increasing value (counts or accumulated seconds)."""
+
+    __slots__ = ("name", "description", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-set value (cache size, best fitness, pool width)."""
+
+    __slots__ = ("name", "description", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+#: default bucket ladder: powers of two cover episode lengths and wave
+#: sizes from trivial CartPole failures up to BipedalWalker horizons
+DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048)
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper-bound buckets plus overflow)."""
+
+    __slots__ = (
+        "name",
+        "description",
+        "buckets",
+        "counts",
+        "total",
+        "count",
+        "min",
+        "max",
+    )
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets=DEFAULT_BUCKETS, description: str = ""):
+        upper = tuple(sorted(float(b) for b in buckets))
+        if not upper:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.description = description
+        self.buckets = upper
+        #: counts[i] = observations <= buckets[i]; counts[-1] = overflow
+        self.counts = [0] * (len(upper) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors and snapshot/merge."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    # ---------------------------------------------------------- accessors
+    def _get_or_create(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a {kind}"
+            )
+        return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(
+            name, lambda: Counter(name, description), "counter"
+        )
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(
+            name, lambda: Gauge(name, description), "gauge"
+        )
+
+    def histogram(
+        self, name: str, buckets=DEFAULT_BUCKETS, description: str = ""
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, buckets, description), "histogram"
+        )
+
+    # ------------------------------------------------------------- views
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-serializable ``name -> metric state`` mapping."""
+        return {
+            name: metric.to_dict()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    # ------------------------------------------------------------- merge
+    def merge_snapshot(self, snapshot: dict[str, dict]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histogram counts add; gauges take the incoming
+        value (last write wins).  This is how ``cpu-fast`` worker shards
+        ship their telemetry back to the parent process.
+        """
+        for name, state in snapshot.items():
+            kind = state.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(state["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(state["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name, buckets=state["buckets"])
+                if list(hist.buckets) != [float(b) for b in state["buckets"]]:
+                    raise ValueError(
+                        f"histogram {name!r} bucket mismatch on merge"
+                    )
+                for i, c in enumerate(state["counts"]):
+                    hist.counts[i] += c
+                hist.total += state["sum"]
+                hist.count += state["count"]
+                if state["count"]:
+                    hist.min = min(hist.min, state["min"])
+                    hist.max = max(hist.max, state["max"])
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+
+
+class PhaseTimer:
+    """:class:`~repro.core.profiler.PhaseProfiler`'s API over a registry.
+
+    Each phase becomes a ``<prefix>.<phase>_seconds`` counter, so the
+    Fig 1(b)/9(d) phase breakdown ships in the same metrics snapshot as
+    everything else while existing ``fractions()`` consumers keep
+    working unchanged.
+    """
+
+    PREFIX = "phase"
+    SUFFIX = "_seconds"
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def _counter_name(self, phase: str) -> str:
+        return f"{self.PREFIX}.{phase}{self.SUFFIX}"
+
+    def record(self, phase: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative duration for {phase!r}: {seconds}")
+        self.registry.counter(self._counter_name(phase)).inc(seconds)
+
+    @contextmanager
+    def phase(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - t0)
+
+    # ------------------------------------------------------------- views
+    @property
+    def phases(self) -> dict[str, float]:
+        prefix = f"{self.PREFIX}."
+        out: dict[str, float] = {}
+        for name in self.registry.names():
+            if name.startswith(prefix) and name.endswith(self.SUFFIX):
+                phase = name[len(prefix) : -len(self.SUFFIX)]
+                out[phase] = self.registry.counter(name).value
+        return out
+
+    def seconds(self, phase: str) -> float:
+        return self.phases.get(phase, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def fractions(self) -> dict[str, float]:
+        phases = self.phases
+        total = sum(phases.values())
+        if total <= 0:
+            return {k: 0.0 for k in phases}
+        return {k: v / total for k, v in phases.items()}
+
+    def merge(self, other) -> None:
+        """Accumulate another PhaseTimer/PhaseProfiler's phases."""
+        for phase, seconds in other.phases.items():
+            self.record(phase, seconds)
+
+
+class TeeRecorder:
+    """Fan one ``record(phase, seconds)`` out to several recorders.
+
+    Lets the population keep feeding its :class:`PhaseProfiler` while a
+    telemetry session's :class:`PhaseTimer` sees the same stream.
+    """
+
+    def __init__(self, *recorders):
+        self.recorders = tuple(recorders)
+
+    def record(self, phase: str, seconds: float) -> None:
+        for recorder in self.recorders:
+            recorder.record(phase, seconds)
+
+
+# ------------------------------------------------------------------ global
+_METRICS: MetricsRegistry | None = None
+
+
+def get_metrics() -> MetricsRegistry | None:
+    """The installed registry, or ``None`` when telemetry is disabled."""
+    return _METRICS
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry | None:
+    """Install (or clear) the global registry; returns the previous one."""
+    global _METRICS
+    previous = _METRICS
+    _METRICS = registry
+    return previous

@@ -162,6 +162,113 @@ class TestResumeCommand:
         assert "error" in capsys.readouterr().err
 
 
+class TestTelemetryFlags:
+    def test_run_writes_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry.export import validate_trace_jsonl
+
+        trace = tmp_path / "out.jsonl"
+        metrics = tmp_path / "m.json"
+        code = main(
+            [
+                "run", "--env", "cartpole", "--population", "24",
+                "--generations", "2", "--seed", "1", "--quiet",
+                "--trace", str(trace), "--metrics", str(metrics),
+            ]
+        )
+        assert code in (0, 2)
+        out = capsys.readouterr().out
+        assert validate_trace_jsonl(trace) == []
+        chrome = trace.with_suffix(".chrome.json")
+        assert chrome.exists()
+        payload = json.loads(chrome.read_text())
+        assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["manifest"]["command"] == "run"
+        assert "phase.evaluate_seconds" in snapshot["metrics"]
+        assert "trace written to" in out
+        assert "metrics written to" in out
+
+    def test_run_without_flags_writes_nothing(self, tmp_path, capsys):
+        code = main(
+            [
+                "run", "--env", "cartpole", "--population", "20",
+                "--generations", "1", "--seed", "1", "--quiet",
+            ]
+        )
+        assert code in (0, 2)
+        assert "trace written" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_run_prints_cache_summary(self, tmp_path, capsys):
+        code = main(
+            [
+                "run", "--env", "cartpole", "--backend", "cpu-fast",
+                "--population", "24", "--generations", "2", "--seed", "1",
+                "--quiet", "--metrics", str(tmp_path / "m.json"),
+            ]
+        )
+        assert code in (0, 2)
+        assert "decode cache:" in capsys.readouterr().out
+
+    def test_resume_appends_csv_and_traces(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ckpt.json"
+        csv = tmp_path / "log.csv"
+        main(
+            [
+                "run", "--env", "cartpole", "--population", "24",
+                "--generations", "2", "--seed", "1", "--quiet",
+                "--checkpoint", str(checkpoint), "--csv", str(csv),
+            ]
+        )
+        rows_before = csv.read_text().strip().splitlines()
+        capsys.readouterr()
+        trace = tmp_path / "resume.jsonl"
+        code = main(
+            [
+                "resume", "--checkpoint", str(checkpoint),
+                "--env", "cartpole", "--generations", "2", "--quiet",
+                "--csv", str(csv), "--trace", str(trace),
+            ]
+        )
+        assert code in (0, 2)
+        rows_after = csv.read_text().strip().splitlines()
+        # resume extended the CSV in place: same single header, more rows
+        assert rows_after[: len(rows_before)] == rows_before
+        assert len(rows_after) > len(rows_before)
+        assert sum(r.startswith("generation,") for r in rows_after) == 1
+        assert trace.exists()
+
+
+class TestTraceSummaryCommand:
+    def test_summarizes_run_trace(self, tmp_path, capsys):
+        trace = tmp_path / "out.jsonl"
+        main(
+            [
+                "run", "--env", "cartpole", "--population", "24",
+                "--generations", "2", "--seed", "1", "--quiet",
+                "--trace", str(trace),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace-summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "host phases" in out
+        assert "evaluate" in out
+        assert "INAX PU timeline" in out
+
+    def test_rejects_invalid_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "wat"}\n')
+        assert main(["trace-summary", str(bad)]) == 2
+        assert "unknown row type" in capsys.readouterr().err
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        assert main(["trace-summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestDotCommand:
     def test_dot_to_stdout(self, tmp_path, capsys):
         checkpoint = tmp_path / "ckpt.json"

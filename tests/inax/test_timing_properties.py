@@ -1,0 +1,118 @@
+"""Property tests for CycleReport invariants (Eq. 1, Fig 9(a)).
+
+These pin down the algebraic guarantees downstream consumers rely on:
+utilization rates stay inside [0, 1] no matter how many wave reports are
+merged, the Fig 9(a) breakdown is a proper partition when any cycles
+were provisioned, and the derived control bucket can never go negative.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.inax.timing import CycleReport, utilization
+
+cycles = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def reports(draw) -> CycleReport:
+    """Physically plausible reports: active never exceeds provisioned."""
+    pe_provisioned = draw(cycles)
+    pu_provisioned = draw(cycles)
+    return CycleReport(
+        setup_cycles=draw(cycles),
+        compute_cycles=draw(cycles),
+        pe_active_cycles=draw(
+            st.floats(
+                min_value=0.0,
+                max_value=pe_provisioned,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        ),
+        pe_provisioned_cycles=pe_provisioned,
+        pu_active_cycles=draw(
+            st.floats(
+                min_value=0.0,
+                max_value=pu_provisioned,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        ),
+        pu_provisioned_cycles=pu_provisioned,
+        io_cycles=draw(cycles),
+        steps=draw(st.integers(min_value=0, max_value=10**6)),
+        individuals=draw(st.integers(min_value=0, max_value=10**6)),
+    )
+
+
+@given(st.lists(reports(), min_size=1, max_size=8))
+@settings(max_examples=200, deadline=None)
+def test_utilization_bounded_under_merge_chains(chain):
+    """u_pe / u_pu stay inside [0, 1] after any sequence of merges."""
+    total = CycleReport()
+    for report in chain:
+        total.merge(report)
+        assert 0.0 <= total.u_pe <= 1.0
+        assert 0.0 <= total.u_pu <= 1.0
+    # merging is order-insensitive for the scalar buckets (up to
+    # floating-point summation order)
+    reversed_total = CycleReport()
+    for report in reversed(chain):
+        reversed_total.merge(report)
+    assert math.isclose(
+        reversed_total.pe_active_cycles, total.pe_active_cycles, rel_tol=1e-12
+    )
+    assert math.isclose(
+        reversed_total.pe_provisioned_cycles,
+        total.pe_provisioned_cycles,
+        rel_tol=1e-12,
+    )
+
+
+@given(reports())
+@settings(max_examples=200, deadline=None)
+def test_breakdown_fractions_partition_unity(report):
+    """Fig 9(a) bars sum to 1 whenever any cycles were provisioned."""
+    fractions = report.breakdown()
+    assert set(fractions) == {"setup", "pe_active", "evaluate_control"}
+    for value in fractions.values():
+        assert value >= 0.0
+    total = sum(fractions.values())
+    if report.setup_cycles + report.pe_provisioned_cycles > 0:
+        assert abs(total - 1.0) < 1e-9
+    else:
+        assert total == 0.0
+
+
+@given(st.lists(reports(), min_size=0, max_size=8))
+@settings(max_examples=200, deadline=None)
+def test_control_cycles_never_negative(chain):
+    """The derived control bucket is clamped at zero, even for merged
+    reports and even when a caller hands in an over-active report."""
+    total = CycleReport()
+    assert total.control_cycles == 0.0
+    for report in chain:
+        total.merge(report)
+        assert total.control_cycles >= 0.0
+    # adversarial case: active > provisioned (a buggy producer) must
+    # still never yield a negative control bucket
+    weird = CycleReport(pe_active_cycles=10.0, pe_provisioned_cycles=3.0)
+    assert weird.control_cycles == 0.0
+    total.merge(weird)
+    assert total.control_cycles >= 0.0
+
+
+@given(cycles, cycles)
+@settings(max_examples=200, deadline=None)
+def test_utilization_helper_bounded(active, provisioned):
+    value = utilization(active, provisioned)
+    assert 0.0 <= value <= 1.0
+    if provisioned <= 0:
+        assert value == 0.0

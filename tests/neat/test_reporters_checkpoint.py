@@ -68,6 +68,46 @@ class TestReporters:
             reporter.on_generation(_stats())
         assert path.read_text().count("\n") == 2
 
+    def test_csv_reporter_append_skips_header(self, tmp_path):
+        path = tmp_path / "run.csv"
+        with CSVReporter(path) as reporter:
+            reporter.on_generation(_stats(gen=0))
+            reporter.on_generation(_stats(gen=1))
+        with CSVReporter(path, append=True) as reporter:
+            reporter.on_generation(_stats(gen=2))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4  # one header + three rows
+        assert lines[0].startswith("generation,")
+        assert sum(line.startswith("generation,") for line in lines) == 1
+        assert [line.split(",")[0] for line in lines[1:]] == ["0", "1", "2"]
+
+    def test_csv_reporter_append_fresh_file_writes_header(self, tmp_path):
+        path = tmp_path / "new.csv"
+        with CSVReporter(path, append=True) as reporter:
+            reporter.on_generation(_stats(gen=0))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("generation,")
+        assert len(lines) == 2
+
+    def test_csv_reporter_append_stream(self):
+        buffer = io.StringIO()
+        CSVReporter(buffer).on_generation(_stats(gen=0))
+        CSVReporter(buffer, append=True).on_generation(_stats(gen=1))
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == 3
+        assert sum(line.startswith("generation,") for line in lines) == 1
+
+    def test_csv_reporter_default_truncates(self, tmp_path):
+        path = tmp_path / "run.csv"
+        with CSVReporter(path) as reporter:
+            reporter.on_generation(_stats(gen=0))
+            reporter.on_generation(_stats(gen=1))
+        with CSVReporter(path) as reporter:
+            reporter.on_generation(_stats(gen=5))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2  # header + one row: old history gone
+        assert lines[1].split(",")[0] == "5"
+
     def test_render_csv(self):
         text = render_csv([_stats(0), _stats(1)])
         assert text.count("\n") == 3

@@ -1,0 +1,33 @@
+"""Unit tests for the run manifest."""
+
+from repro.telemetry.manifest import RunManifest
+
+
+class TestRunManifest:
+    def test_collect_fills_platform_fields(self):
+        manifest = RunManifest.collect(
+            command="run", env="cartpole", backend="inax", seed=3
+        )
+        assert manifest.command == "run"
+        assert manifest.env == "cartpole"
+        assert manifest.seed == 3
+        assert manifest.python_version
+        assert manifest.platform
+        assert manifest.numpy_version
+        assert manifest.created_unix > 0
+
+    def test_to_dict_is_typed_row(self):
+        row = RunManifest.collect(command="run", backend="cpu").to_dict()
+        assert row["type"] == "manifest"
+        assert row["backend"] == "cpu"
+        assert "python_version" in row
+
+    def test_roundtrip_ignores_unknown_keys(self):
+        original = RunManifest.collect(
+            command="run", backend="cpu", extra={"checkpoint": "x.json"}
+        )
+        row = original.to_dict()
+        row["type"] = "manifest"  # discriminator is not a dataclass field
+        row["future_field"] = 123
+        restored = RunManifest.from_dict(row)
+        assert restored == original

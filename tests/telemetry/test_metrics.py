@@ -1,0 +1,160 @@
+"""Unit tests for the metrics registry and PhaseTimer."""
+
+import pytest
+
+from repro.core.profiler import PhaseProfiler
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PhaseTimer,
+    TeeRecorder,
+    get_metrics,
+    set_metrics,
+)
+
+
+class TestPrimitives:
+    def test_counter_monotonic(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+
+    def test_histogram_buckets(self):
+        hist = Histogram("h", buckets=(1, 10, 100))
+        for value in (0, 1, 5, 10, 50, 1000):
+            hist.observe(value)
+        # counts[i] = observations <= bucket[i]; last slot is overflow
+        assert hist.counts == [2, 2, 1, 1]
+        assert hist.count == 6
+        assert hist.total == 1066
+        assert hist.min == 0 and hist.max == 1000
+        assert hist.mean == pytest.approx(1066 / 6)
+
+    def test_histogram_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_empty_histogram_to_dict(self):
+        state = Histogram("h").to_dict()
+        assert state["count"] == 0
+        assert state["min"] is None and state["max"] is None
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.names() == ["a"]
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_roundtrip_merge(self):
+        src = MetricsRegistry()
+        src.counter("runs").inc(3)
+        src.gauge("size").set(7)
+        src.histogram("steps").observe(20)
+        src.histogram("steps").observe(500)
+
+        dst = MetricsRegistry()
+        dst.counter("runs").inc(1)
+        dst.histogram("steps").observe(5)
+        dst.merge_snapshot(src.snapshot())
+
+        assert dst.counter("runs").value == 4
+        assert dst.gauge("size").value == 7
+        hist = dst.histogram("steps")
+        assert hist.count == 3
+        assert hist.total == 525
+        assert hist.min == 5 and hist.max == 500
+
+    def test_merge_bucket_mismatch_raises(self):
+        src = MetricsRegistry()
+        src.histogram("h", buckets=(1, 2)).observe(1)
+        dst = MetricsRegistry()
+        dst.histogram("h", buckets=(1, 2, 3))
+        with pytest.raises(ValueError):
+            dst.merge_snapshot(src.snapshot())
+
+    def test_merge_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge_snapshot({"x": {"kind": "mystery"}})
+
+
+class TestPhaseTimer:
+    def test_profiler_api_parity(self):
+        profiler = PhaseProfiler()
+        timer = PhaseTimer()
+        for recorder in (profiler, timer):
+            recorder.record("evaluate", 3.0)
+            recorder.record("speciate", 1.0)
+            recorder.record("evaluate", 1.0)
+        assert timer.phases == profiler.phases
+        assert timer.fractions() == profiler.fractions()
+        assert timer.total == profiler.total == 5.0
+        assert timer.seconds("evaluate") == 4.0
+        assert timer.seconds("missing") == 0.0
+
+    def test_phase_context_manager(self):
+        timer = PhaseTimer()
+        with timer.phase("work"):
+            pass
+        assert timer.phases.keys() == {"work"}
+        assert timer.seconds("work") >= 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTimer().record("x", -0.1)
+
+    def test_merge_accepts_profiler(self):
+        profiler = PhaseProfiler()
+        profiler.record("evaluate", 2.0)
+        timer = PhaseTimer()
+        timer.record("evaluate", 1.0)
+        timer.merge(profiler)
+        assert timer.seconds("evaluate") == 3.0
+
+    def test_backed_by_registry_counters(self):
+        registry = MetricsRegistry()
+        timer = PhaseTimer(registry)
+        timer.record("evaluate", 2.0)
+        assert registry.counter("phase.evaluate_seconds").value == 2.0
+
+    def test_empty_fractions(self):
+        assert PhaseTimer().fractions() == {}
+
+
+class TestTeeRecorder:
+    def test_fans_out(self):
+        profiler = PhaseProfiler()
+        timer = PhaseTimer()
+        tee = TeeRecorder(profiler, timer)
+        tee.record("evaluate", 1.5)
+        assert profiler.seconds("evaluate") == 1.5
+        assert timer.seconds("evaluate") == 1.5
+
+
+class TestGlobalRegistry:
+    def test_set_metrics_returns_previous(self):
+        assert get_metrics() is None
+        registry = MetricsRegistry()
+        assert set_metrics(registry) is None
+        try:
+            assert get_metrics() is registry
+        finally:
+            assert set_metrics(None) is registry
+        assert get_metrics() is None

@@ -1,0 +1,111 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.telemetry.spans import Tracer, get_tracer, set_tracer, span
+
+
+class TestTracer:
+    def test_span_records_timing(self):
+        tracer = Tracer()
+        with tracer.span("work", generation=3):
+            pass
+        (recorded,) = tracer.spans
+        assert recorded.name == "work"
+        assert recorded.track == "host"
+        assert recorded.duration >= 0.0
+        assert recorded.start >= 0.0
+        assert recorded.attrs == {"generation": 3}
+        assert recorded.parent_id is None
+
+    def test_nesting_sets_parent_linkage(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans  # inner finishes first
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_span_recorded_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("boom")
+        assert [s.name for s in tracer.spans] == ["boom"]
+        # the stack unwound: a following span is not parented to "boom"
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[-1].parent_id is None
+
+    def test_add_span_explicit_clock(self):
+        tracer = Tracer()
+        recorded = tracer.add_span(
+            "pu.setup", start=1.5, duration=0.25, track="pu3", cycles=500
+        )
+        assert recorded.track == "pu3"
+        assert recorded.end == 1.75
+        assert recorded.attrs == {"cycles": 500}
+        with pytest.raises(ValueError):
+            tracer.add_span("bad", start=0.0, duration=-1.0)
+
+    def test_bounded_and_counts_drops(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(5):
+            tracer.add_span(f"s{i}", start=float(i), duration=0.0)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [s.name for s in tracer.spans] == ["s2", "s3", "s4"]
+
+    def test_max_spans_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_seconds_by_name(self):
+        tracer = Tracer()
+        tracer.add_span("phase.evaluate", start=0.0, duration=2.0)
+        tracer.add_span("phase.evaluate", start=2.0, duration=1.0)
+        tracer.add_span("phase.speciate", start=3.0, duration=0.5)
+        tracer.add_span("other", start=4.0, duration=9.0)
+        totals = tracer.seconds_by_name("phase.")
+        assert totals == {"phase.evaluate": 3.0, "phase.speciate": 0.5}
+
+    def test_to_dict_schema(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", k=1):
+                pass
+        inner, outer = (s.to_dict() for s in tracer.spans)
+        assert inner["type"] == "span"
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["attrs"] == {"k": 1}
+        assert "parent_id" not in outer
+        assert "attrs" not in outer
+
+
+class TestGlobalSpanHelper:
+    def test_disabled_helper_is_shared_noop(self):
+        assert get_tracer() is None
+        first = span("anything", generation=1)
+        second = span("else")
+        assert first is second  # shared null context, no allocation
+
+    def test_installed_helper_records(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            with span("guarded", k=2):
+                pass
+        finally:
+            set_tracer(previous)
+        assert [s.name for s in tracer.spans] == ["guarded"]
+        assert get_tracer() is previous
+
+    def test_set_tracer_returns_previous(self):
+        a, b = Tracer(), Tracer()
+        assert set_tracer(a) is None
+        try:
+            assert set_tracer(b) is a
+        finally:
+            set_tracer(None)
