@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the platform's day-to-day workflows::
+Nine subcommands cover the platform's day-to-day workflows::
 
     python -m repro envs                       # list benchmark tasks
     python -m repro run --env cartpole ...     # evolve on a backend
@@ -10,6 +10,7 @@ Eight subcommands cover the platform's day-to-day workflows::
     python -m repro resources --pus 50 --pes 4 # FPGA sizing
     python -m repro dot --checkpoint ...       # champion topology as DOT
     python -m repro trace-summary out.jsonl    # phase/PU table from a trace
+    python -m repro lint src/repro             # static contract linter
 
 ``run``, ``resume``, and ``compare`` accept ``--trace PATH`` /
 ``--metrics PATH`` to record the run's telemetry: ``--trace`` writes
@@ -130,6 +131,16 @@ def build_parser() -> argparse.ArgumentParser:
     dot.add_argument(
         "--out", default=None, help="write here instead of stdout"
     )
+
+    # ------------------------------------------------------------- lint
+    lint = sub.add_parser(
+        "lint",
+        help="static contract linter (determinism / telemetry / parity)",
+    )
+    # everything after `lint` is forwarded verbatim to `python -m
+    # repro.lint` (main() short-circuits before this parser runs, so
+    # option-like tokens such as --list-rules survive)
+    lint.add_argument("args", nargs=argparse.REMAINDER)
 
     # -------------------------------------------------------- resources
     resources = sub.add_parser(
@@ -490,6 +501,12 @@ def _cmd_dot(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(args.args)
+
+
 def _cmd_resources(args) -> int:
     from repro.hw.fpga_model import (
         ZCU104,
@@ -528,10 +545,18 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "resources": _cmd_resources,
     "trace-summary": _cmd_trace_summary,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        # forward verbatim: argparse.REMAINDER would eat option-like
+        # tokens (e.g. `lint --list-rules`) as unrecognized arguments
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

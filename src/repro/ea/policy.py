@@ -27,7 +27,9 @@ class FixedTopologyPolicy:
         hidden: tuple[int, ...] = (64, 64),
         rng: np.random.Generator | None = None,
     ):
-        rng = rng or np.random.default_rng()
+        # a bare construction must still be reproducible: fall back to a
+        # fixed seed, never the OS entropy pool
+        rng = rng if rng is not None else np.random.default_rng(0)
         self.env_type = type(env)
         self.net = MLP([env.num_inputs, *hidden, env.num_outputs], rng=rng)
         self._shapes = [p.shape for p in self.net.parameters]

@@ -84,7 +84,11 @@ class ProcessingElement:
         # skipping a zero term is only exact for additive aggregation
         if self.skip_zero_activations and plan.aggregation == "sum":
             ingress = [
-                (src, w) for src, w in plan.ingress if values[src] != 0.0
+                # exact-zero test is deliberate: only a true 0.0 term can
+                # be skipped without changing the accumulated sum's bits
+                (src, w)
+                for src, w in plan.ingress
+                if values[src] != 0.0  # repro: noqa[NUM001]
             ]
             effective_fan_in = len(ingress)
         else:

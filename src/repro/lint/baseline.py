@@ -1,0 +1,102 @@
+"""Baseline file: absorb legacy findings without blocking CI.
+
+When a new rule lands, the tree may already contain violations that
+predate it.  Rather than blocking every PR until they are all fixed
+(or worse, not shipping the rule), the known findings are written to a
+committed JSON baseline; CI fails only on findings *not* in the
+baseline, so the debt is frozen while new violations are caught.
+
+Entries are keyed by the finding's content fingerprint (path + rule +
+source-line text + occurrence index), so unrelated edits that shift
+line numbers do not invalidate the baseline.  An entry whose
+fingerprint no longer matches anything is *stale* — the violation was
+fixed — and is dropped the next time ``--update-baseline`` runs, so
+the baseline only ever shrinks unless a human deliberately regrows it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.engine import Finding, LintResult
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The committed set of tolerated legacy findings."""
+
+    #: fingerprint -> descriptive context (rule, path, message)
+    entries: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    # ----------------------------------------------------------------- io
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        file = Path(path)
+        if not file.exists():
+            return cls()
+        payload = json.loads(file.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {file} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        findings = payload.get("findings", {})
+        if not isinstance(findings, dict):
+            raise ValueError(f"malformed baseline {file}: findings not a map")
+        return cls(entries=dict(findings))
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": {
+                fp: self.entries[fp] for fp in sorted(self.entries)
+            },
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    # ------------------------------------------------------------- logic
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """A baseline absorbing exactly ``findings``."""
+        return cls(
+            entries={
+                f.fingerprint: {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "message": f.message,
+                }
+                for f in findings
+            }
+        )
+
+    def apply(self, result: LintResult) -> LintResult:
+        """Move baselined findings out of ``result.findings`` in place.
+
+        Returns the same result object with ``baselined`` holding the
+        matched findings and ``stale_baseline`` the fingerprints whose
+        violations no longer exist.
+        """
+        keep: list[Finding] = []
+        for finding in result.findings:
+            if finding.fingerprint in self.entries:
+                result.baselined.append(finding)
+            else:
+                keep.append(finding)
+        result.findings = keep
+        matched = {f.fingerprint for f in result.baselined}
+        result.stale_baseline = sorted(set(self.entries) - matched)
+        return result
+
+    def __len__(self) -> int:
+        return len(self.entries)

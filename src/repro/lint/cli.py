@@ -1,0 +1,130 @@
+"""``python -m repro.lint`` — the contract linter's command line.
+
+Exit codes::
+
+    0  clean (no actionable findings)
+    1  at least one finding not suppressed or baselined
+    2  usage error (bad path, malformed baseline)
+
+``--update-baseline`` rewrites the baseline to exactly the current
+findings (absorbing new ones, expiring stale ones) and exits 0, so
+adopting a new rule is one command plus one commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import default_rules, lint_paths
+from repro.lint.report import render_json, render_text, to_json_dict
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "static contract linter: determinism, telemetry-overhead, "
+            "backend-parity, and numerical-hygiene invariants"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src if present, "
+        "else the current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="JSON baseline of tolerated legacy findings",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline to the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--json-report",
+        default=None,
+        metavar="PATH",
+        help="additionally write the JSON report to this file "
+        "(CI artifact), independent of --format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule pack (id, title, contract) and exit",
+    )
+    return parser
+
+
+def _default_paths() -> list[str]:
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def _list_rules() -> int:
+    for rule in default_rules():
+        print(f"{rule.id}  [{rule.severity}] {rule.title}")
+        print(f"        contract: {rule.contract}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    if args.update_baseline and not args.baseline:
+        print("error: --update-baseline requires --baseline", file=sys.stderr)
+        return 2
+
+    paths = args.paths or _default_paths()
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    result = lint_paths(paths)
+
+    if args.update_baseline:
+        Baseline.from_findings(result.findings).save(args.baseline)
+        print(
+            f"baseline {args.baseline} updated: "
+            f"{len(result.findings)} finding"
+            f"{'' if len(result.findings) == 1 else 's'} absorbed"
+        )
+        return 0
+
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        baseline.apply(result)
+
+    if args.json_report:
+        Path(args.json_report).write_text(
+            render_json(result) + "\n", encoding="utf-8"
+        )
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Reporters: render a :class:`LintResult` as human text or JSON.
+
+The JSON schema (version 1) is the machine interface CI archives as an
+artifact::
+
+    {
+      "version": 1,
+      "tool": "repro.lint",
+      "ok": true,
+      "files_checked": 120,
+      "findings": [
+        {"rule": "DET001", "severity": "error", "path": "...",
+         "line": 10, "col": 4, "message": "...", "fingerprint": "..."}
+      ],
+      "suppressed": 2,
+      "baselined": 0,
+      "stale_baseline": [],
+      "counts": {"DET001": 1}
+    }
+
+``findings`` holds only actionable findings (suppressed/baselined
+ones are counted, not listed), sorted by path, line, column, rule —
+the same order the text reporter prints.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+__all__ = ["REPORT_VERSION", "render_text", "render_json", "to_json_dict"]
+
+REPORT_VERSION = 1
+
+
+def to_json_dict(result: LintResult) -> dict[str, object]:
+    """The schema-stable JSON payload for ``result``."""
+    counts: dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return {
+        "version": REPORT_VERSION,
+        "tool": "repro.lint",
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": len(result.suppressed),
+        "baselined": len(result.baselined),
+        "stale_baseline": list(result.stale_baseline),
+        "counts": dict(sorted(counts.items())),
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(to_json_dict(result), indent=2)
+
+
+def render_text(result: LintResult) -> str:
+    """``path:line:col: RULE severity: message`` lines plus a summary."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule} {finding.severity}: {finding.message}"
+        )
+    summary = (
+        f"{len(result.findings)} finding"
+        f"{'' if len(result.findings) == 1 else 's'} "
+        f"in {result.files_checked} file"
+        f"{'' if result.files_checked == 1 else 's'}"
+    )
+    extras: list[str] = []
+    if result.suppressed:
+        extras.append(f"{len(result.suppressed)} suppressed by noqa")
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if result.stale_baseline:
+        extras.append(
+            f"{len(result.stale_baseline)} stale baseline entr"
+            f"{'y' if len(result.stale_baseline) == 1 else 'ies'} "
+            "(run --update-baseline to expire)"
+        )
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    lines.append(summary)
+    return "\n".join(lines)

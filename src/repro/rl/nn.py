@@ -55,7 +55,9 @@ class MLP:
                 f"unknown activation {activation!r}; "
                 f"known: {sorted(_ACTIVATIONS)}"
             )
-        rng = rng or np.random.default_rng()
+        # a bare construction must still be reproducible: fall back to a
+        # fixed seed, never the OS entropy pool
+        rng = rng if rng is not None else np.random.default_rng(0)
         self.sizes = list(sizes)
         self.activation = activation
         self.layers: list[_Layer] = []

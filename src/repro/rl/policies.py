@@ -44,7 +44,9 @@ class ActorCriticPolicy:
         hidden: tuple[int, ...] = SMALL_HIDDEN,
         rng: np.random.Generator | None = None,
     ):
-        rng = rng or np.random.default_rng()
+        # a bare construction must still be reproducible: fall back to a
+        # fixed seed, never the OS entropy pool
+        rng = rng if rng is not None else np.random.default_rng(0)
         self.obs_dim = obs_dim
         self.action_dim = action_dim
         self.hidden = tuple(hidden)
@@ -139,7 +141,9 @@ class CategoricalPolicy(ActorCriticPolicy):
         onehot[np.arange(n), actions.astype(np.int64)] = 1.0
         # d logp(a)/d logits = onehot - probs
         grad = dlogp[:, None] * (onehot - probs)
-        if entropy_coef_grad != 0.0:
+        # exact-zero test is deliberate: ent_coef=0 disables the entropy
+        # term entirely, and only a true 0.0 may skip the computation
+        if entropy_coef_grad != 0.0:  # repro: noqa[NUM001]
             logp_all = np.log(probs + 1e-12)
             entropy = -(probs * logp_all).sum(axis=-1, keepdims=True)
             # dH/d logits_j = -p_j (log p_j + H)

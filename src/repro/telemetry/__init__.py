@@ -26,6 +26,8 @@ path — deterministic runs stay bit-identical either way.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.telemetry.export import (
     format_trace_summary,
     read_trace_jsonl,
@@ -91,12 +93,12 @@ class TelemetrySession:
         self,
         manifest: RunManifest | None = None,
         max_spans: int = 200_000,
-    ):
+    ) -> None:
         self.tracer = Tracer(max_spans=max_spans)
         self.metrics = MetricsRegistry()
         self.manifest = manifest
         self.phase_timer = PhaseTimer(self.metrics)
-        self._previous: tuple | None = None
+        self._previous: tuple[Tracer | None, MetricsRegistry | None] | None = None
 
     # --------------------------------------------------------- lifecycle
     @property
@@ -120,15 +122,15 @@ class TelemetrySession:
     def __enter__(self) -> "TelemetrySession":
         return self.install()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.uninstall()
 
     # ------------------------------------------------------------ export
     def export(
         self,
-        trace_path=None,
-        chrome_path=None,
-        metrics_path=None,
+        trace_path: str | Path | None = None,
+        chrome_path: str | Path | None = None,
+        metrics_path: str | Path | None = None,
     ) -> dict[str, str]:
         """Write the selected sinks; returns ``{sink: path}`` written."""
         written: dict[str, str] = {}

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any, Iterable
 
 from repro.telemetry.manifest import RunManifest
 from repro.telemetry.metrics import MetricsRegistry
@@ -96,7 +97,7 @@ def write_chrome_trace(
     Timestamps are microseconds.  Device spans were recorded in seconds
     already (cycles / FPGA clock), so both processes share the unit.
     """
-    events: list[dict] = [
+    events: list[dict[str, Any]] = [
         {
             "ph": "M",
             "pid": _HOST_PID,
@@ -140,7 +141,7 @@ def write_chrome_trace(
                 "args": dict(item.attrs),
             }
         )
-    payload: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    payload: dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
     if manifest is not None:
         payload["otherData"] = manifest.to_dict()
     Path(path).write_text(json.dumps(payload))
@@ -153,7 +154,7 @@ def write_metrics_json(
     manifest: RunManifest | None = None,
 ) -> None:
     """Write the metrics snapshot (plus manifest) as one JSON object."""
-    payload = {
+    payload: dict[str, Any] = {
         "manifest": manifest.to_dict() if manifest is not None else None,
         "metrics": metrics.snapshot(),
     }
@@ -161,9 +162,9 @@ def write_metrics_json(
 
 
 # --------------------------------------------------------------- readers
-def read_trace_jsonl(path: str | Path) -> list[dict]:
+def read_trace_jsonl(path: str | Path) -> list[dict[str, Any]]:
     """Parse a JSONL trace file into a list of row dicts."""
-    rows = []
+    rows: list[dict[str, Any]] = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
@@ -173,7 +174,7 @@ def read_trace_jsonl(path: str | Path) -> list[dict]:
 
 
 #: required fields per row type: name -> allowed python types
-_SPAN_SCHEMA = {
+_SPAN_SCHEMA: dict[str, type | tuple[type, ...]] = {
     "name": str,
     "track": str,
     "start": (int, float),
@@ -183,7 +184,7 @@ _SPAN_SCHEMA = {
 _METRIC_KINDS = ("counter", "gauge", "histogram")
 
 
-def validate_record(row: dict) -> list[str]:
+def validate_record(row: dict[str, Any]) -> list[str]:
     """Schema-check one JSONL row; returns a list of problems."""
     errors: list[str] = []
     kind = row.get("type")
@@ -244,7 +245,7 @@ PHASE_PREFIX = "phase."
 class TraceSummary:
     """Everything ``repro trace-summary`` prints, as data."""
 
-    manifest: dict | None = None
+    manifest: dict[str, Any] | None = None
     #: phase -> total seconds, from ``phase.*`` host spans
     phase_seconds: dict[str, float] = field(default_factory=dict)
     #: per-PU rows: track -> {setup/compute/drain/active cycles, steps}
@@ -267,7 +268,9 @@ class TraceSummary:
         return min((row["setup"] + row["active"]) / provisioned, 1.0)
 
 
-def summarize_trace(path_or_rows) -> TraceSummary:
+def summarize_trace(
+    path_or_rows: str | Path | Iterable[dict[str, Any]],
+) -> TraceSummary:
     """Build a :class:`TraceSummary` from a JSONL path or parsed rows."""
     if isinstance(path_or_rows, (str, Path)):
         rows = read_trace_jsonl(path_or_rows)
@@ -307,8 +310,11 @@ def summarize_trace(path_or_rows) -> TraceSummary:
     return summary
 
 
-def _pu_sort_key(track: str):
-    return int(track[2:]) if track[2:].isdigit() else track
+def _pu_sort_key(track: str) -> tuple[int, int, str]:
+    # numeric tracks first in numeric order, then anything odd lexically
+    if track[2:].isdigit():
+        return (0, int(track[2:]), "")
+    return (1, 0, track)
 
 
 def format_trace_summary(summary: TraceSummary) -> str:

@@ -13,6 +13,7 @@ import platform as _platform
 import sys
 import time
 from dataclasses import asdict, dataclass, field
+from typing import Any
 
 __all__ = ["RunManifest"]
 
@@ -39,7 +40,7 @@ class RunManifest:
     episodes_per_genome: int = 1
     seed: int = 0
     #: free-form extras (checkpoint path, sweep axis, ...)
-    extra: dict = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
     # -- captured automatically at collection time --
     python_version: str = ""
     platform: str = ""
@@ -47,7 +48,7 @@ class RunManifest:
     created_unix: float = 0.0
 
     @classmethod
-    def collect(cls, **fields) -> "RunManifest":
+    def collect(cls, **fields: Any) -> "RunManifest":
         """Build a manifest, filling the platform fields automatically."""
         return cls(
             python_version=sys.version.split()[0],
@@ -57,13 +58,13 @@ class RunManifest:
             **fields,
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSONL row for this manifest (the ``type: "manifest"`` schema)."""
-        row = {"type": "manifest"}
+        row: dict[str, Any] = {"type": "manifest"}
         row.update(asdict(self))
         return row
 
     @classmethod
-    def from_dict(cls, row: dict) -> "RunManifest":
+    def from_dict(cls, row: dict[str, Any]) -> "RunManifest":
         known = {f for f in cls.__dataclass_fields__}
         return cls(**{k: v for k, v in row.items() if k in known})

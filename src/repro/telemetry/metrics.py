@@ -19,6 +19,7 @@ from __future__ import annotations
 import bisect
 import time
 from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Protocol, Sequence, TypeVar, cast
 
 __all__ = [
     "Counter",
@@ -38,7 +39,7 @@ class Counter:
     __slots__ = ("name", "description", "value")
     kind = "counter"
 
-    def __init__(self, name: str, description: str = ""):
+    def __init__(self, name: str, description: str = "") -> None:
         self.name = name
         self.description = description
         self.value = 0.0
@@ -48,7 +49,7 @@ class Counter:
             raise ValueError(f"counter {self.name} cannot decrease")
         self.value += amount
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"kind": self.kind, "value": self.value}
 
 
@@ -58,7 +59,7 @@ class Gauge:
     __slots__ = ("name", "description", "value")
     kind = "gauge"
 
-    def __init__(self, name: str, description: str = ""):
+    def __init__(self, name: str, description: str = "") -> None:
         self.name = name
         self.description = description
         self.value = 0.0
@@ -66,7 +67,7 @@ class Gauge:
     def set(self, value: float) -> None:
         self.value = float(value)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"kind": self.kind, "value": self.value}
 
 
@@ -90,7 +91,12 @@ class Histogram:
     )
     kind = "histogram"
 
-    def __init__(self, name: str, buckets=DEFAULT_BUCKETS, description: str = ""):
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        description: str = "",
+    ) -> None:
         upper = tuple(sorted(float(b) for b in buckets))
         if not upper:
             raise ValueError("histogram needs at least one bucket bound")
@@ -117,7 +123,7 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "kind": self.kind,
             "buckets": list(self.buckets),
@@ -129,14 +135,18 @@ class Histogram:
         }
 
 
+#: any concrete metric class, for the get-or-create accessors
+M = TypeVar("M", Counter, Gauge, Histogram)
+
+
 class MetricsRegistry:
     """Named metrics with get-or-create accessors and snapshot/merge."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
     # ---------------------------------------------------------- accessors
-    def _get_or_create(self, name: str, factory, kind: str):
+    def _get_or_create(self, name: str, factory: Callable[[], M], kind: str) -> M:
         metric = self._metrics.get(name)
         if metric is None:
             metric = factory()
@@ -145,7 +155,9 @@ class MetricsRegistry:
             raise TypeError(
                 f"metric {name!r} is a {metric.kind}, not a {kind}"
             )
-        return metric
+        # the kind check above guarantees the stored metric matches the
+        # factory's class, which the type system cannot see
+        return cast(M, metric)
 
     def counter(self, name: str, description: str = "") -> Counter:
         return self._get_or_create(
@@ -158,7 +170,10 @@ class MetricsRegistry:
         )
 
     def histogram(
-        self, name: str, buckets=DEFAULT_BUCKETS, description: str = ""
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        description: str = "",
     ) -> Histogram:
         return self._get_or_create(
             name, lambda: Histogram(name, buckets, description), "histogram"
@@ -168,13 +183,13 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         return sorted(self._metrics)
 
-    def get(self, name: str):
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
         return self._metrics.get(name)
 
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def snapshot(self) -> dict[str, dict]:
+    def snapshot(self) -> dict[str, dict[str, Any]]:
         """JSON-serializable ``name -> metric state`` mapping."""
         return {
             name: metric.to_dict()
@@ -182,7 +197,7 @@ class MetricsRegistry:
         }
 
     # ------------------------------------------------------------- merge
-    def merge_snapshot(self, snapshot: dict[str, dict]) -> None:
+    def merge_snapshot(self, snapshot: dict[str, dict[str, Any]]) -> None:
         """Fold another registry's snapshot into this one.
 
         Counters and histogram counts add; gauges take the incoming
@@ -224,7 +239,7 @@ class PhaseTimer:
     PREFIX = "phase"
     SUFFIX = "_seconds"
 
-    def __init__(self, registry: MetricsRegistry | None = None):
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
 
     def _counter_name(self, phase: str) -> str:
@@ -236,7 +251,7 @@ class PhaseTimer:
         self.registry.counter(self._counter_name(phase)).inc(seconds)
 
     @contextmanager
-    def phase(self, name: str):
+    def phase(self, name: str) -> Iterator[None]:
         t0 = time.perf_counter()
         try:
             yield
@@ -268,10 +283,23 @@ class PhaseTimer:
             return {k: 0.0 for k in phases}
         return {k: v / total for k, v in phases.items()}
 
-    def merge(self, other) -> None:
+    def merge(self, other: "_HasPhases") -> None:
         """Accumulate another PhaseTimer/PhaseProfiler's phases."""
         for phase, seconds in other.phases.items():
             self.record(phase, seconds)
+
+
+class _HasPhases(Protocol):
+    """Anything exposing a ``phases`` mapping (PhaseTimer, PhaseProfiler)."""
+
+    @property
+    def phases(self) -> dict[str, float]: ...
+
+
+class _PhaseRecorder(Protocol):
+    """Anything accepting ``record(phase, seconds)`` calls."""
+
+    def record(self, phase: str, seconds: float) -> None: ...
 
 
 class TeeRecorder:
@@ -281,8 +309,8 @@ class TeeRecorder:
     telemetry session's :class:`PhaseTimer` sees the same stream.
     """
 
-    def __init__(self, *recorders):
-        self.recorders = tuple(recorders)
+    def __init__(self, *recorders: _PhaseRecorder) -> None:
+        self.recorders: tuple[_PhaseRecorder, ...] = tuple(recorders)
 
     def record(self, phase: str, seconds: float) -> None:
         for recorder in self.recorders:

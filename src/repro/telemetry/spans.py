@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from contextlib import contextmanager, nullcontext
+from contextlib import AbstractContextManager, contextmanager, nullcontext
 from dataclasses import dataclass, field
+from typing import Any, Iterator
 
 __all__ = [
     "Span",
@@ -54,15 +55,15 @@ class Span:
     #: timeline the span belongs to: ``"host"`` or a device track
     #: (``"inax"``, ``"pu0"``, ``"pu1"``, ...)
     track: str = "host"
-    attrs: dict = field(default_factory=dict)
+    attrs: dict[str, Any] = field(default_factory=dict)
 
     @property
     def end(self) -> float:
         return self.start + self.duration
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSONL row for this span (the ``type: "span"`` schema)."""
-        row = {
+        row: dict[str, Any] = {
             "type": "span",
             "name": self.name,
             "track": self.track,
@@ -85,7 +86,7 @@ class Tracer:
     the thing that OOMs an edge deployment.
     """
 
-    def __init__(self, max_spans: int = 200_000):
+    def __init__(self, max_spans: int = 200_000) -> None:
         if max_spans < 1:
             raise ValueError("max_spans must be >= 1")
         self.max_spans = max_spans
@@ -101,7 +102,9 @@ class Tracer:
         return time.perf_counter() - self._epoch
 
     @contextmanager
-    def span(self, name: str, track: str = "host", **attrs):
+    def span(
+        self, name: str, track: str = "host", **attrs: Any
+    ) -> Iterator[None]:
         """Time a block as a span; nesting sets the parent linkage."""
         span_id = self._next_id
         self._next_id += 1
@@ -132,7 +135,7 @@ class Tracer:
         duration: float,
         track: str = "host",
         parent_id: int | None = None,
-        **attrs,
+        **attrs: Any,
     ) -> Span:
         """Record an explicitly-clocked span (e.g. cycles mapped to
         seconds by the INAX device); returns the recorded span."""
@@ -184,7 +187,7 @@ class Tracer:
 #: the installed tracer; ``None`` means telemetry is disabled
 _TRACER: Tracer | None = None
 #: shared reusable no-op context manager for the disabled fast path
-_NULL_SPAN = nullcontext()
+_NULL_SPAN: AbstractContextManager[None] = nullcontext()
 
 
 def get_tracer() -> Tracer | None:
@@ -203,7 +206,9 @@ def set_tracer(tracer: Tracer | None) -> Tracer | None:
     return previous
 
 
-def span(name: str, track: str = "host", **attrs):
+def span(
+    name: str, track: str = "host", **attrs: Any
+) -> AbstractContextManager[None]:
     """Module-level span helper with a near-zero disabled fast path.
 
     ``with span("phase.evaluate", generation=g): ...`` records into the

@@ -1,0 +1,25 @@
+"""Shared helpers for the linter tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.engine import LintResult, lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def lint_source(tmp_path: Path, code: str, name: str = "fixture.py") -> LintResult:
+    """Write ``code`` to a scratch file and lint it with the full pack."""
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(code, encoding="utf-8")
+    return lint_paths([target])
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES

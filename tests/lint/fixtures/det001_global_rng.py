@@ -1,0 +1,15 @@
+"""Fixture: DET001 — global-RNG calls (never imported, only parsed)."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    a = random.random()  # VIOLATION DET001
+    b = np.random.rand(3)  # VIOLATION DET001
+    np.random.seed(0)  # VIOLATION DET001
+    c = random.random()  # repro: noqa[DET001]
+    rng = np.random.default_rng(7)  # ok: seeded generator construction
+    d = rng.random()  # ok: drawing from a passed-in generator
+    return a, b, c, d

@@ -1,0 +1,16 @@
+"""Fixture: DET002 — unseeded RNG construction (never imported)."""
+
+import random
+
+import numpy as np
+
+
+def build():
+    bad = np.random.default_rng()  # VIOLATION DET002
+    bad2 = random.Random()  # VIOLATION DET002
+    bad3 = random.SystemRandom()  # VIOLATION DET002
+    ok = np.random.default_rng(0)
+    ok2 = np.random.default_rng(seed=11)
+    ok3 = random.Random(3)
+    sup = np.random.default_rng()  # repro: noqa[DET002]
+    return bad, bad2, bad3, ok, ok2, ok3, sup

@@ -1,0 +1,13 @@
+"""Fixture: DET003 — wall-clock reads (never imported)."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    t = time.time()  # VIOLATION DET003
+    d = datetime.now()  # VIOLATION DET003
+    u = datetime.utcnow()  # VIOLATION DET003
+    ok = time.perf_counter()  # monotonic measuring clock is allowed
+    sup = time.time()  # repro: noqa[DET003]
+    return t, d, u, ok, sup

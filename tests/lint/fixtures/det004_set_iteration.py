@@ -1,0 +1,15 @@
+"""Fixture: DET004 — iteration over set expressions (never imported)."""
+
+
+def order(keys, other):
+    out = []
+    for key in set(keys):  # VIOLATION DET004
+        out.append(key)
+    for key in set(keys) | set(other):  # VIOLATION DET004
+        out.append(key)
+    vals = [g for g in {1, 2, 3}]  # VIOLATION DET004
+    ok = [k for k in sorted(set(keys))]
+    ok2 = list(sorted({x for x in keys}))
+    for key in set(keys):  # repro: noqa[DET004]
+        out.append(key)
+    return out, vals, ok, ok2

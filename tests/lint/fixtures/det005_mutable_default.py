@@ -1,0 +1,19 @@
+"""Fixture: DET005 — mutable default arguments (never imported)."""
+
+
+def accumulate(item, bucket=[]):  # VIOLATION DET005
+    bucket.append(item)
+    return bucket
+
+
+def index(item, *, table={}):  # VIOLATION DET005
+    return table.setdefault(item, len(table))
+
+
+def dedupe(item, seen=set()):  # repro: noqa[DET005]
+    seen.add(item)
+    return seen
+
+
+def fine(item, bucket=None, names=(), limit=0):
+    return item, bucket, names, limit

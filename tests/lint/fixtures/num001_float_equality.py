@@ -1,0 +1,13 @@
+"""Fixture: NUM001 — bit-exact float comparisons (never imported)."""
+
+
+def close_enough(x, y, flag):
+    if x == 1.5:  # VIOLATION NUM001
+        return True
+    if 0.0 != y:  # VIOLATION NUM001
+        return False
+    if y != 0.0:  # repro: noqa[NUM001]
+        return False
+    if flag == 3:  # ok: integer comparison
+        return True
+    return abs(x - y) < 1e-9  # ok: tolerance comparison

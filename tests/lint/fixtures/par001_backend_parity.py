@@ -1,0 +1,42 @@
+"""Fixture: PAR001 — backend registry parity (never imported)."""
+
+
+class EvaluationBackend:
+    name = "backend"
+
+    def _evaluate(self, genomes):
+        raise NotImplementedError
+
+    def close(self):
+        pass
+
+
+class GoodBackend(EvaluationBackend):
+    name = "good"
+
+    def _evaluate(self, genomes):
+        return genomes
+
+
+class NoEvaluate(EvaluationBackend):  # VIOLATION PAR001
+    name = "lazy"
+
+
+class WrongName(EvaluationBackend):
+    name = "mismatch"  # VIOLATION PAR001
+
+    def _evaluate(self, genomes):
+        return genomes
+
+
+class Quiet(EvaluationBackend):  # repro: noqa[PAR001]
+    name = "quiet"
+
+
+BACKENDS = {
+    "good": GoodBackend,
+    "lazy": NoEvaluate,
+    "wrong": WrongName,
+    "quiet": Quiet,
+    "ghost": MissingBackend,  # VIOLATION PAR001 (undefined class)
+}

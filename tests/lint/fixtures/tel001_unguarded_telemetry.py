@@ -1,0 +1,19 @@
+"""Fixture: TEL001 — unguarded telemetry in a hot module (never imported)."""
+
+from repro.telemetry import TelemetrySession
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.spans import Tracer, get_tracer
+
+
+def hot_path(value):
+    get_metrics().counter("x").inc()  # VIOLATION TEL001
+    tracer = Tracer()  # VIOLATION TEL001
+    session = TelemetrySession()  # VIOLATION TEL001
+    registry = get_metrics()  # ok: stored and guarded below
+    if registry is not None:
+        registry.counter("x").inc(value)
+    t = get_tracer()
+    if t is not None:
+        t.add_span("a", 0.0, 1.0)
+    get_metrics().gauge("y")  # repro: noqa[TEL001]
+    return tracer, session

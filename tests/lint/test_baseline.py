@@ -1,0 +1,91 @@
+"""Baseline add/expire semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.baseline import BASELINE_VERSION, Baseline
+from repro.lint.engine import lint_paths
+
+_VIOLATION = "import time\nt = time.time()\n"
+_CLEAN = "import time\nt = time.perf_counter()\n"
+
+
+def _lint(path):
+    return lint_paths([path])
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "absent.json")
+    assert len(baseline) == 0
+
+
+def test_roundtrip(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(_VIOLATION)
+    result = _lint(target)
+    baseline = Baseline.from_findings(result.findings)
+    baseline.save(tmp_path / "baseline.json")
+
+    payload = json.loads((tmp_path / "baseline.json").read_text())
+    assert payload["version"] == BASELINE_VERSION
+    assert len(payload["findings"]) == 1
+
+    reloaded = Baseline.load(tmp_path / "baseline.json")
+    assert reloaded.entries.keys() == baseline.entries.keys()
+
+
+def test_baselined_findings_do_not_fail(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(_VIOLATION)
+    baseline = Baseline.from_findings(_lint(target).findings)
+
+    result = baseline.apply(_lint(target))
+    assert result.ok
+    assert result.findings == []
+    assert [f.rule for f in result.baselined] == ["DET003"]
+    assert result.stale_baseline == []
+
+
+def test_new_violation_still_fails_with_baseline(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(_VIOLATION)
+    baseline = Baseline.from_findings(_lint(target).findings)
+
+    target.write_text(_VIOLATION + "u = time.time()\n")
+    result = baseline.apply(_lint(target))
+    assert not result.ok
+    assert len(result.findings) == 1  # only the new one
+    assert len(result.baselined) == 1
+
+
+def test_fixed_violation_goes_stale_and_expires(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(_VIOLATION)
+    baseline = Baseline.from_findings(_lint(target).findings)
+    (stale_fp,) = baseline.entries
+
+    target.write_text(_CLEAN)
+    result = baseline.apply(_lint(target))
+    assert result.ok
+    assert result.stale_baseline == [stale_fp]
+
+    # --update-baseline semantics: rebuild from current findings
+    refreshed = Baseline.from_findings(result.all_raw())
+    assert len(refreshed) == 0
+
+
+def test_unsupported_version_rejected(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"version": 99, "findings": {}}))
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(bad)
+
+
+def test_malformed_findings_rejected(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"version": BASELINE_VERSION, "findings": []}))
+    with pytest.raises(ValueError, match="malformed"):
+        Baseline.load(bad)

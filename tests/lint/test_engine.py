@@ -1,0 +1,135 @@
+"""Engine mechanics: suppression, fingerprints, scoping, parse errors."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.engine import (
+    PARSE_ERROR_RULE,
+    lint_paths,
+    load_module,
+    module_name_for,
+)
+
+from .conftest import lint_source
+
+_VIOLATION = "import time\nt = time.time()\n"
+
+
+# ------------------------------------------------------------ suppressions
+def test_bare_noqa_suppresses_every_rule(tmp_path):
+    code = "import time\nt = time.time()  # repro: noqa\n"
+    result = lint_source(tmp_path, code)
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["DET003"]
+
+
+def test_noqa_for_other_rule_does_not_suppress(tmp_path):
+    code = "import time\nt = time.time()  # repro: noqa[DET001]\n"
+    result = lint_source(tmp_path, code)
+    assert [f.rule for f in result.findings] == ["DET003"]
+
+
+def test_noqa_accepts_multiple_rule_ids(tmp_path):
+    code = (
+        "import time\n"
+        "t = time.time() if 1.0 == 1.0 else 0  # repro: noqa[DET003, NUM001]\n"
+    )
+    result = lint_source(tmp_path, code)
+    assert result.findings == []
+    assert {f.rule for f in result.suppressed} == {"DET003", "NUM001"}
+
+
+def test_plain_flake8_noqa_is_not_ours(tmp_path):
+    code = "import time\nt = time.time()  # noqa\n"
+    result = lint_source(tmp_path, code)
+    assert [f.rule for f in result.findings] == ["DET003"]
+
+
+# ------------------------------------------------------------ fingerprints
+def test_fingerprint_survives_line_shifts(tmp_path):
+    first = lint_source(tmp_path, _VIOLATION, name="a/mod.py")
+    shifted = lint_source(
+        tmp_path, "\n\n# padding\n" + _VIOLATION, name="a/mod.py"
+    )
+    assert len(first.findings) == len(shifted.findings) == 1
+    assert first.findings[0].fingerprint == shifted.findings[0].fingerprint
+    assert first.findings[0].line != shifted.findings[0].line
+
+
+def test_identical_lines_get_distinct_fingerprints(tmp_path):
+    code = "import time\nt = time.time()\nu = time.time()\n"
+    result = lint_source(tmp_path, code)
+    prints = [f.fingerprint for f in result.findings]
+    assert len(prints) == 2
+    assert len(set(prints)) == 2
+
+
+def test_fingerprint_differs_across_files(tmp_path):
+    a = lint_source(tmp_path, _VIOLATION, name="a.py")
+    b = lint_source(tmp_path, _VIOLATION, name="b.py")
+    assert a.findings[0].fingerprint != b.findings[0].fingerprint
+
+
+# ----------------------------------------------------------------- scoping
+def test_module_name_derivation(tmp_path):
+    root = tmp_path / "repro" / "neat"
+    root.mkdir(parents=True)
+    (root / "genome.py").write_text("x = 1\n")
+    assert module_name_for(root / "genome.py") == "repro.neat.genome"
+    (root / "__init__.py").write_text("")
+    assert module_name_for(root / "__init__.py") == "repro.neat"
+    other = tmp_path / "scripts" / "tool.py"
+    other.parent.mkdir()
+    other.write_text("x = 1\n")
+    assert module_name_for(other) is None
+
+
+def test_determinism_rules_exempt_telemetry_package(tmp_path):
+    package = tmp_path / "repro" / "telemetry"
+    package.mkdir(parents=True)
+    target = package / "clock.py"
+    target.write_text(_VIOLATION)
+    assert lint_paths([target]).findings == []
+
+
+def test_same_code_outside_exempt_package_fires(tmp_path):
+    target = tmp_path / "repro" / "neat" / "clock.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(_VIOLATION)
+    assert [f.rule for f in lint_paths([target]).findings] == ["DET003"]
+
+
+# ------------------------------------------------------------ parse errors
+def test_syntax_error_becomes_parse_finding(tmp_path):
+    result = lint_source(tmp_path, "def broken(:\n", name="broken.py")
+    assert [f.rule for f in result.findings] == [PARSE_ERROR_RULE]
+    assert result.files_checked == 1
+
+
+def test_parse_finding_does_not_hide_other_files(tmp_path):
+    (tmp_path / "broken.py").write_text("def broken(:\n")
+    (tmp_path / "bad.py").write_text(_VIOLATION)
+    result = lint_paths([tmp_path])
+    assert {f.rule for f in result.findings} == {PARSE_ERROR_RULE, "DET003"}
+    assert result.files_checked == 2
+
+
+# ----------------------------------------------------------- file discovery
+def test_pycache_and_duplicates_are_skipped(tmp_path):
+    cache = tmp_path / "__pycache__"
+    cache.mkdir()
+    (cache / "junk.py").write_text(_VIOLATION)
+    (tmp_path / "mod.py").write_text("x = 1\n")
+    result = lint_paths([tmp_path, tmp_path / "mod.py"])
+    assert result.files_checked == 1
+    assert result.findings == []
+
+
+def test_loaded_module_resolves_aliases(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("import numpy as np\nx = np.random\n")
+    module = load_module(target)
+    assert module.import_aliases()["np"] == "numpy"
+    assert module.module is None
+    assert isinstance(module.relpath, str)

@@ -1,0 +1,56 @@
+"""Reporter output: JSON schema and text rendering."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.report import REPORT_VERSION, render_json, render_text, to_json_dict
+
+from .conftest import lint_source
+
+_VIOLATION = "import time\nt = time.time()\n"
+
+_FINDING_KEYS = {
+    "rule", "severity", "path", "line", "col", "message", "fingerprint",
+}
+_REPORT_KEYS = {
+    "version", "tool", "ok", "files_checked", "findings",
+    "suppressed", "baselined", "stale_baseline", "counts",
+}
+
+
+def test_json_schema(tmp_path):
+    result = lint_source(tmp_path, _VIOLATION)
+    payload = json.loads(render_json(result))
+    assert set(payload) == _REPORT_KEYS
+    assert payload["version"] == REPORT_VERSION
+    assert payload["tool"] == "repro.lint"
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    assert payload["counts"] == {"DET003": 1}
+    (finding,) = payload["findings"]
+    assert set(finding) == _FINDING_KEYS
+    assert finding["rule"] == "DET003"
+    assert finding["line"] == 2
+
+
+def test_json_clean_run(tmp_path):
+    payload = to_json_dict(lint_source(tmp_path, "x = 1\n"))
+    assert payload["ok"] is True
+    assert payload["findings"] == []
+    assert payload["counts"] == {}
+
+
+def test_text_output_lists_location_and_summary(tmp_path):
+    result = lint_source(tmp_path, _VIOLATION, name="mod.py")
+    text = render_text(result)
+    assert "mod.py:2:" in text
+    assert "DET003 error:" in text
+    assert "1 finding in 1 file" in text
+
+
+def test_text_counts_suppressed(tmp_path):
+    code = "import time\nt = time.time()  # repro: noqa\n"
+    text = render_text(lint_source(tmp_path, code))
+    assert "0 findings" in text
+    assert "1 suppressed by noqa" in text

@@ -1,0 +1,51 @@
+"""The linter holds the shipped tree — and itself — to its own rules.
+
+These are the review-time contracts, enforced at test time as a
+backstop: ``src/repro`` must lint clean with no baseline, every
+in-source suppression must carry a rule id (bare ``noqa`` hides too
+much), and a seeded determinism violation must fail the run — the
+tripwire CI also exercises on every push.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+from repro.lint.engine import lint_paths
+
+from .conftest import SRC_REPRO
+
+
+def test_shipped_tree_is_clean():
+    result = lint_paths([SRC_REPRO])
+    assert result.files_checked > 50
+    assert result.findings == [], [f.to_dict() for f in result.findings]
+
+
+def test_linter_package_lints_itself_clean():
+    result = lint_paths([SRC_REPRO / "lint"])
+    assert result.findings == []
+    # the tool grants itself no suppressions at all
+    assert result.suppressed == []
+
+
+def test_in_source_suppressions_are_rule_scoped():
+    """Every noqa in src/ names explicit rule ids — no blanket waivers."""
+    result = lint_paths([SRC_REPRO])
+    assert result.suppressed, "expected the reviewed NUM001 allowlist"
+    for finding in result.suppressed:
+        assert finding.rule.isupper() and finding.rule != "*"
+
+
+def test_seeded_determinism_violation_is_caught(tmp_path):
+    """Planting a global-RNG call in a real module copy fails the lint."""
+    victim = tmp_path / "repro" / "neat"
+    victim.mkdir(parents=True)
+    target = victim / "genome.py"
+    shutil.copy(SRC_REPRO / "neat" / "genome.py", target)
+    target.write_text(
+        target.read_text()
+        + "\n\ndef _sneaky():\n    import random\n    return random.random()\n"
+    )
+    result = lint_paths([target])
+    assert [f.rule for f in result.findings] == ["DET001"]

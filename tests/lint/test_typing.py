@@ -1,0 +1,28 @@
+"""mypy gate: ``repro.telemetry`` and ``repro.lint`` stay strict-clean.
+
+mypy is a dev-only tool, not a runtime dependency — the test skips
+cleanly where it is absent, and CI installs it so the gate runs on
+every push (the ``lint`` job in ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+mypy_api = pytest.importorskip("mypy.api", reason="mypy not installed")
+
+from .conftest import SRC_REPRO  # noqa: E402
+
+REPO_ROOT = SRC_REPRO.parents[1]
+
+
+def test_strict_packages_typecheck():
+    stdout, stderr, status = mypy_api.run(
+        [
+            "--config-file",
+            str(REPO_ROOT / "pyproject.toml"),
+            str(SRC_REPRO / "telemetry"),
+            str(SRC_REPRO / "lint"),
+        ]
+    )
+    assert status == 0, f"mypy reported errors:\n{stdout}\n{stderr}"
