@@ -65,6 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true", help="suppress per-generation lines"
     )
+    _add_resilience_args(run)
     _add_telemetry_args(run)
 
     # ----------------------------------------------------------- resume
@@ -89,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
         "written only when the file is new or empty)",
     )
     resume.add_argument("--quiet", action="store_true")
+    _add_resilience_args(resume)
     _add_telemetry_args(resume)
 
     # ---------------------------------------------------------- compare
@@ -152,6 +154,48 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_resilience_args(command) -> None:
+    command.add_argument(
+        "--faults", default=None, metavar="SPEC|FILE",
+        help="arm a seeded fault plan for chaos runs: inline spec "
+        "('seed=7,worker.crash@0.25,env.reward_nan@0.05') or a JSON "
+        "file written by FaultPlan.to_dict (see docs/resilience.md)",
+    )
+    command.add_argument(
+        "--fallback", default=None, choices=("cpu-fast", "cpu"),
+        help="inax backend only: degrade faulted/oversized waves to "
+        "this bit-identical software path instead of aborting",
+    )
+    command.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="cpu-fast backend with --workers: watchdog timeout per "
+        "shard attempt before the supervisor retries it",
+    )
+    command.add_argument(
+        "--checkpoint-keep", type=int, default=1, metavar="K",
+        help="rotate the last K checkpoints (ckpt, ckpt.1, ...); "
+        "resume falls back to the newest intact one",
+    )
+
+
+def _resilience_kwargs(args) -> dict:
+    """Translate the resilience CLI flags into E3/backend kwargs."""
+    kwargs: dict = {}
+    if getattr(args, "faults", None):
+        from repro.resilience.faults import FaultPlan
+
+        kwargs["fault_plan"] = FaultPlan.load(args.faults)
+    if getattr(args, "fallback", None):
+        kwargs["fallback"] = args.fallback
+    if getattr(args, "shard_timeout", None) is not None:
+        from repro.resilience.supervisor import SupervisorConfig
+
+        kwargs["supervisor"] = SupervisorConfig(
+            shard_timeout=args.shard_timeout
+        )
+    return kwargs
+
+
 def _add_telemetry_args(command) -> None:
     command.add_argument(
         "--trace", default=None,
@@ -200,6 +244,23 @@ def _export_telemetry(session, args) -> None:
     )
     for sink, path in sorted(written.items()):
         print(f"{sink} written to {path}")
+
+
+def _print_resilience_summary(backend) -> None:
+    """Surface quarantine/fallback/retry totals in the run summary."""
+    parts = []
+    if getattr(backend, "quarantine_count", 0):
+        parts.append(f"{backend.quarantine_count} genomes quarantined")
+    if getattr(backend, "fallback_waves", 0):
+        parts.append(f"{backend.fallback_waves} waves fell back to software")
+    supervisor = getattr(backend, "_supervisor", None)
+    if supervisor is not None and (supervisor.retries or supervisor.respawns):
+        parts.append(
+            f"{supervisor.retries} shard retries / "
+            f"{supervisor.respawns} pool respawns"
+        )
+    if parts:
+        print("resilience: " + ", ".join(parts))
 
 
 def _print_cache_summary(backend) -> None:
@@ -258,6 +319,7 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         workers=args.workers,
         telemetry=session,
+        **_resilience_kwargs(args),
     )
     if not args.quiet:
         platform.population.reporters.add(ConsoleReporter())
@@ -271,7 +333,9 @@ def _cmd_run(args) -> int:
     if csv_reporter is not None:
         csv_reporter.close()
     if args.checkpoint:
-        save_checkpoint(platform.population, args.checkpoint)
+        save_checkpoint(
+            platform.population, args.checkpoint, keep=args.checkpoint_keep
+        )
         print(f"checkpoint written to {args.checkpoint}")
 
     champion = result.best_network()
@@ -286,6 +350,7 @@ def _cmd_run(args) -> int:
         f"{champion.num_macs} connections"
     )
     _print_cache_summary(platform.backend)
+    _print_resilience_summary(platform.backend)
     _export_telemetry(session, args)
     return 0 if result.solved else 2
 
@@ -313,9 +378,18 @@ def _cmd_resume(args) -> int:
         return 2
     backend_cls = BACKENDS[args.backend]
     kwargs = {"base_seed": args.seed}
+    resilience = _resilience_kwargs(args)
+    if "fault_plan" in resilience:
+        kwargs["fault_plan"] = resilience["fault_plan"]
     if issubclass(backend_cls, FastCPUBackend):
         kwargs["workers"] = args.workers
+        if "supervisor" in resilience:
+            kwargs["supervisor"] = resilience["supervisor"]
+    if args.backend == "inax" and "fallback" in resilience:
+        kwargs["fallback"] = resilience["fallback"]
     backend = backend_cls(args.env, population.config, **kwargs)
+    if hasattr(backend, "reporter_columns"):
+        population.stat_sources.append(backend.reporter_columns)
     if not args.quiet:
         population.reporters.add(ConsoleReporter())
     csv_reporter = None
@@ -345,7 +419,7 @@ def _cmd_resume(args) -> int:
     backend.close()
     if csv_reporter is not None:
         csv_reporter.close()
-    save_checkpoint(population, args.checkpoint)
+    save_checkpoint(population, args.checkpoint, keep=args.checkpoint_keep)
     print(
         f"\nresumed {args.env} from generation {start_generation}: "
         f"now at {population.generation}, best "
@@ -353,6 +427,7 @@ def _cmd_resume(args) -> int:
         f"(required {env_spec.required_fitness}); checkpoint updated"
     )
     _print_cache_summary(backend)
+    _print_resilience_summary(backend)
     _export_telemetry(session, args)
     return 0 if result.solved else 2
 

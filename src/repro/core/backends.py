@@ -53,6 +53,20 @@ from repro.neat.config import NEATConfig
 from repro.neat.genome import Genome
 from repro.neat.network import FeedForwardNetwork
 from repro.neat.vectorized import PopulationEvaluator, VectorizedNetwork
+from repro.resilience.faults import (
+    DeviceFault,
+    FaultPlan,
+    ResilienceEvent,
+    emit_event,
+    maybe_fail_worker,
+)
+from repro.resilience.injectors import (
+    DeviceFaultInjector,
+    has_device_faults,
+    wrap_env,
+)
+from repro.resilience.quarantine import DEFAULT_PENALTY, quarantine_nonfinite
+from repro.resilience.supervisor import ShardSupervisor, SupervisorConfig
 from repro.telemetry.metrics import get_metrics
 from repro.telemetry.spans import span as _span
 
@@ -92,6 +106,8 @@ class EvaluationBackend:
         base_seed: int = 0,
         inax_config: INAXConfig | None = None,
         env_kwargs: dict | None = None,
+        fault_plan: FaultPlan | None = None,
+        quarantine_penalty: float = DEFAULT_PENALTY,
     ):
         self.env_name = env_name
         self.neat_config = neat_config
@@ -99,6 +115,13 @@ class EvaluationBackend:
         self.base_seed = base_seed
         self.inax_config = inax_config
         self.env_kwargs = dict(env_kwargs or {})
+        #: armed chaos faults (None = clean run, zero injection overhead)
+        self.fault_plan = fault_plan
+        #: sentinel fitness for genomes whose evaluation went non-finite
+        self.quarantine_penalty = quarantine_penalty
+        self.quarantine_count = 0
+        #: backend-level resilience events (quarantine, fallback, oversize)
+        self.resilience_events: list[ResilienceEvent] = []
         self.records: list[GenerationRecord] = []
         self._generation = 0
 
@@ -108,15 +131,27 @@ class EvaluationBackend:
 
         Wraps the backend-specific :meth:`_evaluate` in a telemetry
         span so every backend's generation shows up on the trace
-        timeline with the same name and attributes.
+        timeline with the same name and attributes.  After evaluation,
+        genomes whose fitness came back NaN/inf (faulty sensor, corrupt
+        buffer) are quarantined to :attr:`quarantine_penalty` so they
+        cannot poison selection.
         """
+        generation = self._generation
         with _span(
             "backend.evaluate",
             backend=self.name,
-            generation=self._generation,
+            generation=generation,
             genomes=len(genomes),
         ):
             self._evaluate(genomes)
+            quarantined = quarantine_nonfinite(
+                genomes,
+                penalty=self.quarantine_penalty,
+                site_prefix=f"gen={generation}|",
+            )
+            if quarantined:
+                self.quarantine_count += len(quarantined)
+                self.resilience_events.extend(quarantined)
 
     def _evaluate(self, genomes: list[Genome]) -> None:
         raise NotImplementedError
@@ -139,7 +174,30 @@ class EvaluationBackend:
         return int.from_bytes(digest[:8], "little") >> 1
 
     def _make_env(self) -> Environment:
-        return make(self.env_name, **self.env_kwargs)
+        env = make(self.env_name, **self.env_kwargs)
+        # env-level faults apply identically on every backend (and inside
+        # cpu-fast workers): FaultySensor keys its draws off the episode
+        # seed, so sharding/fallback cannot change what fires
+        return wrap_env(env, self.fault_plan)
+
+    def _event(self, kind: str, site: str, **details) -> ResilienceEvent:
+        """Record one backend-level resilience event (+ telemetry)."""
+        event = ResilienceEvent(kind=kind, site=site, details=dict(details))
+        self.resilience_events.append(event)
+        emit_event(kind, site)
+        return event
+
+    def reporter_columns(self) -> dict[str, float]:
+        """Cumulative per-generation extras for reporters (see
+        :attr:`repro.neat.population.Population.stat_sources`)."""
+        return {"quarantined": float(self.quarantine_count)}
+
+    def resilience_log(self) -> list[dict]:
+        """Backend + fault-plan events as comparable dicts (replay tests)."""
+        events = [event.to_dict() for event in self.resilience_events]
+        if self.fault_plan is not None:
+            events.extend(self.fault_plan.event_log())
+        return events
 
     def _record(
         self,
@@ -274,6 +332,7 @@ def _fastcpu_worker_init(
     base_seed: int,
     env_kwargs: dict,
     cache_size: int,
+    fault_plan: FaultPlan | None = None,
 ) -> None:
     global _WORKER_BACKEND
     _WORKER_BACKEND = FastCPUBackend(
@@ -284,6 +343,7 @@ def _fastcpu_worker_init(
         env_kwargs=env_kwargs,
         workers=0,
         cache_size=cache_size,
+        fault_plan=fault_plan,
     )
 
 
@@ -294,7 +354,7 @@ _WORKER_REPORTED_CACHE = {"hits": 0, "misses": 0}
 
 
 def _fastcpu_worker_evaluate(
-    task: tuple[list[Genome], bool],
+    task: tuple[list[Genome], bool, str],
 ) -> tuple[list[tuple[int, float, int]], dict]:
     """Evaluate one shard; returns (per-genome rows, shard telemetry).
 
@@ -303,9 +363,15 @@ def _fastcpu_worker_evaluate(
     the parent has a metrics registry installed — a fresh worker-side
     registry snapshot (episode-step and wave-size histograms), so
     sharded evaluation no longer discards worker-side telemetry.
+
+    ``task`` also carries the shard's fault site
+    (``gen=G|shard=I|attempt=A``): any armed ``worker.*`` fault fires
+    here, *before* evaluation — the attempt index is part of the draw,
+    so a supervised retry of a crashed shard gets a fresh chance.
     """
-    genomes, want_metrics = task
+    genomes, want_metrics, fault_site = task
     assert _WORKER_BACKEND is not None, "worker pool not initialized"
+    maybe_fail_worker(_WORKER_BACKEND.fault_plan, fault_site)
     from repro.telemetry.metrics import MetricsRegistry, set_metrics
 
     registry = MetricsRegistry() if want_metrics else None
@@ -380,10 +446,15 @@ class FastCPUBackend(CPUBackend):
         env_kwargs: dict | None = None,
         workers: int = 0,
         cache_size: int = 512,
+        fault_plan: FaultPlan | None = None,
+        quarantine_penalty: float = DEFAULT_PENALTY,
+        supervisor: SupervisorConfig | None = None,
     ):
         """``workers`` > 1 shards evaluation across that many worker
         processes; 0 or 1 evaluates in-process.  ``cache_size`` bounds
-        the decoded-network LRU (structural hashes -> decoded nets)."""
+        the decoded-network LRU (structural hashes -> decoded nets).
+        ``supervisor`` tunes the shard watchdog/retry policy (a default
+        :class:`SupervisorConfig` is used when omitted)."""
         super().__init__(
             env_name,
             neat_config,
@@ -391,12 +462,17 @@ class FastCPUBackend(CPUBackend):
             base_seed=base_seed,
             inax_config=inax_config,
             env_kwargs=env_kwargs,
+            fault_plan=fault_plan,
+            quarantine_penalty=quarantine_penalty,
         )
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.workers = workers
+        self.supervisor_config = (
+            supervisor if supervisor is not None else SupervisorConfig()
+        )
         self._cache = _DecodeCache(cache_size)
-        self._pool = None
+        self._supervisor: ShardSupervisor | None = None
         #: worker-side phase seconds, merged back from every shard call
         #: (parallel CPU-seconds, not wall time — the parent's own
         #: "evaluate" wall span already covers the blocking map call)
@@ -405,15 +481,21 @@ class FastCPUBackend(CPUBackend):
 
     # --------------------------------------------------------- lifecycle
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Tear the worker pool down with a *bounded* join; idempotent.
+
+        ``Pool.join`` has no timeout, so the supervisor joins on a
+        daemon thread and gives up after ``join_timeout`` — a hung
+        worker can never wedge interpreter shutdown.
+        """
+        if self._supervisor is not None:
+            # keep the supervisor object: its counters/events survive
+            # close() for end-of-run reporting, and close stays idempotent
+            self._supervisor.close()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown guard
         try:
             self.close()
-        except Exception:
+        except Exception:  # repro: noqa[RES001] -- interpreter teardown
             pass
 
     def cache_info(self) -> dict[str, int]:
@@ -429,6 +511,26 @@ class FastCPUBackend(CPUBackend):
             "misses": self._cache.misses + self._shard_cache["misses"],
             "size": len(self._cache) + self._shard_cache["size"],
         }
+
+    def reporter_columns(self) -> dict[str, float]:
+        columns = super().reporter_columns()
+        if self.workers > 1:
+            supervisor = self._supervisor
+            columns["shard_retries"] = (
+                float(supervisor.retries) if supervisor is not None else 0.0
+            )
+            columns["shard_degraded"] = (
+                float(supervisor.degraded_shards)
+                if supervisor is not None
+                else 0.0
+            )
+        return columns
+
+    def resilience_log(self) -> list[dict]:
+        events = super().resilience_log()
+        if self._supervisor is not None:
+            events.extend(e.to_dict() for e in self._supervisor.events)
+        return events
 
     # -------------------------------------------------------- evaluation
     def _evaluate(self, genomes: list[Genome]) -> None:
@@ -518,35 +620,95 @@ class FastCPUBackend(CPUBackend):
             lengths.append(total_steps)
         return fitnesses, lengths
 
+    def _make_pool(self):
+        """Build a fresh initialized worker pool (supervisor factory)."""
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        return context.Pool(
+            self.workers,
+            initializer=_fastcpu_worker_init,
+            initargs=(
+                self.env_name,
+                self.neat_config,
+                self.episodes_per_genome,
+                self.base_seed,
+                self.env_kwargs,
+                self._cache.capacity,
+                self.fault_plan,
+            ),
+        )
+
+    def _shard_fallback(self, genomes: list[Genome]) -> tuple[list, dict]:
+        """In-process degradation: worker-shaped result, identical bits.
+
+        The per-(genome, episode) seeding contract means this produces
+        exactly the floats the dead shard would have — degradation is
+        invisible in the fitness trajectory.  Cache activity lands on
+        the parent's own cache (counted by :meth:`cache_info` already),
+        so the telemetry payload carries zero deltas.
+        """
+        fitnesses, lengths = self._fitness_for(genomes)
+        rows = [
+            (genome.key, fitness, length)
+            for genome, fitness, length in zip(genomes, fitnesses, lengths)
+        ]
+        telemetry = {
+            "phase_seconds": {},
+            "cache_delta": {"hits": 0, "misses": 0},
+            "cache_size": 0,
+            "genomes": len(genomes),
+            "metrics": None,
+        }
+        return rows, telemetry
+
     def _fitness_sharded(
         self, genomes: list[Genome]
     ) -> tuple[list[float], list[int]]:
-        """Shard the population across the worker pool and merge."""
-        if self._pool is None:
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else "spawn"
+        """Shard the population across the supervised worker pool.
+
+        The :class:`ShardSupervisor` watches each shard with a timeout,
+        retries failures on a respawned pool with backoff, degrades to
+        :meth:`_shard_fallback` after ``max_retries``, and disables
+        sharding entirely after ``disable_after`` consecutive degraded
+        generations — the generation always completes, bit-identically.
+        """
+        if self._supervisor is None:
+            self._supervisor = ShardSupervisor(
+                self._make_pool,
+                _fastcpu_worker_evaluate,
+                self.supervisor_config,
             )
-            self._pool = context.Pool(
-                self.workers,
-                initializer=_fastcpu_worker_init,
-                initargs=(
-                    self.env_name,
-                    self.neat_config,
-                    self.episodes_per_genome,
-                    self.base_seed,
-                    self.env_kwargs,
-                    self._cache.capacity,
-                ),
+        supervisor = self._supervisor
+        if supervisor.disabled:
+            return self._fitness_for(genomes)
+        shards = [
+            shard
+            for shard in (
+                genomes[i :: self.workers] for i in range(self.workers)
             )
-        shards = [genomes[i :: self.workers] for i in range(self.workers)]
+            if shard
+        ]
         want_metrics = get_metrics() is not None
+        generation = self._generation
+
+        def build_task(index: int, attempt: int):
+            site = f"gen={generation}|shard={index}|attempt={attempt}"
+            return (shards[index], want_metrics, site)
+
+        def fallback(index: int):
+            return self._shard_fallback(shards[index])
+
+        results = supervisor.run(
+            len(shards),
+            build_task,
+            fallback,
+            site_prefix=f"gen={generation}|",
+        )
         merged: dict[int, tuple[float, int]] = {}
         payloads: list[dict] = []
-        for shard_rows, shard_telemetry in self._pool.map(
-            _fastcpu_worker_evaluate,
-            [(s, want_metrics) for s in shards if s],
-        ):
+        for shard_rows, shard_telemetry in results:
             for key, fitness, length in shard_rows:
                 merged[key] = (fitness, length)
             payloads.append(shard_telemetry)
@@ -611,17 +773,34 @@ class INAXBackend(EvaluationBackend):
         env_kwargs: dict | None = None,
         oversize_policy: str = "raise",
         oversize_penalty: float = -1e9,
+        fallback: str | None = None,
+        fault_plan: FaultPlan | None = None,
+        quarantine_penalty: float = DEFAULT_PENALTY,
     ):
         """``oversize_policy`` decides what happens when an evolved
         genome no longer fits the PUs' weight/value buffers (a real
         failure mode once buffer capacities are finite): ``"raise"``
         aborts the run; ``"penalize"`` assigns ``oversize_penalty`` as
         the fitness without evaluating, so selection prunes oversized
-        topologies — the resource pressure a deployed E3 would apply."""
+        topologies — the resource pressure a deployed E3 would apply.
+
+        ``fallback`` (``"cpu-fast"`` or ``"cpu"``) arms graceful
+        degradation: a wave that hits a device fault
+        (:class:`DeviceFault`, :class:`BufferOverflowError`) re-runs on
+        the bit-identical software path instead of aborting, and an
+        oversized genome under ``oversize_policy="raise"`` is evaluated
+        in software rather than killing the run.  :attr:`oversize_count`
+        is cumulative over the backend's lifetime — it is never reset,
+        so per-generation deltas come from successive reporter rows."""
         if oversize_policy not in ("raise", "penalize"):
             raise ValueError(
                 f"unknown oversize_policy {oversize_policy!r}; "
                 "use 'raise' or 'penalize'"
+            )
+        if fallback not in (None, "cpu-fast", "cpu"):
+            raise ValueError(
+                f"unknown fallback {fallback!r}; use 'cpu-fast', 'cpu', "
+                "or None"
             )
         inax_config = inax_config or INAXConfig()
         super().__init__(
@@ -631,11 +810,21 @@ class INAXBackend(EvaluationBackend):
             base_seed=base_seed,
             inax_config=inax_config,
             env_kwargs=env_kwargs,
+            fault_plan=fault_plan,
+            quarantine_penalty=quarantine_penalty,
         )
-        self.device = INAX(inax_config)
+        injector = (
+            DeviceFaultInjector(fault_plan)
+            if fault_plan is not None and has_device_faults(fault_plan)
+            else None
+        )
+        self.device = INAX(inax_config, fault_injector=injector)
         self.oversize_policy = oversize_policy
         self.oversize_penalty = oversize_penalty
         self.oversize_count = 0
+        self.fallback = fallback
+        self.fallback_waves = 0
+        self.fallback_genomes = 0
 
     def _fits_buffers(self, config: HWNetConfig) -> bool:
         limits = self.inax_config
@@ -662,15 +851,31 @@ class INAXBackend(EvaluationBackend):
             if self._fits_buffers(config):
                 runnable.append(genome)
                 configs.append(config)
-            elif self.oversize_policy == "raise":
+                continue
+            site = f"gen={self._generation}|genome={genome.key}"
+            if self.oversize_policy == "raise" and self.fallback is None:
                 raise BufferOverflowError(
                     f"genome {genome.key} needs {config.weight_buffer_words} "
                     "weight-buffer words; raise the capacity or use "
                     "oversize_policy='penalize'"
                 )
+            self.oversize_count += 1
+            self._publish_oversize()
+            if self.oversize_policy == "raise":
+                # degradation ladder: an unrunnable genome evaluates in
+                # software instead of aborting the whole run
+                genome.fitness = self._software_fitness(genome)
+                self.fallback_genomes += 1
+                self._event(
+                    "fallback.oversize", site,
+                    weight_words=config.weight_buffer_words,
+                )
             else:
                 genome.fitness = self.oversize_penalty
-                self.oversize_count += 1
+                self._event(
+                    "inax.oversize", site,
+                    penalty=self.oversize_penalty,
+                )
 
         lengths = [0] * len(runnable)
         rewards = [0.0] * len(runnable)
@@ -691,6 +896,66 @@ class INAXBackend(EvaluationBackend):
         # the functional device's own report supersedes the analytic one
         record.cycle_report = self.device.report
 
+    def _publish_oversize(self) -> None:
+        registry = get_metrics()
+        if registry is not None:
+            registry.counter("inax.oversize.count").inc()
+
+    def reporter_columns(self) -> dict[str, float]:
+        columns = super().reporter_columns()
+        columns["oversize"] = float(self.oversize_count)
+        if self.fallback is not None:
+            columns["fallback_waves"] = float(self.fallback_waves)
+        return columns
+
+    def _software_fitness(self, genome: Genome) -> float:
+        """All-episode software evaluation (oversize degradation path)."""
+        net = FeedForwardNetwork.create(genome, self.neat_config)
+        total_reward = 0.0
+        for episode in range(self.episodes_per_genome):
+            record = run_episode(
+                self._make_env(),
+                net,
+                seed=self._episode_seed(genome, episode),
+            )
+            total_reward += record.total_reward
+        return total_reward / self.episodes_per_genome
+
+    def _fallback_wave_episode(self, genomes: list[Genome], episode: int):
+        """Re-run one wave's episode on the software path.
+
+        Fresh envs + the same per-(genome, episode) seeds make this
+        bit-identical to what the device would have produced (the
+        backend-parity contract), no matter how far the faulted wave
+        got.  ``fallback="cpu-fast"`` uses the vectorized evaluator
+        when every genome vectorizes; otherwise — and for
+        ``fallback="cpu"`` — the interpreted per-node path runs.
+        """
+        envs = [self._make_env() for _ in genomes]
+        seeds = [self._episode_seed(genome, episode) for genome in genomes]
+        nets = [
+            FeedForwardNetwork.create(genome, self.neat_config)
+            for genome in genomes
+        ]
+        if self.fallback == "cpu-fast":
+            vnets = []
+            for net in nets:
+                try:
+                    vnets.append(VectorizedNetwork(net))
+                except ValueError:
+                    vnets.append(None)
+            if all(vnet is not None for vnet in vnets):
+                evaluator = PopulationEvaluator(vnets)
+                return run_lockstep(envs, evaluator.infer, seeds=seeds)
+
+        def infer(observations):
+            return {
+                slot: nets[slot].activate(obs)
+                for slot, obs in observations.items()
+            }
+
+        return run_lockstep(envs, infer, seeds=seeds)
+
     def _run_wave_episode(
         self,
         offset: int,
@@ -700,11 +965,27 @@ class INAXBackend(EvaluationBackend):
         lengths: list[int],
         rewards: list[float],
     ) -> None:
-        self.device.begin_wave(configs)
-        envs = [self._make_env() for _ in genomes]
-        seeds = [self._episode_seed(genome, episode) for genome in genomes]
-        episode_records = run_lockstep(envs, self.device.step, seeds=seeds)
-        self.device.end_wave()
+        try:
+            self.device.begin_wave(configs)
+            envs = [self._make_env() for _ in genomes]
+            seeds = [
+                self._episode_seed(genome, episode) for genome in genomes
+            ]
+            episode_records = run_lockstep(envs, self.device.step, seeds=seeds)
+            self.device.end_wave()
+        except (DeviceFault, BufferOverflowError) as error:
+            self.device.abort_wave()
+            if self.fallback is None:
+                raise
+            self.fallback_waves += 1
+            self.fallback_genomes += len(genomes)
+            self._event(
+                "fallback.wave",
+                f"gen={self._generation}|offset={offset}|episode={episode}",
+                error=type(error).__name__,
+                genomes=len(genomes),
+            )
+            episode_records = self._fallback_wave_episode(genomes, episode)
         for slot, record in enumerate(episode_records):
             rewards[offset + slot] += record.total_reward
             lengths[offset + slot] += record.steps

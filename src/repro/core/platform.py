@@ -75,6 +75,9 @@ class E3:
         seed_genome=None,
         workers: int = 0,
         telemetry: TelemetrySession | None = None,
+        fault_plan=None,
+        fallback: str | None = None,
+        supervisor=None,
     ):
         """``env_kwargs`` override the environment's physics (the
         model-tuning plant perturbation); ``seed_genome`` warm-starts
@@ -85,7 +88,14 @@ class E3:
         attaches a :class:`~repro.telemetry.TelemetrySession` — it is
         installed for the duration of :meth:`run`, phase timings tee
         into its metrics registry, and the backend's cache/shard
-        statistics are published into it at run end."""
+        statistics are published into it at run end.
+
+        The resilience knobs (see ``docs/resilience.md``): ``fault_plan``
+        arms a seeded :class:`~repro.resilience.faults.FaultPlan` for
+        chaos runs; ``fallback`` (``"cpu-fast"`` or ``"cpu"``) lets the
+        ``inax`` backend degrade faulted waves to the software path;
+        ``supervisor`` tunes the ``cpu-fast`` shard watchdog
+        (:class:`~repro.resilience.supervisor.SupervisorConfig`)."""
         env_spec = spec(env_name)  # validates the name early
         env_kwargs = dict(env_kwargs or {})
         env = make(env_name, **env_kwargs)
@@ -114,9 +124,14 @@ class E3:
                 base_seed=seed,
                 inax_config=inax_config,
                 env_kwargs=env_kwargs,
+                fault_plan=fault_plan,
             )
             if issubclass(backend_cls, FastCPUBackend):
                 kwargs["workers"] = workers
+                if supervisor is not None:
+                    kwargs["supervisor"] = supervisor
+            if backend == "inax":
+                kwargs["fallback"] = fallback
             self.backend = backend_cls(env_name, self.neat_config, **kwargs)
         else:
             names = ", ".join(repr(n) for n in sorted(BACKENDS))
@@ -135,6 +150,8 @@ class E3:
             profiler=recorder,
             seed_genome=seed_genome,
         )
+        if hasattr(self.backend, "reporter_columns"):
+            self.population.stat_sources.append(self.backend.reporter_columns)
 
     # ------------------------------------------------------------- run
     def run(
@@ -192,3 +209,9 @@ class E3:
             registry.gauge("fastcpu.cache.size").set(info["size"])
         if getattr(backend, "oversize_count", 0):
             registry.gauge("inax.oversize_genomes").set(backend.oversize_count)
+        if getattr(backend, "quarantine_count", 0):
+            registry.gauge("resilience.quarantined_genomes").set(
+                backend.quarantine_count
+            )
+        if getattr(backend, "fallback_waves", 0):
+            registry.gauge("inax.fallback_waves").set(backend.fallback_waves)

@@ -72,12 +72,20 @@ class INAXConfig:
 class INAX:
     """Functional stepwise model of the accelerator."""
 
-    def __init__(self, config: INAXConfig | None = None, **overrides):
+    def __init__(
+        self,
+        config: INAXConfig | None = None,
+        fault_injector=None,
+        **overrides,
+    ):
         if config is None:
             config = INAXConfig(**overrides)
         elif overrides:
             raise TypeError("pass either a config object or keyword overrides")
         self.config = config
+        #: optional :class:`repro.resilience.injectors.DeviceFaultInjector`;
+        #: ``None`` (the default) keeps every hook on the zero-cost path
+        self.fault_injector = fault_injector
         self.pus = [
             ProcessingUnit(
                 config.num_pes_per_pu,
@@ -99,6 +107,11 @@ class INAX:
         # activity, kept only while a tracer is installed
         self._cycle = 0
         self._tracing = False
+        # monotonic wave counter (never reset) and step-within-wave
+        # counter: fault-injection sites embed both so a replayed plan
+        # fires at the same physical points
+        self._wave_index = -1
+        self._wave_step = 0
         self._wave_start_cycle = 0
         self._wave_setup_cycles = 0
         self._slot_last_active: list[int] = []
@@ -126,9 +139,16 @@ class INAX:
         if not configs:
             raise ValueError("a wave needs at least one individual")
         self._wave_slots = list(configs)
+        self._wave_index += 1
+        self._wave_step = 0
         decode_cycles = []
         for pu, cfg in zip(self.pus, configs):
             decode_cycles.append(pu.load(cfg))
+        if self.fault_injector is not None:
+            for slot in range(len(configs)):
+                self.fault_injector.on_load(
+                    self.pus[slot], self._wave_index, slot
+                )
         dma_cycles = self.config.dma.transfer_cycles(
             sum(c.config_words for c in configs)
         )
@@ -159,6 +179,11 @@ class INAX:
         if not inputs:
             raise ValueError("step() needs at least one live slot")
         cfg = self.config
+        injector = self.fault_injector
+        wave, step_index = self._wave_index, self._wave_step
+        self._wave_step += 1
+        if injector is not None:
+            injector.check_wedge(wave, step_index)
         outputs: dict[int, np.ndarray] = {}
         slowest = 0
         pe_active = 0
@@ -168,7 +193,15 @@ class INAX:
         for slot, x in inputs.items():
             if not 0 <= slot < len(self._wave_slots):
                 raise IndexError(f"slot {slot} outside the current wave")
+            if injector is not None:
+                x = injector.corrupt_input(x, wave, step_index, slot)
             out, timing = self.pus[slot].infer(x)
+            if injector is not None:
+                out = injector.corrupt_output(out, wave, step_index, slot)
+                stall = injector.stall_cycles(wave, step_index, slot)
+                # a stalled PU holds the whole synchronized step hostage
+                # but burns no useful PE/PU activity
+                slowest = max(slowest, timing.cycles + stall)
             outputs[slot] = out
             slowest = max(slowest, timing.cycles)
             pe_active += timing.pe_active_cycles
@@ -181,6 +214,12 @@ class INAX:
             self.report.layer_iterations.extend(timing.iterations_per_layer)
 
         io = cfg.dma.transfer_cycles(in_words) + cfg.dma.transfer_cycles(out_words)
+        if injector is not None:
+            # a dropped input transfer is re-sent; the retry serializes
+            # on the shared input channel
+            io += cfg.dma.retry_cycles(
+                in_words, injector.input_retries(wave, step_index)
+            )
         if cfg.overlap_io:
             step_wall = max(slowest, io) + cfg.step_sync_cycles
         else:
@@ -207,6 +246,17 @@ class INAX:
             )
         if self._tracing:
             self._emit_wave_spans()
+        self._wave_slots = []
+        self._tracing = False
+
+    def abort_wave(self) -> None:
+        """Discard an in-flight wave after a device fault.
+
+        Unlike :meth:`end_wave` this is safe to call with no wave in
+        progress (double-abort during error handling is a no-op) and
+        emits no spans — the wave never completed.  Cycles already
+        burned stay in the report: the hardware spent them.
+        """
         self._wave_slots = []
         self._tracing = False
 

@@ -32,3 +32,14 @@ class DMAModel:
         if words == 0:
             return 0
         return self.latency_cycles + math.ceil(words / self.words_per_cycle)
+
+    def retry_cycles(self, words: int, retries: int = 1) -> int:
+        """Extra cycles to re-send a dropped transfer ``retries`` times.
+
+        A dropped transfer pays the full descriptor + streaming cost
+        again per retry (the sig channel detects the drop; the model
+        charges no separate detection cost).
+        """
+        if retries < 0:
+            raise ValueError(f"negative retry count: {retries}")
+        return retries * self.transfer_cycles(words)

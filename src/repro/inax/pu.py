@@ -21,7 +21,7 @@ Timing semantics (the source of §V-A's three utilization issues):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -140,6 +140,62 @@ class ProcessingUnit:
     @property
     def loaded(self) -> HWNetConfig | None:
         return self._config
+
+    # ---------------------------------------------------- fault injection
+    def flip_weight_bit(self, rng) -> dict | None:
+        """Flip one bit of one loaded weight/bias (soft-error model).
+
+        Picks a uniformly random target among every connection weight
+        and node bias in the loaded configuration, then a random bit of
+        its float64 representation.  Copy-on-corrupt: compiled
+        :class:`HWNetConfig` objects are shared across waves/episodes
+        (and cached), so the corruption lands on a replaced copy held
+        only by this PU until the next :meth:`load`.  Returns a detail
+        dict describing the flip, or ``None`` when nothing is loaded.
+        """
+        config = self._config
+        if config is None:
+            return None
+        # (layer, node, ingress index) with -1 meaning the node's bias
+        targets: list[tuple[int, int, int]] = []
+        for layer_index, layer in enumerate(config.layers):
+            for node_index, plan in enumerate(layer):
+                targets.append((layer_index, node_index, -1))
+                for conn_index in range(plan.fan_in):
+                    targets.append((layer_index, node_index, conn_index))
+        if not targets:
+            return None
+        from repro.resilience.faults import flip_float64_bit
+
+        layer_index, node_index, conn_index = targets[
+            int(rng.integers(len(targets)))
+        ]
+        bit = int(rng.integers(64))
+        plan = config.layers[layer_index][node_index]
+        if conn_index < 0:
+            before = plan.bias
+            after = flip_float64_bit(before, bit)
+            new_plan = replace(plan, bias=after)
+            target = f"bias[{plan.key}]"
+        else:
+            source, before = plan.ingress[conn_index]
+            after = flip_float64_bit(before, bit)
+            ingress = list(plan.ingress)
+            ingress[conn_index] = (source, after)
+            new_plan = replace(plan, ingress=tuple(ingress))
+            target = f"weight[{source}->{plan.key}]"
+        layer = list(config.layers[layer_index])
+        layer[node_index] = new_plan
+        layers = list(config.layers)
+        layers[layer_index] = tuple(layer)
+        self._config = replace(config, layers=tuple(layers))
+        return {
+            "target": target,
+            "layer": layer_index,
+            "bit": bit,
+            "before": before,
+            "after": after,
+        }
 
     # ------------------------------------------------------------- infer
     def infer(self, inputs: np.ndarray) -> tuple[np.ndarray, StepTiming]:

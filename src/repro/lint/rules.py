@@ -13,6 +13,7 @@ DET005    no mutable default arguments
 TEL001    telemetry must stay guarded/off the hot path
 PAR001    registered backends must satisfy the shared interface
 NUM001    no bit-exact float comparisons in simulation code
+RES001    no bare ``except:`` / silently-swallowed ``except Exception``
 ========  ==========================================================
 
 Determinism rules are scoped out of ``repro.telemetry`` (whose *job*
@@ -37,6 +38,7 @@ __all__ = [
     "UnguardedTelemetryRule",
     "BackendParityRule",
     "FloatEqualityRule",
+    "ExceptionHygieneRule",
 ]
 
 #: packages where wall-clock/RNG use is the module's sanctioned job
@@ -479,6 +481,68 @@ class BackendParityRule(Rule):
                     f"backend {key!r} ({cls.name}) declares a `name` that "
                     f"does not match its registry key at line "
                     f"{registry_line}",
+                )
+
+
+def _catches_catchall(node: ast.expr) -> bool:
+    """True when an except clause's type includes Exception/BaseException."""
+    if isinstance(node, ast.Tuple):
+        return any(_catches_catchall(element) for element in node.elts)
+    if isinstance(node, ast.Name):
+        return node.id in ("Exception", "BaseException")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("Exception", "BaseException")
+    return False
+
+
+def _body_swallows(body: list[ast.stmt]) -> bool:
+    """True when a handler body only passes (or holds a bare string)."""
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue
+        return False
+    return True
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    """A bare ``except:`` catches ``KeyboardInterrupt``/``SystemExit``
+    and hides typos; an ``except Exception: pass`` silently swallows
+    faults the resilience layer is supposed to *surface* (quarantine
+    events, shard retries, fallback decisions).  Catch the narrowest
+    type that the handler actually handles, and do something with it —
+    the rare sanctioned swallow (interpreter-teardown guards) carries a
+    ``# repro: noqa[RES001]`` marker as the reviewed allowlist."""
+
+    id: ClassVar[str] = "RES001"
+    title: ClassVar[str] = "bare or silently-swallowed exception handler"
+    contract: ClassVar[str] = (
+        "resilience: failures are handled narrowly and surfaced, "
+        "never silently swallowed"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[RawFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "bare `except:` catches KeyboardInterrupt/SystemExit "
+                    "— name the exception types this handler handles",
+                )
+            elif _catches_catchall(node.type) and _body_swallows(node.body):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "`except Exception: pass` silently swallows faults — "
+                    "catch the narrow type, or surface/record the error "
+                    "(sanctioned swallows carry `# repro: noqa[RES001]`)",
                 )
 
 

@@ -47,7 +47,13 @@ class _NullRecorder:
 
 @dataclass
 class GenerationStats:
-    """Summary of one completed generation."""
+    """Summary of one completed generation.
+
+    ``extras`` carries backend-contributed columns (quarantine counts,
+    shard retries, oversize totals, ...) gathered from
+    :attr:`Population.stat_sources` — reporters render them after the
+    fixed fields.
+    """
 
     generation: int
     best_fitness: float
@@ -57,6 +63,7 @@ class GenerationStats:
     mean_nodes: float
     mean_connections: float
     population_size: int
+    extras: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -91,6 +98,10 @@ class Population:
         self.profiler: PhaseRecorder = profiler or _NullRecorder()
         self.best_genome: Genome | None = None
         self.history: list[GenerationStats] = []
+        #: callables returning ``dict[str, float]`` merged into each
+        #: generation's :attr:`GenerationStats.extras` (the platform
+        #: registers the backend's ``reporter_columns`` here)
+        self.stat_sources: list[Callable[[], dict[str, float]]] = []
         # filled lazily to avoid a circular import at module load
         from repro.neat.reporters import ReporterSet
 
@@ -196,6 +207,9 @@ class Population:
 
     def _record_stats(self, best: Genome) -> None:
         fitnesses = [g.fitness for g in self.population if g.fitness is not None]
+        extras: dict[str, float] = {}
+        for source in self.stat_sources:
+            extras.update(source())
         stats = GenerationStats(
             generation=self.generation,
             best_fitness=float(best.fitness),  # type: ignore[arg-type]
@@ -209,6 +223,7 @@ class Population:
                 np.mean([g.num_enabled_connections for g in self.population])
             ),
             population_size=len(self.population),
+            extras=extras,
         )
         self.history.append(stats)
         registry = get_metrics()

@@ -43,6 +43,8 @@ class ConsoleReporter:
             f"species {stats.num_species:3d}  "
             f"size {stats.mean_nodes:5.1f}n/{stats.mean_connections:5.1f}c"
         )
+        for key in sorted(stats.extras):
+            line += f"  {key} {stats.extras[key]:g}"
         print(line, file=self._stream)
 
 
@@ -84,14 +86,27 @@ class CSVReporter:
                     has_content = self._stream.tell() > 0
                 except (OSError, ValueError):
                     has_content = False
-        self._writer = csv.DictWriter(self._stream, fieldnames=self.FIELDS)
-        if not has_content:
-            self._writer.writeheader()
+        # the header is written lazily at the first row so backend
+        # extras (sorted, after the fixed fields) can extend it; extras
+        # appearing only in later generations are dropped from the CSV
+        # (a file's column set is fixed by its header)
+        self._has_content = has_content
+        self._writer: csv.DictWriter | None = None
 
     def on_generation(self, stats: GenerationStats) -> None:
-        self._writer.writerow(
-            {field: getattr(stats, field) for field in self.FIELDS}
-        )
+        if self._writer is None:
+            fieldnames = self.FIELDS + tuple(sorted(stats.extras))
+            self._writer = csv.DictWriter(
+                self._stream,
+                fieldnames=fieldnames,
+                restval=0,
+                extrasaction="ignore",
+            )
+            if not self._has_content:
+                self._writer.writeheader()
+        row = {field: getattr(stats, field) for field in self.FIELDS}
+        row.update(stats.extras)
+        self._writer.writerow(row)
         self._stream.flush()
 
     def close(self) -> None:

@@ -1,0 +1,54 @@
+"""Quarantine: keep non-finite fitness out of the selection loop.
+
+A NaN observation (faulty sensor, corrupted buffer) can propagate into
+a NaN fitness; NaN compares false against everything, so one poisoned
+genome silently breaks tournament ordering, species fitness means, and
+stagnation tracking.  Instead of letting that happen — or aborting the
+generation — every backend scans fitness after evaluation and replaces
+non-finite values with a sentinel penalty, recording a structured
+``quarantine.nonfinite`` event per genome.  Selection then treats the
+genome as maximally unfit, which is exactly the population-level
+redundancy argument: one bad evaluation is a casualty, not a crash.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+from repro.resilience.faults import ResilienceEvent, emit_event
+
+__all__ = ["QUARANTINE", "DEFAULT_PENALTY", "quarantine_nonfinite"]
+
+#: event kind recorded per quarantined genome
+QUARANTINE = "quarantine.nonfinite"
+#: sentinel fitness: finite, and far below any real task's floor
+DEFAULT_PENALTY = -1e9
+
+
+def quarantine_nonfinite(
+    genomes: Iterable[Any],
+    penalty: float = DEFAULT_PENALTY,
+    site_prefix: str = "",
+) -> list[ResilienceEvent]:
+    """Replace NaN/inf fitness with ``penalty``; returns the events.
+
+    Genomes with ``fitness is None`` are left alone (the population
+    loop raises its own error for those — an unevaluated genome is a
+    bug, not a fault).
+    """
+    events: list[ResilienceEvent] = []
+    for genome in genomes:
+        fitness = genome.fitness
+        if fitness is None or math.isfinite(fitness):
+            continue
+        site = f"{site_prefix}genome={genome.key}"
+        event = ResilienceEvent(
+            kind=QUARANTINE,
+            site=site,
+            details={"fitness": str(float(fitness)), "penalty": penalty},
+        )
+        genome.fitness = penalty
+        events.append(event)
+        emit_event(QUARANTINE, site)
+    return events

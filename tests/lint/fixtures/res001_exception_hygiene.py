@@ -1,0 +1,51 @@
+"""Fixture: RES001 — exception-hygiene violations (never imported)."""
+
+
+def swallow_everything(risky):
+    try:
+        return risky()
+    except:  # VIOLATION RES001
+        return None
+
+
+def silent_pass(risky):
+    try:
+        return risky()
+    except Exception:  # VIOLATION RES001
+        pass
+
+
+def silent_with_comment_string(risky):
+    try:
+        return risky()
+    except BaseException:  # VIOLATION RES001
+        "nothing to see here"
+
+
+def silent_tuple(risky):
+    try:
+        return risky()
+    except (ValueError, Exception):  # VIOLATION RES001
+        pass
+
+
+def teardown_guard(handle):
+    try:
+        handle.close()
+    except Exception:  # repro: noqa[RES001] -- interpreter teardown
+        pass
+
+
+def narrow_catch(risky):
+    try:
+        return risky()
+    except ValueError:
+        pass  # a *narrow* swallow is the author's explicit decision
+
+
+def surfaced_catchall(risky, log):
+    try:
+        return risky()
+    except Exception as error:
+        log.append(error)
+        return None

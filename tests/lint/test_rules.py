@@ -29,6 +29,7 @@ FIXTURE_RULES = {
     "tel001_unguarded_telemetry.py": "TEL001",
     "par001_backend_parity.py": "PAR001",
     "num001_float_equality.py": "NUM001",
+    "res001_exception_hygiene.py": "RES001",
 }
 
 

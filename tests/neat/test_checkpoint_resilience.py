@@ -1,0 +1,280 @@
+"""Crash-safety tests for checkpointing.
+
+The contract under test (docs/resilience.md): a save interrupted at any
+byte offset must never prevent a restore when a rotated predecessor
+exists, corruption is detected via the embedded SHA-256, and
+``load_checkpoint`` falls back to the newest intact rotated sibling.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.neat.checkpoint import (
+    ChecksumMismatchError,
+    checkpoint_candidates,
+    load_checkpoint,
+    rotated_path,
+    save_checkpoint,
+)
+from repro.neat.config import NEATConfig
+from repro.neat.population import Population
+
+
+def _evolved(generations=0, population_size=5, seed=1):
+    cfg = NEATConfig(num_inputs=2, num_outputs=1, population_size=population_size)
+    pop = Population(cfg, seed=seed)
+    rng = np.random.default_rng(0)
+
+    def evaluate(genomes):
+        for g in genomes:
+            g.fitness = float(rng.normal())
+
+    for _ in range(generations):
+        pop.advance(evaluate)
+    return pop, evaluate
+
+
+def _save_two_generations(tmp_path, keep=2):
+    """Checkpoint at gen 1 then gen 2 with rotation; returns (path, pop)."""
+    pop, evaluate = _evolved(generations=1)
+    path = tmp_path / "ckpt.json"
+    save_checkpoint(pop, path, keep=keep)
+    pop.advance(evaluate)
+    save_checkpoint(pop, path, keep=keep)
+    return path, pop
+
+
+class TestRotation:
+    def test_keep_k_rotates_and_bounds(self, tmp_path):
+        pop, evaluate = _evolved()
+        path = tmp_path / "ckpt.json"
+        for _ in range(5):
+            save_checkpoint(pop, path, keep=3)
+            pop.advance(evaluate)
+        assert path.exists()
+        assert rotated_path(path, 1).exists()
+        assert rotated_path(path, 2).exists()
+        assert not rotated_path(path, 3).exists()
+        # newest first, one generation apart
+        generations = [
+            json.loads(p.read_text())["generation"]
+            for p in checkpoint_candidates(path)
+        ]
+        assert generations == sorted(generations, reverse=True)
+        assert generations[0] - generations[1] == 1
+
+    def test_keep_one_keeps_no_siblings(self, tmp_path):
+        pop, evaluate = _evolved()
+        path = tmp_path / "ckpt.json"
+        for _ in range(3):
+            save_checkpoint(pop, path, keep=1)
+            pop.advance(evaluate)
+        assert path.exists()
+        assert not rotated_path(path, 1).exists()
+
+    def test_keep_zero_rejected(self, tmp_path):
+        pop, _ = _evolved()
+        with pytest.raises(ValueError, match="keep"):
+            save_checkpoint(pop, tmp_path / "ckpt.json", keep=0)
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        pop, _ = _evolved()
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(pop, path, keep=2)
+        save_checkpoint(pop, path, keep=2)
+        leftovers = [p.name for p in tmp_path.iterdir() if "tmp" in p.name]
+        assert leftovers == []
+
+    def test_rotated_sibling_is_previous_checkpoint(self, tmp_path):
+        path, pop = _save_two_generations(tmp_path)
+        previous = load_checkpoint(rotated_path(path, 1))
+        assert previous.generation == pop.generation - 1
+
+
+class TestCorruptionDetection:
+    def test_bitflip_raises_checksum_mismatch(self, tmp_path):
+        pop, _ = _evolved(generations=1)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(pop, path)
+        data = bytearray(path.read_bytes())
+        # flip one bit inside the payload body (clear of the braces)
+        data[len(data) // 2] ^= 0x01
+        path.write_bytes(bytes(data))
+        with pytest.raises((ChecksumMismatchError, ValueError)):
+            load_checkpoint(path, fallback=False)
+
+    def test_legacy_checkpoint_without_checksum_loads(self, tmp_path):
+        pop, _ = _evolved(generations=1)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(pop, path)
+        payload = json.loads(path.read_text())
+        del payload["checksum"]
+        path.write_text(json.dumps(payload))
+        restored = load_checkpoint(path)
+        assert restored.generation == pop.generation
+
+    def test_non_object_json_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(Exception, match="not a JSON object"):
+            load_checkpoint(path, fallback=False)
+
+
+class TestFallback:
+    def test_bitflipped_primary_falls_back(self, tmp_path):
+        path, pop = _save_two_generations(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        path.write_bytes(bytes(data))
+        with pytest.warns(RuntimeWarning, match="skipped corrupt checkpoint"):
+            restored = load_checkpoint(path)
+        assert restored.generation == pop.generation - 1
+
+    def test_wrong_format_version_falls_back(self, tmp_path):
+        from repro.neat.checkpoint import _payload_checksum
+
+        path, pop = _save_two_generations(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        payload["checksum"] = _payload_checksum(payload)
+        path.write_text(json.dumps(payload))
+        with pytest.warns(RuntimeWarning, match="skipped corrupt checkpoint"):
+            restored = load_checkpoint(path)
+        assert restored.generation == pop.generation - 1
+
+    def test_missing_primary_falls_back(self, tmp_path):
+        path, pop = _save_two_generations(tmp_path)
+        path.unlink()
+        with pytest.warns(RuntimeWarning):
+            restored = load_checkpoint(path)
+        assert restored.generation == pop.generation - 1
+
+    def test_fallback_disabled_raises(self, tmp_path):
+        path, _ = _save_two_generations(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        path.write_bytes(bytes(data))
+        with pytest.raises((ChecksumMismatchError, ValueError)):
+            load_checkpoint(path, fallback=False)
+
+    def test_all_corrupt_raises_primary_error(self, tmp_path):
+        path, _ = _save_two_generations(tmp_path)
+        path.write_text("{ not json")
+        rotated_path(path, 1).write_text("also { not json")
+        with pytest.raises(json.JSONDecodeError):
+            load_checkpoint(path)
+
+    def test_fallback_skips_to_second_sibling(self, tmp_path):
+        pop, evaluate = _evolved(generations=1)
+        path = tmp_path / "ckpt.json"
+        for _ in range(3):
+            save_checkpoint(pop, path, keep=3)
+            pop.advance(evaluate)
+        path.write_text("{")
+        rotated_path(path, 1).write_text("{")
+        with pytest.warns(RuntimeWarning):
+            restored = load_checkpoint(path)
+        expected = json.loads(rotated_path(path, 2).read_text())["generation"]
+        assert restored.generation == expected
+
+
+class TestKillResilience:
+    def test_truncation_at_any_offset_recovers(self, tmp_path):
+        """A primary truncated at *any* byte offset restores from .1."""
+        path, pop = _save_two_generations(tmp_path)
+        data = path.read_bytes()
+        previous_generation = pop.generation - 1
+        # every offset in a dense prefix/suffix window plus a stride
+        # through the middle: truncated JSON fails to parse regardless
+        # of where the cut lands, so the stride loses no structure
+        offsets = set(range(0, min(64, len(data))))
+        offsets.update(range(max(0, len(data) - 64), len(data)))
+        offsets.update(range(0, len(data), 97))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for offset in sorted(offsets):
+                path.write_bytes(data[:offset])
+                restored = load_checkpoint(path)
+                assert restored.generation == previous_generation, offset
+        # the untruncated file still loads as the newest generation
+        path.write_bytes(data)
+        assert load_checkpoint(path).generation == pop.generation
+
+    def test_crash_before_rename_preserves_old_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        """A save killed before the final rename leaves the old file."""
+        import repro.neat.checkpoint as ckpt
+
+        pop, evaluate = _evolved(generations=1)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(pop, path)
+        old_generation = pop.generation
+        pop.advance(evaluate)
+
+        real_replace = ckpt.os.replace
+
+        def dying_replace(src, dst):
+            if str(dst) == str(path):
+                raise OSError("simulated power cut")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(ckpt.os, "replace", dying_replace)
+        with pytest.raises(OSError, match="power cut"):
+            save_checkpoint(pop, path, keep=1)
+        monkeypatch.undo()
+        restored = load_checkpoint(path)
+        assert restored.generation == old_generation
+
+    def test_crash_during_tmp_write_preserves_old_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        """A save killed mid-write of the temp file leaves the old file."""
+        import repro.neat.checkpoint as ckpt
+
+        pop, evaluate = _evolved(generations=1)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(pop, path)
+        old_generation = pop.generation
+        pop.advance(evaluate)
+
+        def dying_fsync(fd):
+            raise OSError("simulated power cut")
+
+        monkeypatch.setattr(ckpt.os, "fsync", dying_fsync)
+        with pytest.raises(OSError, match="power cut"):
+            save_checkpoint(pop, path, keep=1)
+        monkeypatch.undo()
+        restored = load_checkpoint(path)
+        assert restored.generation == old_generation
+
+    def test_restored_run_resumes_exactly(self, tmp_path):
+        """Fallback restore is a *full* restore: the run resumes exactly."""
+        path, pop = _save_two_generations(tmp_path)
+        # corrupt the primary so the restore comes from the rotation
+        path.write_text("garbage")
+        with pytest.warns(RuntimeWarning):
+            restored = load_checkpoint(path)
+        reference = load_checkpoint(rotated_path(path, 1))
+
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+
+        def eval_a(genomes):
+            for g in genomes:
+                g.fitness = float(rng_a.normal())
+
+        def eval_b(genomes):
+            for g in genomes:
+                g.fitness = float(rng_b.normal())
+
+        for _ in range(2):
+            best_a = restored.advance(eval_a)
+            best_b = reference.advance(eval_b)
+            assert best_a.fitness == best_b.fitness
+            assert [g.key for g in restored.population] == [
+                g.key for g in reference.population
+            ]

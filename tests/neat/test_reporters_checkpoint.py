@@ -21,6 +21,14 @@ from repro.neat.reporters import (
 )
 
 
+def _rechecksum(payload):
+    """Re-embed a valid checksum after deliberately tampering a payload."""
+    from repro.neat.checkpoint import _payload_checksum
+
+    payload["checksum"] = _payload_checksum(payload)
+    return payload
+
+
 def _stats(gen=0, best=1.0):
     return GenerationStats(
         generation=gen,
@@ -233,8 +241,9 @@ class TestCheckpointValidation:
 
         payload = json.loads(path.read_text())
         # corrupt one genome: point a connection at a missing node
+        # (recompute the checksum so only validation catches it)
         payload["population"][0]["connections"][0]["out"] = 999
-        path.write_text(json.dumps(payload))
+        path.write_text(json.dumps(_rechecksum(payload)))
         with pytest.raises(GenomeValidationError):
             load_checkpoint(path)
 
@@ -247,6 +256,6 @@ class TestCheckpointValidation:
         save_checkpoint(pop, path)
         payload = json.loads(path.read_text())
         payload["population"][0]["connections"][0]["out"] = 999
-        path.write_text(json.dumps(payload))
+        path.write_text(json.dumps(_rechecksum(payload)))
         restored = load_checkpoint(path, validate=False)
         assert len(restored.population) == 5

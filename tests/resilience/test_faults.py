@@ -1,0 +1,190 @@
+"""Unit tests for the seeded fault-injection layer."""
+
+import json
+import math
+import pickle
+
+import pytest
+
+from repro.resilience.faults import (
+    KNOWN_KINDS,
+    WORKER_ERROR,
+    FaultPlan,
+    FaultSpec,
+    InjectedWorkerError,
+    flip_float64_bit,
+    maybe_fail_worker,
+)
+
+
+class TestFlipBit:
+    def test_double_flip_is_identity(self):
+        for bit in (0, 31, 51, 52, 62, 63):
+            value = 1.2345
+            assert flip_float64_bit(flip_float64_bit(value, bit), bit) == value
+
+    def test_flip_changes_the_value(self):
+        for bit in range(64):
+            flipped = flip_float64_bit(0.5, bit)
+            # NaN compares unequal to everything, which still proves change
+            assert flipped != 0.5 or math.isnan(flipped)
+
+    def test_sign_bit(self):
+        assert flip_float64_bit(1.0, 63) == -1.0
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ValueError):
+            flip_float64_bit(1.0, 64)
+        with pytest.raises(ValueError):
+            flip_float64_bit(1.0, -1)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor.strike", probability=0.5)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(kind=WORKER_ERROR, probability=1.5)
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(kind=WORKER_ERROR, probability=-0.1)
+
+    def test_every_known_kind_constructs(self):
+        for kind in KNOWN_KINDS:
+            FaultSpec(kind=kind, probability=0.1)
+
+
+class TestFaultPlan:
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(
+                seed=1,
+                specs=[
+                    FaultSpec(WORKER_ERROR, 0.1),
+                    FaultSpec(WORKER_ERROR, 0.2),
+                ],
+            )
+
+    def test_fires_is_deterministic(self):
+        plan_a = FaultPlan(seed=3, specs=[FaultSpec(WORKER_ERROR, 0.5)])
+        plan_b = FaultPlan(seed=3, specs=[FaultSpec(WORKER_ERROR, 0.5)])
+        sites = [f"gen={g}|shard={s}" for g in range(10) for s in range(4)]
+        assert [plan_a.fires(WORKER_ERROR, s) for s in sites] == [
+            plan_b.fires(WORKER_ERROR, s) for s in sites
+        ]
+
+    def test_different_seeds_differ(self):
+        sites = [f"site={i}" for i in range(64)]
+        a = FaultPlan(seed=1, specs=[FaultSpec(WORKER_ERROR, 0.5)])
+        b = FaultPlan(seed=2, specs=[FaultSpec(WORKER_ERROR, 0.5)])
+        assert [a.fires(WORKER_ERROR, s) for s in sites] != [
+            b.fires(WORKER_ERROR, s) for s in sites
+        ]
+
+    def test_probability_extremes(self):
+        always = FaultPlan(seed=0, specs=[FaultSpec(WORKER_ERROR, 1.0)])
+        never = FaultPlan(seed=0, specs=[FaultSpec(WORKER_ERROR, 0.0)])
+        unarmed = FaultPlan(seed=0)
+        for site in ("a", "b", "c"):
+            assert always.fires(WORKER_ERROR, site)
+            assert not never.fires(WORKER_ERROR, site)
+            assert not unarmed.fires(WORKER_ERROR, site)
+
+    def test_probability_roughly_respected(self):
+        plan = FaultPlan(seed=9, specs=[FaultSpec(WORKER_ERROR, 0.25)])
+        hits = sum(
+            plan.fires(WORKER_ERROR, f"site={i}") for i in range(2000)
+        )
+        assert 0.15 < hits / 2000 < 0.35
+
+    def test_rng_for_is_deterministic_and_site_keyed(self):
+        plan = FaultPlan(seed=4, specs=[FaultSpec(WORKER_ERROR, 1.0)])
+        a = plan.rng_for(WORKER_ERROR, "x").integers(1 << 30)
+        b = plan.rng_for(WORKER_ERROR, "x").integers(1 << 30)
+        c = plan.rng_for(WORKER_ERROR, "y").integers(1 << 30)
+        assert a == b
+        assert a != c
+
+    def test_has(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=[
+                FaultSpec(WORKER_ERROR, 0.5),
+                FaultSpec("inax.wedge", 0.0),
+            ],
+        )
+        assert plan.has(WORKER_ERROR)
+        assert not plan.has("inax.wedge")  # armed at zero = not armed
+        assert not plan.has("env.obs_nan")
+        assert plan.has("env.obs_nan", WORKER_ERROR)
+
+    def test_record_and_event_log(self):
+        plan = FaultPlan(seed=0, specs=[FaultSpec(WORKER_ERROR, 1.0)])
+        plan.record(WORKER_ERROR, "gen=0|shard=1", detail=7)
+        log = plan.event_log()
+        assert log == [
+            {
+                "kind": WORKER_ERROR,
+                "site": "gen=0|shard=1",
+                "details": {"detail": 7},
+            }
+        ]
+
+    def test_pickle_round_trip(self):
+        plan = FaultPlan(seed=5, specs=[FaultSpec(WORKER_ERROR, 0.3, 2.0)])
+        clone = pickle.loads(pickle.dumps(plan))
+        sites = [f"s{i}" for i in range(32)]
+        assert [clone.fires(WORKER_ERROR, s) for s in sites] == [
+            plan.fires(WORKER_ERROR, s) for s in sites
+        ]
+
+
+class TestParseAndLoad:
+    def test_parse_grammar(self):
+        plan = FaultPlan.parse(
+            "seed=7,worker.crash@0.25,inax.pu_stall@0.1:500"
+        )
+        assert plan.seed == 7
+        assert plan.specs["worker.crash"].probability == 0.25
+        assert plan.specs["inax.pu_stall"].param == 500.0
+
+    def test_parse_bad_term(self):
+        with pytest.raises(ValueError, match="bad fault term"):
+            FaultPlan.parse("worker.crash")
+
+    def test_parse_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse("meteor.strike@0.5")
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan.parse("seed=3,worker.error@0.5,dma.input_drop@0.1")
+        clone = FaultPlan.from_dict(plan.to_dict())
+        sites = [f"s{i}" for i in range(32)]
+        for kind in ("worker.error", "dma.input_drop"):
+            assert [clone.fires(kind, s) for s in sites] == [
+                plan.fires(kind, s) for s in sites
+            ]
+
+    def test_load_from_file_and_inline(self, tmp_path):
+        plan = FaultPlan.parse("seed=11,env.obs_nan@0.2")
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        from_file = FaultPlan.load(path)
+        inline = FaultPlan.load("seed=11,env.obs_nan@0.2")
+        assert from_file.seed == inline.seed == 11
+        assert from_file.specs.keys() == inline.specs.keys()
+
+
+class TestWorkerFaults:
+    def test_none_plan_is_noop(self):
+        maybe_fail_worker(None, "anywhere")
+
+    def test_error_kind_raises(self):
+        plan = FaultPlan(seed=0, specs=[FaultSpec(WORKER_ERROR, 1.0)])
+        with pytest.raises(InjectedWorkerError, match="gen=0"):
+            maybe_fail_worker(plan, "gen=0|shard=0|attempt=0")
+
+    def test_unfired_site_passes(self):
+        plan = FaultPlan(seed=0, specs=[FaultSpec(WORKER_ERROR, 0.0)])
+        maybe_fail_worker(plan, "gen=0|shard=0|attempt=0")

@@ -1,0 +1,65 @@
+"""Unit tests for non-finite fitness quarantine."""
+
+import math
+
+from repro.resilience.quarantine import (
+    DEFAULT_PENALTY,
+    QUARANTINE,
+    quarantine_nonfinite,
+)
+
+
+class _Genome:
+    def __init__(self, key, fitness):
+        self.key = key
+        self.fitness = fitness
+
+
+class TestQuarantine:
+    def test_finite_fitness_untouched(self):
+        genomes = [_Genome(1, 10.0), _Genome(2, -3.5), _Genome(3, 0.0)]
+        events = quarantine_nonfinite(genomes)
+        assert events == []
+        assert [g.fitness for g in genomes] == [10.0, -3.5, 0.0]
+
+    def test_nan_and_inf_replaced_with_penalty(self):
+        genomes = [
+            _Genome(1, float("nan")),
+            _Genome(2, float("inf")),
+            _Genome(3, float("-inf")),
+            _Genome(4, 5.0),
+        ]
+        events = quarantine_nonfinite(genomes)
+        assert len(events) == 3
+        assert [g.fitness for g in genomes] == [
+            DEFAULT_PENALTY,
+            DEFAULT_PENALTY,
+            DEFAULT_PENALTY,
+            5.0,
+        ]
+        assert all(math.isfinite(g.fitness) for g in genomes)
+
+    def test_none_fitness_is_left_alone(self):
+        genome = _Genome(7, None)
+        assert quarantine_nonfinite([genome]) == []
+        assert genome.fitness is None
+
+    def test_custom_penalty(self):
+        genome = _Genome(1, float("nan"))
+        quarantine_nonfinite([genome], penalty=-42.0)
+        assert genome.fitness == -42.0
+
+    def test_event_structure(self):
+        genome = _Genome(9, float("nan"))
+        (event,) = quarantine_nonfinite(
+            [genome], site_prefix="gen=4|"
+        )
+        assert event.kind == QUARANTINE
+        assert event.site == "gen=4|genome=9"
+        assert event.details["fitness"] == "nan"
+        assert event.details["penalty"] == DEFAULT_PENALTY
+
+    def test_penalty_orders_below_real_fitness(self):
+        # the sentinel must lose every comparison against a real score
+        assert DEFAULT_PENALTY < -1e6
+        assert math.isfinite(DEFAULT_PENALTY)

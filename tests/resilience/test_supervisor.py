@@ -1,0 +1,212 @@
+"""Unit tests for shard supervision (watchdog, retry, degradation)."""
+
+import multiprocessing
+
+from repro.resilience.supervisor import (
+    ShardSupervisor,
+    SupervisorConfig,
+    shutdown_pool,
+)
+
+
+class _Handle:
+    """AsyncResult stand-in: evaluates the task lazily on get()."""
+
+    def __init__(self, fn, task):
+        self._fn = fn
+        self._task = task
+
+    def get(self, timeout=None):
+        result = self._fn(self._task)
+        if result == "__timeout__":
+            raise multiprocessing.TimeoutError()
+        return result
+
+
+class _FakePool:
+    """Just enough Pool surface for the supervisor."""
+
+    def __init__(self, log):
+        self._log = log
+        self.terminated = False
+
+    def apply_async(self, fn, args):
+        return _Handle(fn, args[0])
+
+    def terminate(self):
+        self.terminated = True
+
+    def join(self):
+        pass
+
+
+def _config(**overrides):
+    defaults = dict(
+        shard_timeout=5.0,
+        max_retries=2,
+        backoff_base=0.0,
+        join_timeout=1.0,
+        disable_after=2,
+    )
+    defaults.update(overrides)
+    return SupervisorConfig(**defaults)
+
+
+def _supervisor(worker, config=None, pools=None):
+    pools = pools if pools is not None else []
+
+    def factory():
+        pool = _FakePool(pools)
+        pools.append(pool)
+        return pool
+
+    return ShardSupervisor(factory, worker, config or _config()), pools
+
+
+class TestRun:
+    def test_clean_run(self):
+        supervisor, pools = _supervisor(lambda task: task * 10)
+        results = supervisor.run(
+            3, lambda index, attempt: index, lambda index: -1
+        )
+        assert results == [0, 10, 20]
+        assert supervisor.events == []
+        assert len(pools) == 1
+
+    def test_error_retries_on_fresh_pool_then_succeeds(self):
+        def worker(task):
+            index, attempt = task
+            if attempt == 0:
+                raise RuntimeError("injected")
+            return index
+
+        supervisor, pools = _supervisor(worker)
+        results = supervisor.run(
+            2, lambda index, attempt: (index, attempt), lambda index: -1
+        )
+        assert results == [0, 1]
+        assert supervisor.errors == 2
+        assert supervisor.retries == 2
+        assert supervisor.respawns == 1
+        assert len(pools) == 2  # the first pool was torn down
+        assert pools[0].terminated
+        kinds = [event.kind for event in supervisor.events]
+        assert kinds.count("shard.error") == 2
+        assert kinds.count("pool.respawn") == 1
+
+    def test_timeout_counts_and_retries(self):
+        def worker(task):
+            index, attempt = task
+            return "__timeout__" if attempt == 0 and index == 1 else index
+
+        supervisor, _ = _supervisor(worker)
+        results = supervisor.run(
+            3, lambda index, attempt: (index, attempt), lambda index: -1
+        )
+        assert results == [0, 1, 2]
+        assert supervisor.timeouts == 1
+        sites = [event.site for event in supervisor.events]
+        assert "shard=1|attempt=0" in sites
+
+    def test_exhausted_retries_degrade_to_fallback(self):
+        def worker(task):
+            raise RuntimeError("always broken")
+
+        supervisor, _ = _supervisor(worker)
+        results = supervisor.run(
+            2, lambda index, attempt: index, lambda index: ("fallback", index)
+        )
+        assert results == [("fallback", 0), ("fallback", 1)]
+        assert supervisor.degraded_shards == 2
+        assert supervisor.consecutive_degraded == 1
+        kinds = [event.kind for event in supervisor.events]
+        assert kinds.count("shard.degraded") == 2
+
+    def test_partial_failure_keeps_good_results(self):
+        def worker(task):
+            index, attempt = task
+            if index == 0:
+                raise RuntimeError("shard 0 cursed")
+            return index * 10
+
+        supervisor, _ = _supervisor(worker)
+        results = supervisor.run(
+            3, lambda index, attempt: (index, attempt), lambda index: -99
+        )
+        assert results == [-99, 10, 20]
+        assert supervisor.degraded_shards == 1
+
+    def test_disables_after_consecutive_degraded_runs(self):
+        def worker(task):
+            raise RuntimeError("always broken")
+
+        supervisor, pools = _supervisor(worker, _config(disable_after=2))
+        for _ in range(2):
+            supervisor.run(1, lambda i, a: i, lambda i: "soft")
+        assert supervisor.disabled
+        assert "supervisor.disabled" in [e.kind for e in supervisor.events]
+        # once disabled, the pool is never touched again
+        pool_count = len(pools)
+        results = supervisor.run(2, lambda i, a: i, lambda i: ("soft", i))
+        assert results == [("soft", 0), ("soft", 1)]
+        assert len(pools) == pool_count
+
+    def test_success_resets_consecutive_degraded(self):
+        calls = {"run": 0}
+
+        def worker(task):
+            if calls["run"] == 0:
+                raise RuntimeError("first generation cursed")
+            return task
+
+        supervisor, _ = _supervisor(worker, _config(disable_after=2))
+        supervisor.run(1, lambda i, a: i, lambda i: "soft")
+        assert supervisor.consecutive_degraded == 1
+        calls["run"] = 1
+        supervisor.run(1, lambda i, a: i, lambda i: "soft")
+        assert supervisor.consecutive_degraded == 0
+        assert not supervisor.disabled
+
+    def test_site_prefix_threads_through(self):
+        def worker(task):
+            raise RuntimeError("boom")
+
+        supervisor, _ = _supervisor(worker, _config(max_retries=0))
+        supervisor.run(1, lambda i, a: i, lambda i: 0, site_prefix="gen=7|")
+        assert all(
+            event.site.startswith("gen=7|") for event in supervisor.events
+        )
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        supervisor, pools = _supervisor(lambda task: task)
+        supervisor.run(1, lambda i, a: i, lambda i: 0)
+        supervisor.close()
+        supervisor.close()
+        assert pools[0].terminated
+
+    def test_pool_respawns_after_close(self):
+        supervisor, pools = _supervisor(lambda task: task)
+        supervisor.run(1, lambda i, a: i, lambda i: 0)
+        supervisor.close()
+        supervisor.run(1, lambda i, a: i, lambda i: 0)
+        assert len(pools) == 2
+
+
+class TestShutdownPool:
+    def test_real_pool_shuts_down_within_bound(self):
+        pool = multiprocessing.Pool(1)
+        assert shutdown_pool(pool, join_timeout=10.0)
+
+    def test_fake_pool_join_bound(self):
+        class Wedged:
+            def terminate(self):
+                pass
+
+            def join(self):
+                import time
+
+                time.sleep(60)
+
+        assert not shutdown_pool(Wedged(), join_timeout=0.1)
