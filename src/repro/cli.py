@@ -65,6 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true", help="suppress per-generation lines"
     )
+    _add_pipeline_args(run)
     _add_resilience_args(run)
     _add_telemetry_args(run)
 
@@ -90,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
         "written only when the file is new or empty)",
     )
     resume.add_argument("--quiet", action="store_true")
+    _add_pipeline_args(resume)
     _add_resilience_args(resume)
     _add_telemetry_args(resume)
 
@@ -152,6 +154,42 @@ def build_parser() -> argparse.ArgumentParser:
     resources.add_argument("--pes", type=int, required=True)
 
     return parser
+
+
+def _add_pipeline_args(command) -> None:
+    command.add_argument(
+        "--schedule", default="arrival", choices=("arrival", "lpt"),
+        help="wave-packing policy: 'arrival' (paper baseline, population "
+        "order) or 'lpt' (pack by predicted cost from last-generation "
+        "episode lengths, longest first); fitness is bit-identical "
+        "either way",
+    )
+    command.add_argument(
+        "--prefetch", default=False,
+        action=argparse.BooleanOptionalAction,
+        help="double-buffered DMA/decode: hide wave N+1's set-up behind "
+        "wave N's compute (--no-prefetch restores the baseline)",
+    )
+    command.add_argument(
+        "--overlap", action="store_true",
+        help="run the CPU's evolve phase concurrently with the "
+        "backend's generation drain (cycle pricing) instead of "
+        "serializing them",
+    )
+
+
+def _pipeline_kwargs(args) -> dict:
+    """Translate the pipeline CLI flags into an E3/backend kwarg."""
+    from repro.inax.pipeline import PipelineConfig
+
+    pipeline = PipelineConfig(
+        schedule=getattr(args, "schedule", "arrival"),
+        prefetch=bool(getattr(args, "prefetch", False)),
+        overlap=bool(getattr(args, "overlap", False)),
+    )
+    if pipeline == PipelineConfig():
+        return {}
+    return {"pipeline": pipeline}
 
 
 def _add_resilience_args(command) -> None:
@@ -319,6 +357,7 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         workers=args.workers,
         telemetry=session,
+        **_pipeline_kwargs(args),
         **_resilience_kwargs(args),
     )
     if not args.quiet:
@@ -378,6 +417,7 @@ def _cmd_resume(args) -> int:
         return 2
     backend_cls = BACKENDS[args.backend]
     kwargs = {"base_seed": args.seed}
+    kwargs.update(_pipeline_kwargs(args))
     resilience = _resilience_kwargs(args)
     if "fault_plan" in resilience:
         kwargs["fault_plan"] = resilience["fault_plan"]
@@ -407,11 +447,13 @@ def _cmd_resume(args) -> int:
         session.install()
 
     start_generation = population.generation
+    drain = backend.drain if backend.pipeline.overlap else None
     try:
         result = population.run(
             backend.evaluate,
             max_generations=args.generations,
             fitness_threshold=env_spec.required_fitness,
+            drain=drain,
         )
     finally:
         if session is not None:

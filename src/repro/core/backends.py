@@ -47,6 +47,7 @@ from repro.envs.rollout import run_episode, run_lockstep
 from repro.hw.workload import GenerationWorkload, IndividualWork
 from repro.inax.accelerator import INAX, INAXConfig, schedule_generation
 from repro.inax.compiler import HWNetConfig, compile_genome
+from repro.inax.pipeline import PipelineConfig, pack_waves, predict_costs
 from repro.inax.pu import BufferOverflowError
 from repro.inax.timing import CycleReport
 from repro.neat.config import NEATConfig
@@ -89,8 +90,13 @@ class GenerationRecord:
     #: compiled individuals, aligned with workload.individuals
     configs: list[HWNetConfig]
     episode_lengths: list[int]
-    #: analytic INAX cycles (filled when an INAX config is attached)
+    #: analytic INAX cycles (filled when an INAX config is attached;
+    #: with evolve/evaluate overlap the fill is deferred until the
+    #: backend's :meth:`EvaluationBackend.drain` runs)
     cycle_report: CycleReport | None = None
+    #: the per-individual cost predictions the wave packer used
+    #: (``schedule="lpt"`` only), so the dispatch can be replayed
+    predicted_costs: list[float | None] | None = None
 
 
 class EvaluationBackend:
@@ -108,6 +114,7 @@ class EvaluationBackend:
         env_kwargs: dict | None = None,
         fault_plan: FaultPlan | None = None,
         quarantine_penalty: float = DEFAULT_PENALTY,
+        pipeline: PipelineConfig | None = None,
     ):
         self.env_name = env_name
         self.neat_config = neat_config
@@ -124,6 +131,13 @@ class EvaluationBackend:
         self.resilience_events: list[ResilienceEvent] = []
         self.records: list[GenerationRecord] = []
         self._generation = 0
+        #: pipelining policies (wave packing / prefetch / overlap)
+        self.pipeline = pipeline if pipeline is not None else PipelineConfig()
+        #: genome key -> total episode steps at its last evaluation (the
+        #: LPT packer's cost predictor)
+        self._last_lengths: dict[int, int] = {}
+        #: deferred per-generation bookkeeping (see :meth:`drain`)
+        self._pending_drain: list = []
 
     # ------------------------------------------------------------ hooks
     def evaluate(self, genomes: list[Genome]) -> None:
@@ -152,9 +166,28 @@ class EvaluationBackend:
             if quarantined:
                 self.quarantine_count += len(quarantined)
                 self.resilience_events.extend(quarantined)
+        if not self.pipeline.overlap:
+            self.drain()
 
     def _evaluate(self, genomes: list[Genome]) -> None:
         raise NotImplementedError
+
+    def drain(self) -> None:
+        """Run the generation's deferred bookkeeping (idempotent).
+
+        Every fitness is already set *synchronously* by
+        :meth:`evaluate` — reproduction needs them all — so what the
+        evolve/evaluate overlap actually hides is this drain: the
+        analytic :func:`schedule_generation` pricing of the generation
+        record.  It touches no RNG, no genomes, and no telemetry
+        tracer, so running it on a background thread while
+        ``Population`` evolves cannot change a bit of the run.  With
+        ``pipeline.overlap`` off, :meth:`evaluate` drains inline and
+        behavior is exactly the pre-pipeline sequential loop.
+        """
+        pending, self._pending_drain = self._pending_drain, []
+        for task in pending:
+            task()
 
     def close(self) -> None:
         """Release any resources (worker pools, devices). Idempotent."""
@@ -199,28 +232,75 @@ class EvaluationBackend:
             events.extend(self.fault_plan.event_log())
         return events
 
+    def _predict_costs(
+        self, configs: list[HWNetConfig], keys: list[int]
+    ) -> list[float | None] | None:
+        """LPT cost predictions from last-generation lengths (or None)."""
+        if self.pipeline.schedule != "lpt" or self.inax_config is None:
+            return None
+        hw = self.inax_config
+        return predict_costs(
+            configs,
+            keys,
+            self._last_lengths,
+            hw.num_pes_per_pu,
+            hw.pe_costs,
+            hw.pu_costs,
+        )
+
     def _record(
         self,
         configs: list[HWNetConfig],
         episode_lengths: list[int],
+        keys: list[int] | None = None,
+        predicted_costs: list[float | None] | None = None,
+        analytic: bool = True,
     ) -> GenerationRecord:
+        """Record the generation; analytic pricing may be deferred.
+
+        ``keys`` (genome keys aligned with ``configs``) feed the LPT
+        cost predictor for the *next* generation.  ``analytic=False``
+        skips the closed-form :func:`schedule_generation` — the INAX
+        backend supersedes it with the functional device's own report,
+        so pricing the generation twice would be pure waste.
+        """
+        if predicted_costs is None and analytic:
+            # software backends model the dispatch the device would run;
+            # predictions must come from *pre-update* history, exactly
+            # like the device packs before evaluating
+            predicted_costs = (
+                self._predict_costs(configs, keys) if keys else None
+            )
         workload = GenerationWorkload(
             individuals=[
                 IndividualWork.from_config(cfg, steps)
                 for cfg, steps in zip(configs, episode_lengths)
             ]
         )
-        report = None
-        if self.inax_config is not None:
-            report = schedule_generation(
-                self.inax_config, configs, episode_lengths
-            )
         record = GenerationRecord(
             workload=workload,
             configs=configs,
             episode_lengths=episode_lengths,
-            cycle_report=report,
+            cycle_report=None,
+            predicted_costs=predicted_costs,
         )
+        if analytic and self.inax_config is not None:
+            inax_config = self.inax_config
+            pipeline = self.pipeline
+
+            def price() -> None:
+                record.cycle_report = schedule_generation(
+                    inax_config,
+                    configs,
+                    episode_lengths,
+                    pipeline=pipeline,
+                    predicted_costs=predicted_costs,
+                )
+
+            self._pending_drain.append(price)
+        if keys is not None:
+            for key, steps in zip(keys, episode_lengths):
+                self._last_lengths[key] = steps
         self.records.append(record)
         self._generation += 1
         return record
@@ -254,7 +334,7 @@ class CPUBackend(EvaluationBackend):
                 total_steps += record.steps
             genome.fitness = total_reward / self.episodes_per_genome
             lengths.append(total_steps)
-        self._record(configs, lengths)
+        self._record(configs, lengths, keys=[g.key for g in genomes])
 
 
 class GPUBackend(CPUBackend):
@@ -391,6 +471,10 @@ def _fastcpu_worker_evaluate(
     _WORKER_REPORTED_CACHE["hits"] = info["hits"]
     _WORKER_REPORTED_CACHE["misses"] = info["misses"]
     telemetry = {
+        # the shard's unique site (gen=G|shard=I|attempt=A) rides along
+        # so the parent can merge each payload exactly once even if a
+        # supervisor retry path ever hands the same result back twice
+        "site": fault_site,
         "phase_seconds": {"evaluate": seconds},
         "cache_delta": cache_delta,
         "cache_size": info["size"],
@@ -449,6 +533,7 @@ class FastCPUBackend(CPUBackend):
         fault_plan: FaultPlan | None = None,
         quarantine_penalty: float = DEFAULT_PENALTY,
         supervisor: SupervisorConfig | None = None,
+        pipeline: PipelineConfig | None = None,
     ):
         """``workers`` > 1 shards evaluation across that many worker
         processes; 0 or 1 evaluates in-process.  ``cache_size`` bounds
@@ -464,6 +549,7 @@ class FastCPUBackend(CPUBackend):
             env_kwargs=env_kwargs,
             fault_plan=fault_plan,
             quarantine_penalty=quarantine_penalty,
+            pipeline=pipeline,
         )
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -544,7 +630,7 @@ class FastCPUBackend(CPUBackend):
         for genome, fitness in zip(genomes, fitnesses):
             genome.fitness = fitness
         self._publish_metrics()
-        self._record(configs, lengths)
+        self._record(configs, lengths, keys=[g.key for g in genomes])
 
     def _publish_metrics(self) -> None:
         registry = get_metrics()
@@ -640,7 +726,9 @@ class FastCPUBackend(CPUBackend):
             ),
         )
 
-    def _shard_fallback(self, genomes: list[Genome]) -> tuple[list, dict]:
+    def _shard_fallback(
+        self, genomes: list[Genome], site: str = ""
+    ) -> tuple[list, dict]:
         """In-process degradation: worker-shaped result, identical bits.
 
         The per-(genome, episode) seeding contract means this produces
@@ -655,6 +743,7 @@ class FastCPUBackend(CPUBackend):
             for genome, fitness, length in zip(genomes, fitnesses, lengths)
         ]
         telemetry = {
+            "site": site,
             "phase_seconds": {},
             "cache_delta": {"hits": 0, "misses": 0},
             "cache_size": 0,
@@ -698,7 +787,9 @@ class FastCPUBackend(CPUBackend):
             return (shards[index], want_metrics, site)
 
         def fallback(index: int):
-            return self._shard_fallback(shards[index])
+            return self._shard_fallback(
+                shards[index], site=f"gen={generation}|shard={index}|fallback"
+            )
 
         results = supervisor.run(
             len(shards),
@@ -726,10 +817,23 @@ class FastCPUBackend(CPUBackend):
         deltas into the combined :meth:`cache_info`, and — when a
         metrics registry is installed — counters/histograms for the
         shard workload.
+
+        The merge is *idempotent per site*: each payload carries the
+        unique ``gen|shard|attempt`` site it was produced under, and a
+        site is folded in at most once — a crashed-then-respawned
+        worker's retry has a fresh attempt index, while any duplicate
+        delivery of the same payload is dropped instead of double
+        counting cache/metric deltas.
         """
         registry = get_metrics()
+        seen_sites: set[str] = set()
         size = 0
         for payload in payloads:
+            site = payload.get("site")
+            if site:
+                if site in seen_sites:
+                    continue
+                seen_sites.add(site)
             shard = PhaseProfiler()
             for phase, seconds in payload["phase_seconds"].items():
                 shard.record(phase, seconds)
@@ -776,6 +880,7 @@ class INAXBackend(EvaluationBackend):
         fallback: str | None = None,
         fault_plan: FaultPlan | None = None,
         quarantine_penalty: float = DEFAULT_PENALTY,
+        pipeline: PipelineConfig | None = None,
     ):
         """``oversize_policy`` decides what happens when an evolved
         genome no longer fits the PUs' weight/value buffers (a real
@@ -812,6 +917,7 @@ class INAXBackend(EvaluationBackend):
             env_kwargs=env_kwargs,
             fault_plan=fault_plan,
             quarantine_penalty=quarantine_penalty,
+            pipeline=pipeline,
         )
         injector = (
             DeviceFaultInjector(fault_plan)
@@ -880,19 +986,47 @@ class INAXBackend(EvaluationBackend):
         lengths = [0] * len(runnable)
         rewards = [0.0] * len(runnable)
         num_pus = self.inax_config.num_pus
+        keys = [g.key for g in runnable]
+
+        # wave packing happens *before* evaluation, off last-generation
+        # episode lengths — exactly what the analytic scheduler replays
+        with _span("inax.pack", genomes=len(runnable)):
+            predicted = self._predict_costs(configs, keys)
+            waves = pack_waves(
+                predicted
+                if predicted is not None
+                else [None] * len(runnable),
+                num_pus,
+                self.pipeline.schedule,
+            )
 
         self.device.reset_report()
-        for start in range(0, len(runnable), num_pus):
-            wave_genomes = runnable[start : start + num_pus]
-            wave_configs = configs[start : start + num_pus]
+        dispatched = 0
+        for indices in waves:
+            wave_genomes = [runnable[i] for i in indices]
+            wave_configs = [configs[i] for i in indices]
             for episode in range(self.episodes_per_genome):
+                prefetched = self.pipeline.prefetch and dispatched > 0
                 self._run_wave_episode(
-                    start, wave_genomes, wave_configs, episode, lengths, rewards
+                    indices,
+                    wave_genomes,
+                    wave_configs,
+                    episode,
+                    lengths,
+                    rewards,
+                    prefetched=prefetched,
                 )
+                dispatched += 1
 
         for genome, reward in zip(runnable, rewards):
             genome.fitness = reward / self.episodes_per_genome
-        record = self._record(configs, lengths)
+        record = self._record(
+            configs,
+            lengths,
+            keys=keys,
+            predicted_costs=predicted,
+            analytic=False,
+        )
         # the functional device's own report supersedes the analytic one
         record.cycle_report = self.device.report
 
@@ -904,6 +1038,10 @@ class INAXBackend(EvaluationBackend):
     def reporter_columns(self) -> dict[str, float]:
         columns = super().reporter_columns()
         columns["oversize"] = float(self.oversize_count)
+        # count-based wave occupancy of the generation just evaluated —
+        # the knob the LPT packer moves (the device report was reset at
+        # the top of this generation's _evaluate, so this is per-gen)
+        columns["pack_eff"] = self.device.report.packing_efficiency
         if self.fallback is not None:
             columns["fallback_waves"] = float(self.fallback_waves)
         return columns
@@ -958,15 +1096,19 @@ class INAXBackend(EvaluationBackend):
 
     def _run_wave_episode(
         self,
-        offset: int,
+        indices: list[int],
         genomes: list[Genome],
         configs: list[HWNetConfig],
         episode: int,
         lengths: list[int],
         rewards: list[float],
+        prefetched: bool = False,
     ) -> None:
+        """Run one wave's episode; ``indices`` maps wave slot ->
+        population index, so any packing order lands results on the
+        right individual."""
         try:
-            self.device.begin_wave(configs)
+            self.device.begin_wave(configs, prefetched=prefetched)
             envs = [self._make_env() for _ in genomes]
             seeds = [
                 self._episode_seed(genome, episode) for genome in genomes
@@ -981,14 +1123,14 @@ class INAXBackend(EvaluationBackend):
             self.fallback_genomes += len(genomes)
             self._event(
                 "fallback.wave",
-                f"gen={self._generation}|offset={offset}|episode={episode}",
+                f"gen={self._generation}|offset={indices[0]}|episode={episode}",
                 error=type(error).__name__,
                 genomes=len(genomes),
             )
             episode_records = self._fallback_wave_episode(genomes, episode)
         for slot, record in enumerate(episode_records):
-            rewards[offset + slot] += record.total_reward
-            lengths[offset + slot] += record.steps
+            rewards[indices[slot]] += record.total_reward
+            lengths[indices[slot]] += record.steps
 
 
 #: CLI/platform name -> backend class, for everything that selects a

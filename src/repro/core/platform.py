@@ -21,6 +21,7 @@ from repro.core.profiler import PhaseProfiler
 from repro.envs.registry import make, spec
 from repro.inax.accelerator import INAXConfig
 from repro.inax.heuristics import choose_num_pes
+from repro.inax.pipeline import PipelineConfig
 from repro.neat.config import NEATConfig
 from repro.neat.genome import Genome
 from repro.neat.network import FeedForwardNetwork
@@ -78,6 +79,7 @@ class E3:
         fault_plan=None,
         fallback: str | None = None,
         supervisor=None,
+        pipeline: PipelineConfig | None = None,
     ):
         """``env_kwargs`` override the environment's physics (the
         model-tuning plant perturbation); ``seed_genome`` warm-starts
@@ -95,7 +97,13 @@ class E3:
         chaos runs; ``fallback`` (``"cpu-fast"`` or ``"cpu"``) lets the
         ``inax`` backend degrade faulted waves to the software path;
         ``supervisor`` tunes the ``cpu-fast`` shard watchdog
-        (:class:`~repro.resilience.supervisor.SupervisorConfig`)."""
+        (:class:`~repro.resilience.supervisor.SupervisorConfig`).
+
+        ``pipeline`` (a :class:`~repro.inax.pipeline.PipelineConfig`)
+        selects the generation-pipelining policies: LPT wave packing,
+        double-buffered DMA/decode prefetch, and evolve/evaluate
+        overlap — all default to the paper's sequential baseline and
+        none of them can change a fitness bit."""
         env_spec = spec(env_name)  # validates the name early
         env_kwargs = dict(env_kwargs or {})
         env = make(env_name, **env_kwargs)
@@ -125,6 +133,7 @@ class E3:
                 inax_config=inax_config,
                 env_kwargs=env_kwargs,
                 fault_plan=fault_plan,
+                pipeline=pipeline,
             )
             if issubclass(backend_cls, FastCPUBackend):
                 kwargs["workers"] = workers
@@ -174,11 +183,18 @@ class E3:
                     seed=self.seed,
                 )
             session.install()
+        backend_pipeline = getattr(self.backend, "pipeline", None)
+        drain = (
+            self.backend.drain
+            if backend_pipeline is not None and backend_pipeline.overlap
+            else None
+        )
         try:
             result = self.population.run(
                 self.backend.evaluate,
                 max_generations=max_generations,
                 fitness_threshold=fitness_threshold,
+                drain=drain,
             )
         finally:
             if session is not None:

@@ -27,6 +27,7 @@ import numpy as np
 from repro.inax.compiler import HWNetConfig
 from repro.inax.dma import DMAModel
 from repro.inax.pe import PECosts
+from repro.inax.pipeline import PipelineConfig, pack_waves
 from repro.inax.pu import ProcessingUnit, PUCosts, _static_step_cycles
 from repro.inax.timing import CycleReport
 from repro.telemetry.spans import get_tracer
@@ -117,14 +118,29 @@ class INAX:
         self._slot_last_active: list[int] = []
         self._slot_active_cycles: list[int] = []
         self._slot_steps: list[int] = []
+        # double-buffered prefetch window: compute cycles accumulated by
+        # the wave in flight, and the finished previous wave's total —
+        # the window a ``prefetched`` begin_wave can hide set-up behind
+        self._compute_since_setup = 0
+        self._prev_wave_compute = 0
+        self._wave_hidden_setup = 0
 
     # -------------------------------------------------------------- wave
-    def begin_wave(self, configs: list[HWNetConfig]) -> None:
+    def begin_wave(
+        self, configs: list[HWNetConfig], prefetched: bool = False
+    ) -> None:
         """Set-up phase: dispatch up to ``num_pus`` individuals.
 
         The batch "is controlled to match the number of PUs" (§IV-C2).
         Configuration words stream over the shared weight channel
         (serialized); each PU decodes its own individual in parallel.
+
+        With ``prefetched`` the controller double-buffered this wave's
+        DMA/decode behind the *previous* wave's compute window, so only
+        ``max(0, setup − prev_compute)`` cycles are exposed on the wall
+        clock; the hidden remainder is accounted in
+        :attr:`CycleReport.prefetch_hidden_cycles`.  The first wave of a
+        generation has no window and must not pass ``prefetched``.
         """
         if self._wave_slots:
             raise RuntimeError(
@@ -153,14 +169,23 @@ class INAX:
             sum(c.config_words for c in configs)
         )
         setup_wall = dma_cycles + max(decode_cycles)
-        self.report.setup_cycles += setup_wall
-        self.report.pu_provisioned_cycles += self.config.num_pus * setup_wall
-        self.report.pu_active_cycles += len(configs) * setup_wall
+        if prefetched:
+            exposed = max(0, setup_wall - self._prev_wave_compute)
+        else:
+            exposed = setup_wall
+        hidden = setup_wall - exposed
+        self._compute_since_setup = 0
+        self.report.setup_cycles += exposed
+        self.report.prefetch_hidden_cycles += hidden
+        self.report.pu_provisioned_cycles += self.config.num_pus * exposed
+        self.report.pu_active_cycles += len(configs) * exposed
         self.report.individuals += len(configs)
+        self.report.waves += 1
         self._tracing = get_tracer() is not None
         self._wave_start_cycle = self._cycle
-        self._wave_setup_cycles = setup_wall
-        self._cycle += setup_wall
+        self._wave_setup_cycles = exposed
+        self._wave_hidden_setup = hidden
+        self._cycle += exposed
         if self._tracing:
             end_of_setup = self._cycle
             self._slot_last_active = [end_of_setup] * len(configs)
@@ -237,6 +262,9 @@ class INAX:
         self.report.pu_active_cycles += pu_active
         self.report.pu_provisioned_cycles += cfg.num_pus * step_wall
         self.report.steps += 1
+        self.report.live_slot_steps += len(inputs)
+        self.report.slot_steps_provisioned += cfg.num_pus
+        self._compute_since_setup += step_wall
         return outputs
 
     def end_wave(self) -> None:
@@ -248,6 +276,8 @@ class INAX:
             self._emit_wave_spans()
         self._wave_slots = []
         self._tracing = False
+        self._prev_wave_compute = self._compute_since_setup
+        self._compute_since_setup = 0
 
     def abort_wave(self) -> None:
         """Discard an in-flight wave after a device fault.
@@ -255,8 +285,13 @@ class INAX:
         Unlike :meth:`end_wave` this is safe to call with no wave in
         progress (double-abort during error handling is a no-op) and
         emits no spans — the wave never completed.  Cycles already
-        burned stay in the report: the hardware spent them.
+        burned stay in the report: the hardware spent them.  The partial
+        compute window still counts for the next wave's prefetch — the
+        weight channel was idle during it either way.
         """
+        if self._wave_slots:
+            self._prev_wave_compute = self._compute_since_setup
+            self._compute_since_setup = 0
         self._wave_slots = []
         self._tracing = False
 
@@ -284,6 +319,17 @@ class INAX:
         setup_start = self._wave_start_cycle
         setup_cycles = self._wave_setup_cycles
         setup_end = setup_start + setup_cycles
+        if self._wave_hidden_setup:
+            # the hidden DMA/decode window sits inside the previous
+            # wave's compute span on the device timeline
+            hidden = self._wave_hidden_setup
+            tracer.add_span(
+                "inax.prefetch",
+                (setup_start - hidden) * scale,
+                hidden * scale,
+                track="inax",
+                cycles=hidden,
+            )
         for slot, cfg in enumerate(self._wave_slots):
             track = f"pu{slot}"
             tracer.add_span(
@@ -326,6 +372,9 @@ class INAX:
     def reset_report(self) -> None:
         self.report = CycleReport()
         self._cycle = 0
+        self._compute_since_setup = 0
+        self._prev_wave_compute = 0
+        self._wave_hidden_setup = 0
 
 
 StepCycleFn = "Callable[[HWNetConfig], int]"
@@ -337,6 +386,8 @@ def schedule_generation(
     episode_lengths: list[int],
     step_cycles_fn=None,
     pe_active_fn=None,
+    pipeline: PipelineConfig | None = None,
+    predicted_costs: list[float | None] | None = None,
 ) -> CycleReport:
     """Closed-form cycle count for evaluating a population.
 
@@ -350,6 +401,14 @@ def schedule_generation(
     latency/activity models; the defaults are INAX's.  The systolic-array
     baseline (Fig 11) passes its own latency model through here so both
     accelerators share the identical wave/episode schedule.
+
+    ``pipeline`` applies the :mod:`repro.inax.pipeline` policies: with
+    ``schedule="lpt"`` waves are packed by ``predicted_costs`` (the
+    predictions the *backend* used, so the analytic schedule replays the
+    device's exact dispatch; when omitted, costs are derived from the
+    actual ``episode_lengths`` — the timing-only-study convention), and
+    with ``prefetch`` each wave after the first hides its set-up behind
+    the previous wave's compute window.
     """
     if len(net_configs) != len(episode_lengths):
         raise ValueError("need one episode length per individual")
@@ -361,14 +420,34 @@ def schedule_generation(
         )
     if pe_active_fn is None:
         pe_active_fn = lambda c: _static_pe_active(c, config.pe_costs)  # noqa: E731
+    pipeline = pipeline or PipelineConfig()
+    if predicted_costs is not None and len(predicted_costs) != len(net_configs):
+        raise ValueError("need one predicted cost per individual")
     report = CycleReport()
     report.individuals = len(net_configs)
     num_pus = config.num_pus
 
-    for start in range(0, len(net_configs), num_pus):
-        wave = net_configs[start : start + num_pus]
-        lengths = episode_lengths[start : start + num_pus]
-        _schedule_wave(config, wave, lengths, report, step_cycles_fn, pe_active_fn)
+    costs: list[float | None]
+    if pipeline.schedule == "arrival":
+        costs = [None] * len(net_configs)
+    elif predicted_costs is not None:
+        costs = list(predicted_costs)
+    else:
+        costs = [
+            float(length) * step_cycles_fn(c)
+            for c, length in zip(net_configs, episode_lengths)
+        ]
+    waves = pack_waves(costs, num_pus, pipeline.schedule)
+
+    prev_compute = 0.0
+    for ordinal, indices in enumerate(waves):
+        wave = [net_configs[i] for i in indices]
+        lengths = [episode_lengths[i] for i in indices]
+        window = prev_compute if (pipeline.prefetch and ordinal > 0) else 0.0
+        prev_compute = _schedule_wave(
+            config, wave, lengths, report, step_cycles_fn, pe_active_fn,
+            prefetch_window=window,
+        )
     return report
 
 
@@ -379,23 +458,29 @@ def _schedule_wave(
     report: CycleReport,
     step_cycles_fn,
     pe_active_fn,
-) -> None:
+    prefetch_window: float = 0.0,
+) -> float:
+    """Price one wave into ``report``; returns its compute wall-clock."""
     pu_costs, dma = config.pu_costs, config.dma
 
-    # --- set-up phase ---
+    # --- set-up phase (the prefetch window hides the leading part) ---
     decode = [
         c.config_words * pu_costs.decode_cycles_per_word for c in wave
     ]
     setup_wall = dma.transfer_cycles(sum(c.config_words for c in wave)) + max(
         decode
     )
-    report.setup_cycles += setup_wall
-    report.pu_provisioned_cycles += config.num_pus * setup_wall
-    report.pu_active_cycles += len(wave) * setup_wall
+    exposed = max(0, setup_wall - prefetch_window)
+    report.setup_cycles += exposed
+    report.prefetch_hidden_cycles += setup_wall - exposed
+    report.pu_provisioned_cycles += config.num_pus * exposed
+    report.pu_active_cycles += len(wave) * exposed
+    report.waves += 1
 
     # --- compute phase: group steps by the set of live individuals ---
     per_step_cycles = [step_cycles_fn(c) for c in wave]
     per_step_active = [pe_active_fn(c) for c in wave]
+    compute_wall = 0.0
 
     order = sorted(range(len(wave)), key=lambda i: lengths[i])
     live = list(order)  # indices still alive, shortest-lived first
@@ -413,6 +498,7 @@ def _schedule_wave(
             step_wall = slowest + io + config.step_sync_cycles
 
         report.compute_cycles += n_steps * step_wall
+        compute_wall += n_steps * step_wall
         report.io_cycles += n_steps * io
         report.pe_active_cycles += n_steps * sum(
             per_step_active[i] for i in live
@@ -425,8 +511,11 @@ def _schedule_wave(
         )
         report.pu_provisioned_cycles += n_steps * config.num_pus * step_wall
         report.steps += n_steps
+        report.live_slot_steps += n_steps * len(live)
+        report.slot_steps_provisioned += n_steps * config.num_pus
         t = horizon
         live = [i for i in live if lengths[i] > t]
+    return compute_wall
 
 
 def _static_pe_active(net: HWNetConfig, pe_costs: PECosts) -> int:

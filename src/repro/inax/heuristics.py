@@ -24,6 +24,7 @@ __all__ = [
     "pu_candidates",
     "choose_num_pes",
     "choose_num_pus",
+    "wave_occupancy",
 ]
 
 
@@ -72,3 +73,31 @@ def choose_num_pus(population: int, max_pus: int | None = None) -> int:
     if not candidates:
         return 1
     return candidates[0]
+
+
+def wave_occupancy(
+    episode_lengths: list[int], num_pus: int, schedule: str = "arrival"
+) -> float:
+    """Design-time estimate of PU slot-step occupancy for a generation.
+
+    A wave's wall clock is pinned by its longest-lived member while
+    shorter episodes idle their PU (§V-B2's drain effect), so occupancy
+    is ``sum(lengths) / (num_pus * sum(per-wave max length))``.  This is
+    the count-based quantity :attr:`CycleReport.packing_efficiency`
+    measures post-hoc; evaluating it under ``schedule="lpt"`` vs
+    ``"arrival"`` predicts how much the length-aware packer recovers
+    before committing to a hardware configuration.
+    """
+    from repro.inax.pipeline import pack_waves
+
+    if not episode_lengths:
+        return 0.0
+    if any(length < 1 for length in episode_lengths):
+        raise ValueError("episode lengths must be >= 1")
+    waves = pack_waves(
+        [float(length) for length in episode_lengths], num_pus, schedule
+    )
+    provisioned = num_pus * sum(
+        max(episode_lengths[i] for i in wave) for wave in waves
+    )
+    return sum(episode_lengths) / provisioned

@@ -125,12 +125,17 @@ def schedule_generation_sa(
     net_configs: list[HWNetConfig],
     episode_lengths: list[int],
     costs: SACosts | None = None,
+    pipeline=None,
+    predicted_costs=None,
 ) -> CycleReport:
     """Population evaluation on the PU-parallelized SA baseline.
 
     Identical wave/episode schedule as INAX's
     :func:`~repro.inax.accelerator.schedule_generation`; only the
-    per-inference latency model differs.
+    per-inference latency model differs.  ``pipeline`` /
+    ``predicted_costs`` pass the wave-packing and prefetch policies
+    through unchanged, so pipelined INAX is compared against an equally
+    pipelined SA rather than a handicapped baseline.
     """
     costs = costs or SACosts()
     return schedule_generation(
@@ -139,4 +144,6 @@ def schedule_generation_sa(
         episode_lengths,
         step_cycles_fn=lambda c: sa_step_cycles(c, config.num_pes_per_pu, costs),
         pe_active_fn=lambda c: sa_pe_active_cycles(c, costs),
+        pipeline=pipeline,
+        predicted_costs=predicted_costs,
     )

@@ -51,6 +51,17 @@ class CycleReport:
     steps: int = 0
     #: number of individuals processed
     individuals: int = 0
+    #: number of dispatch waves executed
+    waves: int = 0
+    #: set-up cycles hidden behind the previous wave's compute by the
+    #: double-buffered DMA/decode prefetch (``setup_cycles`` holds only
+    #: the *exposed* remainder, so ``total_cycles`` stays wall-clock)
+    prefetch_hidden_cycles: float = 0.0
+    #: slot-steps where a PU slot held a live individual (occupancy
+    #: numerator: one per live slot per synchronized step)
+    live_slot_steps: int = 0
+    #: slot-steps provisioned (``num_pus`` per synchronized step)
+    slot_steps_provisioned: int = 0
     #: iteration counts per layer-execution (diagnostics)
     layer_iterations: list[int] = field(default_factory=list)
 
@@ -77,6 +88,17 @@ class CycleReport:
         """PU utilization rate (Eq. 1 over PUs)."""
         return utilization(self.pu_active_cycles, self.pu_provisioned_cycles)
 
+    @property
+    def packing_efficiency(self) -> float:
+        """Fraction of provisioned PU slot-steps holding a live episode.
+
+        Unlike :attr:`u_pu` (cycle-weighted) this is count-based, so it
+        isolates what wave *packing* controls: empty slots in partial
+        waves and the §V-B2 drain tail where short episodes idle their
+        PU while the wave's longest episode finishes.
+        """
+        return utilization(self.live_slot_steps, self.slot_steps_provisioned)
+
     # --------------------------------------------------------- breakdown
     def breakdown(self) -> dict[str, float]:
         """Fractions of set-up / PE active / evaluate control, normalized
@@ -102,4 +124,8 @@ class CycleReport:
         self.io_cycles += other.io_cycles
         self.steps += other.steps
         self.individuals += other.individuals
+        self.waves += other.waves
+        self.prefetch_hidden_cycles += other.prefetch_hidden_cycles
+        self.live_slot_steps += other.live_slot_steps
+        self.slot_steps_provisioned += other.slot_steps_provisioned
         self.layer_iterations.extend(other.layer_iterations)

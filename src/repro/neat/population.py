@@ -15,6 +15,7 @@ the per-phase wall-clock times that regenerate Fig 1(b) and Fig 9(d).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
@@ -124,8 +125,14 @@ class Population:
         evaluate: EvaluateFn,
         max_generations: int | None = None,
         fitness_threshold: float | None = None,
+        drain: Callable[[], None] | None = None,
     ) -> RunResult:
-        """Run evaluate/evolve loops until solved or out of generations."""
+        """Run evaluate/evolve loops until solved or out of generations.
+
+        ``drain`` (optional) is the backend's deferred-bookkeeping hook:
+        when given, each generation's evolve phase runs concurrently
+        with it (the pipeline's evolve/evaluate overlap — see
+        :meth:`advance`)."""
         limit = (
             max_generations
             if max_generations is not None
@@ -138,7 +145,7 @@ class Population:
         )
         solved = False
         for _ in range(limit):
-            best = self.advance(evaluate)
+            best = self.advance(evaluate, drain=drain)
             if threshold is not None and best.fitness is not None:
                 if best.fitness >= threshold:
                     solved = True
@@ -151,8 +158,20 @@ class Population:
             history=list(self.history),
         )
 
-    def advance(self, evaluate: EvaluateFn) -> Genome:
-        """Run one evaluate + evolve cycle; returns the generation's best."""
+    def advance(
+        self, evaluate: EvaluateFn, drain: Callable[[], None] | None = None
+    ) -> Genome:
+        """Run one evaluate + evolve cycle; returns the generation's best.
+
+        With ``drain``, the backend's deferred generation bookkeeping
+        (workload/cycle pricing — every fitness is already set) runs on
+        a background thread *while* this population evolves generation
+        g+1, and is joined before the method returns — the CPU's evolve
+        phase and the backend's drain overlap instead of serializing.
+        The drain touches no RNG and no genomes, so the evolved
+        population is bit-identical either way; the join wait is
+        recorded as the ``overlap`` phase.
+        """
         t0 = time.perf_counter()
         with _span(
             "phase.evaluate",
@@ -177,8 +196,36 @@ class Population:
             self.best_genome = best.copy()
 
         self._record_stats(best)
-        self._evolve()
+        if drain is None:
+            self._evolve()
+        else:
+            self._evolve_overlapped(drain)
         return best
+
+    def _evolve_overlapped(self, drain: Callable[[], None]) -> None:
+        """Evolve while the backend drains; re-raise drain errors here."""
+        outcome: dict[str, BaseException] = {}
+
+        def _run_drain() -> None:
+            try:
+                drain()
+            except BaseException as error:  # repro: noqa[RES001]
+                # stored, then re-raised on the main thread after join —
+                # a drain failure must fail the run, not vanish with the
+                # worker thread
+                outcome["error"] = error
+
+        thread = threading.Thread(
+            target=_run_drain, name="backend-drain", daemon=True
+        )
+        thread.start()
+        self._evolve()
+        t0 = time.perf_counter()
+        with _span("phase.overlap", generation=self.generation):
+            thread.join()
+        self.profiler.record("overlap", time.perf_counter() - t0)
+        if "error" in outcome:
+            raise outcome["error"]
 
     # ------------------------------------------------------------ evolve
     def _evolve(self) -> None:

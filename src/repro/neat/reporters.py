@@ -11,6 +11,7 @@ from __future__ import annotations
 import csv
 import io
 import os
+import warnings
 from typing import Protocol
 
 from repro.neat.population import GenerationStats
@@ -67,15 +68,26 @@ class CSVReporter:
         With ``append`` the file is opened in append mode and the
         header row is skipped when the target already has content —
         the resume flow uses this so continuing a checkpointed run
-        extends its CSV history instead of truncating it.
+        extends its CSV history instead of truncating it.  The existing
+        file's *own* header defines the column order appended rows
+        follow, so a resumed run can never misalign columns; when the
+        resumed run contributes columns the original header lacks (a
+        backend now reporting ``fallback_waves``, new packing columns,
+        ...), the file is migrated in place — header extended, old rows
+        padded with 0 — instead of silently dropping the new data.
         """
         has_content = False
+        existing_fields: tuple[str, ...] | None = None
+        self._path: str | None = None
         if isinstance(target, (str,)) or hasattr(target, "__fspath__"):
+            self._path = os.fspath(target)
             if append:
                 try:
                     has_content = os.path.getsize(target) > 0
                 except OSError:
                     has_content = False
+                if has_content:
+                    existing_fields = self._read_header(self._path)
             self._stream = open(target, "a" if append else "w", newline="")
             self._owns_stream = True
         else:
@@ -87,23 +99,86 @@ class CSVReporter:
                 except (OSError, ValueError):
                     has_content = False
         # the header is written lazily at the first row so backend
-        # extras (sorted, after the fixed fields) can extend it; extras
-        # appearing only in later generations are dropped from the CSV
-        # (a file's column set is fixed by its header)
+        # extras (sorted, after the fixed fields) can extend it
         self._has_content = has_content
+        self._fieldnames = existing_fields
         self._writer: csv.DictWriter | None = None
+        self._warned_columns: set[str] = set()
+
+    @staticmethod
+    def _read_header(path: str) -> tuple[str, ...] | None:
+        """The existing file's column order (None if unreadable)."""
+        try:
+            with open(path, newline="") as handle:
+                header = next(csv.reader(handle), None)
+        except OSError:
+            return None
+        return tuple(header) if header else None
+
+    def _ensure_columns(self, desired: tuple[str, ...]) -> None:
+        """Make every ``desired`` column land in the output.
+
+        Columns missing from the committed header are added by
+        rewriting the file in place when this reporter owns a path
+        (old rows get ``0`` for the new columns); for a caller-owned
+        stream the header cannot be rewritten, so a loud warning names
+        each dropped column once instead of losing it silently.
+        """
+        assert self._fieldnames is not None
+        missing = [f for f in desired if f not in self._fieldnames]
+        if not missing:
+            return
+        if self._path is not None:
+            self._migrate(missing)
+            return
+        new = [f for f in missing if f not in self._warned_columns]
+        if new:
+            self._warned_columns.update(new)
+            warnings.warn(
+                "CSVReporter: column(s) "
+                + ", ".join(repr(f) for f in new)
+                + " appeared after the CSV header was fixed and will be "
+                "dropped (stream targets cannot be migrated; write to a "
+                "file path to keep them)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _migrate(self, missing: list[str]) -> None:
+        """Extend an owned file's header in place (old rows pad to 0)."""
+        assert self._path is not None
+        self._stream.close()
+        with open(self._path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        self._fieldnames = tuple(self._fieldnames or ()) + tuple(missing)
+        with open(self._path, "w", newline="") as handle:
+            writer = csv.DictWriter(
+                handle,
+                fieldnames=self._fieldnames,
+                restval=0,
+                extrasaction="ignore",
+            )
+            writer.writeheader()
+            writer.writerows(rows)
+        self._stream = open(self._path, "a", newline="")
+        self._has_content = True
+        self._writer = None
 
     def on_generation(self, stats: GenerationStats) -> None:
+        desired = self.FIELDS + tuple(sorted(stats.extras))
+        if self._fieldnames is None:
+            self._fieldnames = desired
+        self._ensure_columns(desired)
         if self._writer is None:
-            fieldnames = self.FIELDS + tuple(sorted(stats.extras))
             self._writer = csv.DictWriter(
                 self._stream,
-                fieldnames=fieldnames,
+                fieldnames=self._fieldnames,
                 restval=0,
                 extrasaction="ignore",
             )
             if not self._has_content:
                 self._writer.writeheader()
+                self._has_content = True
         row = {field: getattr(stats, field) for field in self.FIELDS}
         row.update(stats.extras)
         self._writer.writerow(row)

@@ -1,0 +1,97 @@
+"""S4: dispatch order can never change a fitness bit.
+
+Episode seeds are keyed on (run seed, genome key, episode) and fitness
+is per-genome, so *any* permutation of the population — and any wave
+packing the LPT scheduler chooses — must produce bit-identical
+per-genome fitness on every backend."""
+
+import numpy as np
+import pytest
+
+from repro.core.backends import CPUBackend, FastCPUBackend, INAXBackend
+from repro.inax.accelerator import INAXConfig
+from repro.inax.pipeline import PipelineConfig
+from repro.neat.config import NEATConfig
+from repro.neat.innovation import InnovationTracker
+
+from tests.conftest import evolved_genome
+
+ENVS = ["cartpole", "lunar_lander"]
+BACKENDS = ["cpu", "cpu-fast", "inax"]
+
+
+def _cfg(env_name):
+    if env_name == "lunar_lander":
+        return NEATConfig(num_inputs=8, num_outputs=4, population_size=6)
+    return NEATConfig(num_inputs=4, num_outputs=2, population_size=6)
+
+
+def _genomes(cfg):
+    tracker = InnovationTracker(cfg.num_outputs)
+    rng = np.random.default_rng(0)
+    return [
+        evolved_genome(cfg, tracker, rng, mutations=6, key=i)
+        for i in range(cfg.population_size)
+    ]
+
+
+def _backend(name, env_name, cfg, pipeline=None):
+    kwargs = dict(base_seed=1)
+    if name == "cpu":
+        return CPUBackend(env_name, cfg, pipeline=pipeline, **kwargs)
+    if name == "cpu-fast":
+        return FastCPUBackend(env_name, cfg, pipeline=pipeline, **kwargs)
+    return INAXBackend(
+        env_name,
+        cfg,
+        inax_config=INAXConfig(num_pus=3, num_pes_per_pu=cfg.num_outputs),
+        pipeline=pipeline,
+        **kwargs,
+    )
+
+
+def _fitness_by_key(backend, genomes):
+    try:
+        backend.evaluate(genomes)
+        backend.drain()
+    finally:
+        backend.close()
+    return {g.key: g.fitness for g in genomes}
+
+
+@pytest.mark.parametrize("env_name", ENVS)
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_permutations_and_lpt_are_bit_identical(env_name, backend_name):
+    cfg = _cfg(env_name)
+    baseline = _fitness_by_key(
+        _backend(backend_name, env_name, cfg), _genomes(cfg)
+    )
+    assert all(f is not None for f in baseline.values())
+
+    rng = np.random.default_rng(42)
+    for trial in range(3):
+        genomes = _genomes(cfg)
+        order = rng.permutation(len(genomes))
+        shuffled = [genomes[i] for i in order]
+        pipeline = PipelineConfig(
+            schedule="lpt", prefetch=True, overlap=bool(trial % 2)
+        )
+        backend = _backend(backend_name, env_name, cfg, pipeline=pipeline)
+        # seed the length history so the second generation packs by LPT
+        permuted = _fitness_by_key(backend, shuffled)
+        assert permuted == baseline, (trial, "first generation")
+
+        genomes = _genomes(cfg)
+        backend2 = _backend(backend_name, env_name, cfg, pipeline=pipeline)
+        try:
+            backend2.evaluate(genomes)
+            backend2.drain()
+            second = _genomes(cfg)
+            backend2.evaluate(second)  # now packs on real predictions
+            backend2.drain()
+        finally:
+            backend2.close()
+        assert {g.key: g.fitness for g in second} == baseline, (
+            trial,
+            "second generation (lpt-packed)",
+        )

@@ -259,3 +259,117 @@ class TestCheckpointValidation:
         path.write_text(json.dumps(_rechecksum(payload)))
         restored = load_checkpoint(path, validate=False)
         assert len(restored.population) == 5
+
+
+def _stats_extra(gen, **extras):
+    stats = _stats(gen=gen)
+    stats.extras.update(extras)
+    return stats
+
+
+class TestCSVReporterMigration:
+    """S2: columns appearing after the header is fixed must not be
+    silently dropped — owned files migrate in place, streams warn."""
+
+    def test_resume_with_new_extras_migrates_file(self, tmp_path):
+        path = tmp_path / "run.csv"
+        with CSVReporter(path) as reporter:
+            reporter.on_generation(_stats(gen=0))
+            reporter.on_generation(_stats(gen=1))
+        # the resumed run's backend contributes columns the original
+        # header lacks (the fallback_waves/pack_eff scenario)
+        with CSVReporter(path, append=True) as reporter:
+            reporter.on_generation(
+                _stats_extra(2, fallback_waves=1.0, pack_eff=0.75)
+            )
+            reporter.on_generation(
+                _stats_extra(3, fallback_waves=0.0, pack_eff=0.5)
+            )
+        import csv as _csv
+
+        with open(path, newline="") as handle:
+            rows = list(_csv.DictReader(handle))
+        assert len(rows) == 4
+        header = path.read_text().splitlines()[0].split(",")
+        assert "fallback_waves" in header and "pack_eff" in header
+        # old rows pad the new columns with 0
+        assert rows[0]["fallback_waves"] == "0"
+        assert rows[1]["pack_eff"] == "0"
+        # new rows carry the real values, correctly aligned
+        assert rows[2]["fallback_waves"] == "1.0"
+        assert rows[3]["pack_eff"] == "0.5"
+        assert [row["generation"] for row in rows] == ["0", "1", "2", "3"]
+
+    def test_resume_keeps_existing_column_order(self, tmp_path):
+        """Appended rows follow the *file's* header order even when the
+        resumed run reports extras in a different iteration order."""
+        path = tmp_path / "run.csv"
+        with CSVReporter(path) as reporter:
+            reporter.on_generation(_stats_extra(0, zeta=1.0, alpha=2.0))
+        with CSVReporter(path, append=True) as reporter:
+            reporter.on_generation(_stats_extra(1, zeta=3.0, alpha=4.0))
+        import csv as _csv
+
+        with open(path, newline="") as handle:
+            rows = list(_csv.DictReader(handle))
+        assert rows[0]["alpha"] == "2.0" and rows[0]["zeta"] == "1.0"
+        assert rows[1]["alpha"] == "4.0" and rows[1]["zeta"] == "3.0"
+
+    def test_mid_run_new_extras_migrate_too(self, tmp_path):
+        path = tmp_path / "run.csv"
+        with CSVReporter(path) as reporter:
+            reporter.on_generation(_stats(gen=0))
+            reporter.on_generation(_stats_extra(1, fallback_waves=2.0))
+        import csv as _csv
+
+        with open(path, newline="") as handle:
+            rows = list(_csv.DictReader(handle))
+        assert rows[0]["fallback_waves"] == "0"
+        assert rows[1]["fallback_waves"] == "2.0"
+
+    def test_stream_target_warns_loudly_once(self):
+        buffer = io.StringIO()
+        reporter = CSVReporter(buffer)
+        reporter.on_generation(_stats(gen=0))
+        with pytest.warns(RuntimeWarning, match="pack_eff"):
+            reporter.on_generation(_stats_extra(1, pack_eff=0.5))
+        # the same column does not warn twice
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            reporter.on_generation(_stats_extra(2, pack_eff=0.25))
+        lines = buffer.getvalue().strip().splitlines()
+        # rows stay aligned with the original header (column dropped)
+        assert all(line.count(",") == lines[0].count(",") for line in lines)
+
+    def test_resume_roundtrip_via_population(self, tmp_path):
+        """End-to-end: run, checkpoint, resume with a CSV append —
+        the resumed history extends the file without misalignment."""
+        path = tmp_path / "history.csv"
+        config = NEATConfig(num_inputs=2, num_outputs=1, population_size=8)
+
+        def evaluate(genomes):
+            for genome in genomes:
+                genome.fitness = float(genome.key % 5)
+
+        population = Population(config, seed=3)
+        with CSVReporter(path) as reporter:
+            population.reporters.add(reporter)
+            population.run(evaluate, max_generations=2)
+        checkpoint = tmp_path / "ckpt.json"
+        save_checkpoint(population, checkpoint)
+
+        resumed = load_checkpoint(checkpoint)
+        resumed.stat_sources.append(lambda: {"pack_eff": 1.0})
+        with CSVReporter(path, append=True) as reporter:
+            resumed.reporters.add(reporter)
+            resumed.run(evaluate, max_generations=2)
+
+        import csv as _csv
+
+        with open(path, newline="") as handle:
+            rows = list(_csv.DictReader(handle))
+        assert len(rows) == 4
+        assert [row["pack_eff"] for row in rows] == ["0", "0", "1.0", "1.0"]
+        assert rows[-1]["generation"] == str(resumed.generation - 1)

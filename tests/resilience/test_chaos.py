@@ -289,9 +289,14 @@ class TestReporterColumns:
         cfg = _cfg()
         plain = INAXBackend("cartpole", cfg, base_seed=1)
         armed = INAXBackend("cartpole", cfg, base_seed=1, fallback="cpu-fast")
-        assert set(plain.reporter_columns()) == {"quarantined", "oversize"}
+        assert set(plain.reporter_columns()) == {
+            "quarantined",
+            "oversize",
+            "pack_eff",
+        }
         assert set(armed.reporter_columns()) == {
             "quarantined",
             "oversize",
+            "pack_eff",
             "fallback_waves",
         }
