@@ -45,7 +45,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--env", required=True, help="environment name")
     run.add_argument(
         "--backend", default="inax",
-        choices=("cpu", "cpu-fast", "gpu", "inax"),
+        choices=("cpu", "cpu-fast", "cpu-compiled", "gpu", "inax"),
         help="where the evaluate phase runs",
     )
     run.add_argument(
@@ -77,7 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--env", required=True, help="environment name")
     resume.add_argument(
         "--backend", default="inax",
-        choices=("cpu", "cpu-fast", "gpu", "inax"),
+        choices=("cpu", "cpu-fast", "cpu-compiled", "gpu", "inax"),
     )
     resume.add_argument(
         "--workers", type=int, default=0,
@@ -302,16 +302,26 @@ def _print_resilience_summary(backend) -> None:
 
 
 def _print_cache_summary(backend) -> None:
-    """Surface the decode-cache statistics in the run summary."""
-    if not hasattr(backend, "cache_info"):
-        return
-    info = backend.cache_info()
-    lookups = info["hits"] + info["misses"]
-    rate = 100.0 * info["hits"] / lookups if lookups else 0.0
-    print(
-        f"decode cache: {info['hits']} hits / {info['misses']} misses "
-        f"({rate:.1f}% hit rate), {info['size']} entries"
-    )
+    """Surface the structural-cache statistics in the run summary."""
+    for label, getter in (
+        ("decode cache", "cache_info"),
+        ("compile cache", "compile_cache_info"),
+    ):
+        if not hasattr(backend, getter):
+            continue
+        info = getattr(backend, getter)()
+        lookups = info["hits"] + info["misses"]
+        if not lookups and not info["size"] and not info.get("warmed"):
+            continue  # backend never used this cache (e.g. cpu-compiled's
+            # decode LRU); don't print a dead row
+        rate = 100.0 * info["hits"] / lookups if lookups else 0.0
+        warmed = (
+            f", {info['warmed']} warmed" if info.get("warmed") else ""
+        )
+        print(
+            f"{label}: {info['hits']} hits / {info['misses']} misses "
+            f"({rate:.1f}% hit rate), {info['size']} entries{warmed}"
+        )
 
 
 # ---------------------------------------------------------------- commands
@@ -428,6 +438,13 @@ def _cmd_resume(args) -> int:
     if args.backend == "inax" and "fallback" in resilience:
         kwargs["fallback"] = resilience["fallback"]
     backend = backend_cls(args.env, population.config, **kwargs)
+    # the checkpoint restores genomes but no cache state; warming the
+    # structural caches from the restored population keeps post-resume
+    # hit rates (and benchmarks) honest instead of silently re-decoding
+    # the whole first generation
+    warmed = backend.warm_caches(population.population)
+    if warmed and not args.quiet:
+        print(f"warmed structural caches from checkpoint: {warmed} entries")
     if hasattr(backend, "reporter_columns"):
         population.stat_sources.append(backend.reporter_columns)
     if not args.quiet:

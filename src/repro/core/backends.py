@@ -35,11 +35,13 @@ benchmark harnesses consume.
 from __future__ import annotations
 
 import hashlib
+import math
 import multiprocessing
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.compile import CompileCache, CompiledPopulationEvaluator
 from repro.core.profiler import PhaseProfiler
 from repro.envs.base import Environment
 from repro.envs.registry import make
@@ -76,6 +78,7 @@ __all__ = [
     "EvaluationBackend",
     "CPUBackend",
     "FastCPUBackend",
+    "CompiledCPUBackend",
     "GPUBackend",
     "INAXBackend",
     "BACKENDS",
@@ -158,6 +161,11 @@ class EvaluationBackend:
             genomes=len(genomes),
         ):
             self._evaluate(genomes)
+            nonfinite = [
+                g.key
+                for g in genomes
+                if g.fitness is not None and not math.isfinite(g.fitness)
+            ]
             quarantined = quarantine_nonfinite(
                 genomes,
                 penalty=self.quarantine_penalty,
@@ -166,11 +174,29 @@ class EvaluationBackend:
             if quarantined:
                 self.quarantine_count += len(quarantined)
                 self.resilience_events.extend(quarantined)
+                # a quarantined genome's episode ran under fault
+                # conditions (NaN rewards end episodes at whatever step
+                # the fault fired), so its recorded length would poison
+                # the LPT cost prediction for its key next generation;
+                # dropping it falls back to arrival-order placement
+                for key in nonfinite:
+                    self._last_lengths.pop(key, None)
         if not self.pipeline.overlap:
             self.drain()
 
     def _evaluate(self, genomes: list[Genome]) -> None:
         raise NotImplementedError
+
+    def warm_caches(self, genomes: list[Genome]) -> int:
+        """Pre-populate structural caches from ``genomes`` (resume path).
+
+        ``load_checkpoint`` restores the population but no cache state;
+        without warming, the first post-resume generation silently
+        re-decodes/re-compiles everything.  Returns how many cache
+        entries were built; backends without structural caches warm
+        nothing.
+        """
+        return 0
 
     def drain(self) -> None:
         """Run the generation's deferred bookkeeping (idempotent).
@@ -373,6 +399,9 @@ class _DecodeCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        #: entries inserted by :meth:`warm` (resume warm-start); kept out
+        #: of hits/misses so hit-rate telemetry stays honest
+        self.warmed = 0
         self._entries: OrderedDict[str, _Decoded] = OrderedDict()
 
     def get(self, genome: Genome, config: NEATConfig) -> _Decoded:
@@ -383,18 +412,34 @@ class _DecodeCache:
             self._entries.move_to_end(key)
             return entry
         self.misses += 1
+        self._build(key, genome, config)
+        return self._entries[key]
+
+    def warm(self, genome: Genome, config: NEATConfig) -> bool:
+        """Insert ``genome``'s decode without touching hit/miss counts.
+
+        Returns True when an entry was actually built (False: already
+        cached).
+        """
+        key = genome.structural_hash()
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return False
+        self.warmed += 1
+        self._build(key, genome, config)
+        return True
+
+    def _build(self, key: str, genome: Genome, config: NEATConfig) -> None:
         net = FeedForwardNetwork.create(genome, config)
         try:
             vnet = VectorizedNetwork(net)
         except ValueError:
             vnet = None
-        entry = _Decoded(
+        self._entries[key] = _Decoded(
             config=compile_genome(genome, config), net=net, vnet=vnet
         )
-        self._entries[key] = entry
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-        return entry
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -405,6 +450,19 @@ class _DecodeCache:
 _WORKER_BACKEND: "FastCPUBackend | None" = None
 
 
+def _shard_slot(site: str) -> str:
+    """The stable shard slot (``shard=N``) in a payload site.
+
+    Attempt indices change across retries but the slot does not, so a
+    retried shard's size report *replaces* its predecessor instead of
+    accumulating.  Siteless legacy payloads share the anonymous slot.
+    """
+    for part in site.split("|"):
+        if part.startswith("shard="):
+            return part
+    return ""
+
+
 def _fastcpu_worker_init(
     env_name: str,
     neat_config: NEATConfig,
@@ -413,9 +471,13 @@ def _fastcpu_worker_init(
     env_kwargs: dict,
     cache_size: int,
     fault_plan: FaultPlan | None = None,
+    backend_cls: "type[FastCPUBackend] | None" = None,
 ) -> None:
     global _WORKER_BACKEND
-    _WORKER_BACKEND = FastCPUBackend(
+    # workers run the parent's own class (cpu-compiled shards must use
+    # the compiled path), minus sharding — classes pickle by reference
+    cls = backend_cls if backend_cls is not None else FastCPUBackend
+    _WORKER_BACKEND = cls(
         env_name,
         neat_config,
         episodes_per_genome=episodes_per_genome,
@@ -431,6 +493,8 @@ def _fastcpu_worker_init(
 #: each result ships a *delta* the parent can sum regardless of which
 #: worker a shard landed on
 _WORKER_REPORTED_CACHE = {"hits": 0, "misses": 0}
+#: same, for the compiled backend's shape-keyed compile cache
+_WORKER_REPORTED_COMPILE = {"hits": 0, "misses": 0}
 
 
 def _fastcpu_worker_evaluate(
@@ -481,6 +545,18 @@ def _fastcpu_worker_evaluate(
         "genomes": len(genomes),
         "metrics": registry.snapshot() if registry is not None else None,
     }
+    compile_cache = getattr(_WORKER_BACKEND, "_compile_cache", None)
+    if compile_cache is not None:
+        compile_info = compile_cache.info()
+        telemetry["compile_delta"] = {
+            "hits": compile_info["hits"] - _WORKER_REPORTED_COMPILE["hits"],
+            "misses": (
+                compile_info["misses"] - _WORKER_REPORTED_COMPILE["misses"]
+            ),
+        }
+        _WORKER_REPORTED_COMPILE["hits"] = compile_info["hits"]
+        _WORKER_REPORTED_COMPILE["misses"] = compile_info["misses"]
+        telemetry["compile_size"] = compile_info["size"]
     rows = [
         (genome.key, fitness, length)
         for genome, fitness, length in zip(genomes, fitnesses, lengths)
@@ -564,6 +640,16 @@ class FastCPUBackend(CPUBackend):
         #: "evaluate" wall span already covers the blocking map call)
         self.shard_profiler = PhaseProfiler()
         self._shard_cache = {"hits": 0, "misses": 0, "size": 0}
+        #: latest reported cache size per shard slot (``shard=N`` parsed
+        #: from the payload site); ``_shard_cache["size"]`` is their sum,
+        #: so the aggregate is deterministic regardless of the order
+        #: shard payloads arrive in
+        self._shard_sizes: dict[str, int] = {}
+        #: compile-cache deltas folded back from compiled shards (stays
+        #: zero for plain ``cpu-fast`` workers, which have no compile
+        #: cache)
+        self._shard_compile = {"hits": 0, "misses": 0}
+        self._shard_compile_sizes: dict[str, int] = {}
 
     # --------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -589,14 +675,25 @@ class FastCPUBackend(CPUBackend):
 
         With ``workers > 1`` the counts combine the parent cache with
         every worker shard's (workers report deltas back with each
-        evaluated shard; ``size`` adds the workers' sizes at their last
-        report).
+        evaluated shard; ``size`` **sums each shard slot's most recent
+        report**, so the aggregate is deterministic no matter what
+        order payloads arrive in).  ``warmed`` counts entries built by
+        :meth:`warm_caches` (resume warm-start), which are deliberately
+        excluded from hits/misses.
         """
         return {
             "hits": self._cache.hits + self._shard_cache["hits"],
             "misses": self._cache.misses + self._shard_cache["misses"],
             "size": len(self._cache) + self._shard_cache["size"],
+            "warmed": self._cache.warmed,
         }
+
+    def warm_caches(self, genomes: list[Genome]) -> int:
+        built = 0
+        for genome in genomes:
+            if self._cache.warm(genome, self.neat_config):
+                built += 1
+        return built
 
     def reporter_columns(self) -> dict[str, float]:
         columns = super().reporter_columns()
@@ -723,6 +820,7 @@ class FastCPUBackend(CPUBackend):
                 self.env_kwargs,
                 self._cache.capacity,
                 self.fault_plan,
+                type(self),
             ),
         )
 
@@ -824,12 +922,20 @@ class FastCPUBackend(CPUBackend):
         worker's retry has a fresh attempt index, while any duplicate
         delivery of the same payload is dropped instead of double
         counting cache/metric deltas.
+
+        Cache *sizes* (unlike deltas) are absolute snapshots, so they
+        aggregate as the **sum over shard slots of each slot's most
+        recent report** — never by folding payloads in arrival order,
+        which made the reported size jitter with delivery order.
+        Fallback payloads (site ``...|fallback``) leave the slot's size
+        untouched: degradation ran in-parent, so the dead worker's
+        cache did not change.  Siteless legacy payloads share one
+        anonymous slot.
         """
         registry = get_metrics()
         seen_sites: set[str] = set()
-        size = 0
         for payload in payloads:
-            site = payload.get("site")
+            site = payload.get("site") or ""
             if site:
                 if site in seen_sites:
                     continue
@@ -840,7 +946,15 @@ class FastCPUBackend(CPUBackend):
             self.shard_profiler.merge(shard)
             self._shard_cache["hits"] += payload["cache_delta"]["hits"]
             self._shard_cache["misses"] += payload["cache_delta"]["misses"]
-            size += payload["cache_size"]
+            compile_delta = payload.get("compile_delta")
+            if compile_delta is not None:
+                self._shard_compile["hits"] += compile_delta["hits"]
+                self._shard_compile["misses"] += compile_delta["misses"]
+            if not site or "attempt=" in site.split("|")[-1]:
+                slot = _shard_slot(site)
+                self._shard_sizes[slot] = payload["cache_size"]
+                if "compile_size" in payload:
+                    self._shard_compile_sizes[slot] = payload["compile_size"]
             if registry is not None:
                 registry.counter("fastcpu.shard.evaluate_seconds").inc(
                     payload["phase_seconds"].get("evaluate", 0.0)
@@ -850,7 +964,197 @@ class FastCPUBackend(CPUBackend):
                 )
                 if payload.get("metrics"):
                     registry.merge_snapshot(payload["metrics"])
-        self._shard_cache["size"] = size
+        self._shard_cache["size"] = sum(self._shard_sizes.values())
+
+
+class CompiledCPUBackend(FastCPUBackend):
+    """Structural-batching software evaluation (``cpu-compiled``).
+
+    Where ``cpu-fast`` decodes every genome whose *weighted* structural
+    hash is new — i.e. the weight-mutated bulk of every generation —
+    this backend buckets genomes by the weights-excluded
+    :meth:`Genome.shape_key` and compiles each shape **once** into a
+    :class:`~repro.compile.CompiledStructure` held in a
+    cross-generation :class:`~repro.compile.CompileCache`.  A
+    generation's members then become stacked weight/bias tensors over
+    the shared plans (:class:`~repro.compile.CompiledPopulationEvaluator`),
+    so a bucket advances one lock-step env step in a single batched
+    matmul, and steady-state generations compile almost nothing.
+
+    The arithmetic is the same flattened engine ``cpu-fast`` uses —
+    identical term order, identical activation kernels — and the HW
+    configs lower through the shapes' fill recipes to exactly what
+    :func:`compile_genome` produces, so fitness trajectories and
+    workload records are bit-identical to ``cpu``/``cpu-fast``.
+    Non-vectorizable shapes (exotic aggregations) fall back to the
+    interpreted reference path, which produces the same bits by
+    construction.  Sharding, supervision, and fault semantics are
+    inherited unchanged; shards run the compiled path with their own
+    compile caches and report deltas like the decode cache does.
+    """
+
+    name = "cpu-compiled"
+
+    def __init__(
+        self,
+        env_name: str,
+        neat_config: NEATConfig,
+        episodes_per_genome: int = 1,
+        base_seed: int = 0,
+        inax_config: INAXConfig | None = None,
+        env_kwargs: dict | None = None,
+        workers: int = 0,
+        cache_size: int = 512,
+        fault_plan: FaultPlan | None = None,
+        quarantine_penalty: float = DEFAULT_PENALTY,
+        supervisor: SupervisorConfig | None = None,
+        pipeline: PipelineConfig | None = None,
+    ):
+        """``cache_size`` bounds the shape-keyed compile cache (shapes
+        are far fewer than weighted structural hashes, so the same
+        capacity goes much further than the decode LRU's)."""
+        super().__init__(
+            env_name,
+            neat_config,
+            episodes_per_genome=episodes_per_genome,
+            base_seed=base_seed,
+            inax_config=inax_config,
+            env_kwargs=env_kwargs,
+            workers=workers,
+            cache_size=cache_size,
+            fault_plan=fault_plan,
+            quarantine_penalty=quarantine_penalty,
+            supervisor=supervisor,
+            pipeline=pipeline,
+        )
+        self._compile_cache = CompileCache(cache_size)
+
+    # ------------------------------------------------------------- stats
+    def compile_cache_info(self) -> dict[str, int]:
+        """Compile-cache statistics, shaped like :meth:`cache_info`.
+
+        With ``workers > 1`` the counts combine the parent cache with
+        every compiled shard's (deltas per payload; ``size`` sums each
+        shard slot's most recent report, like the decode cache).
+        """
+        info = self._compile_cache.info()
+        return {
+            "hits": info["hits"] + self._shard_compile["hits"],
+            "misses": info["misses"] + self._shard_compile["misses"],
+            "size": info["size"] + sum(self._shard_compile_sizes.values()),
+            "warmed": info["warmed"],
+        }
+
+    def warm_caches(self, genomes: list[Genome]) -> int:
+        # the decode LRU is unused here; the compile cache is the
+        # structural cache that must survive a resume
+        built = 0
+        for genome in genomes:
+            if self._compile_cache.warm(genome, self.neat_config):
+                built += 1
+        return built
+
+    def _publish_metrics(self) -> None:
+        super()._publish_metrics()
+        registry = get_metrics()
+        if registry is None:
+            return
+        info = self.compile_cache_info()
+        registry.gauge("compile.cache.hits").set(info["hits"])
+        registry.gauge("compile.cache.misses").set(info["misses"])
+        registry.gauge("compile.cache.size").set(info["size"])
+
+    # -------------------------------------------------------- evaluation
+    def _evaluate(self, genomes: list[Genome]) -> None:
+        with _span("compile.lookup", genomes=len(genomes)):
+            entries = [
+                self._compile_cache.get(g, self.neat_config) for g in genomes
+            ]
+        # workload records lower through the fill recipes — equal to
+        # compile_genome() field for field, without re-running CreateNet
+        configs = [
+            entry.hw_config(genome)
+            for entry, genome in zip(entries, genomes)
+        ]
+        if self.workers > 1 and len(genomes) > 1:
+            fitnesses, lengths = self._fitness_sharded(genomes)
+        else:
+            fitnesses, lengths = self._fitness_for(genomes, entries=entries)
+        for genome, fitness in zip(genomes, fitnesses):
+            genome.fitness = fitness
+        self._publish_metrics()
+        self._record(configs, lengths, keys=[g.key for g in genomes])
+
+    def _fitness_for(
+        self,
+        genomes: list[Genome],
+        decoded: list[_Decoded] | None = None,
+        entries=None,
+    ) -> tuple[list[float], list[int]]:
+        """Compiled in-process evaluation; returns (fitnesses, lengths).
+
+        ``decoded`` is accepted (and ignored) for signature parity with
+        the sharded driver; the compiled path derives everything from
+        the compile cache.
+        """
+        if entries is None:
+            entries = [
+                self._compile_cache.get(g, self.neat_config) for g in genomes
+            ]
+        episodes = self.episodes_per_genome
+
+        vector_ids = [
+            i for i, entry in enumerate(entries) if entry.plan is not None
+        ]
+        records: dict[tuple[int, int], object] = {}
+        if vector_ids:
+            slots = [
+                (i, episode)
+                for i in vector_ids
+                for episode in range(episodes)
+            ]
+            envs = [self._make_env() for _ in slots]
+            seeds = [
+                self._episode_seed(genomes[i], episode)
+                for i, episode in slots
+            ]
+            buckets = len({id(entries[i]) for i, _ in slots})
+            with _span(
+                "compile.batch_step", slots=len(slots), buckets=buckets
+            ):
+                evaluator = CompiledPopulationEvaluator(
+                    [(entries[i], genomes[i]) for i, _ in slots]
+                )
+                for slot, record in zip(
+                    slots, run_lockstep(envs, evaluator.infer, seeds=seeds)
+                ):
+                    records[slot] = record
+
+        fitnesses: list[float] = []
+        lengths: list[int] = []
+        interpreted: dict[int, FeedForwardNetwork] = {}
+        for i, genome in enumerate(genomes):
+            total_reward = 0.0
+            total_steps = 0
+            for episode in range(episodes):
+                record = records.get((i, episode))
+                if record is None:  # non-vectorizable shape: reference path
+                    net = interpreted.get(i)
+                    if net is None:
+                        net = FeedForwardNetwork.create(
+                            genome, self.neat_config
+                        )
+                        interpreted[i] = net
+                    record = run_episode(
+                        self._make_env(),
+                        net,
+                        seed=self._episode_seed(genome, episode),
+                    )
+                total_reward += record.total_reward
+                total_steps += record.steps
+            fitnesses.append(total_reward / episodes)
+            lengths.append(total_steps)
+        return fitnesses, lengths
 
 
 class INAXBackend(EvaluationBackend):
@@ -1138,6 +1442,7 @@ class INAXBackend(EvaluationBackend):
 BACKENDS: dict[str, type[EvaluationBackend]] = {
     "cpu": CPUBackend,
     "cpu-fast": FastCPUBackend,
+    "cpu-compiled": CompiledCPUBackend,
     "gpu": GPUBackend,
     "inax": INAXBackend,
 }

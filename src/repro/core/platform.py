@@ -223,6 +223,11 @@ class E3:
             registry.gauge("fastcpu.cache.hits").set(info["hits"])
             registry.gauge("fastcpu.cache.misses").set(info["misses"])
             registry.gauge("fastcpu.cache.size").set(info["size"])
+        if hasattr(backend, "compile_cache_info"):
+            info = backend.compile_cache_info()
+            registry.gauge("compile.cache.hits").set(info["hits"])
+            registry.gauge("compile.cache.misses").set(info["misses"])
+            registry.gauge("compile.cache.size").set(info["size"])
         if getattr(backend, "oversize_count", 0):
             registry.gauge("inax.oversize_genomes").set(backend.oversize_count)
         if getattr(backend, "quarantine_count", 0):

@@ -146,6 +146,47 @@ class Genome:
             )
         return hasher.hexdigest()
 
+    def shape_key(self) -> str:
+        """SHA-256 digest of the genome's *topology signature* — the
+        weights-excluded companion of :meth:`structural_hash`.
+
+        Covers every node's (key, activation, aggregation) and every
+        **enabled** connection's endpoints, but *not* biases, weights,
+        or disabled connections.  Those are exactly the inputs that
+        determine the decoded network's *structure* under one config:
+        ``required_nodes`` pruning walks enabled endpoints, ASAP
+        layering depends only on the dependency graph, and each node's
+        ingress order (``sorted`` by unique source key) is
+        weight-independent.  Hence the contract the structural-batching
+        compiler (:mod:`repro.compile`) relies on:
+
+        * equal ``structural_hash()`` ⇒ equal ``shape_key()``;
+        * equal ``shape_key()`` ⇒ identical decoded layering, ingress
+          slots, activation grouping, and vectorizability — the two
+          genomes differ at most in weight/bias *values*, so they can
+          share one compiled execution plan with per-member parameter
+          tensors.
+
+        Weight-only mutation (by far the most common NEAT mutation)
+        preserves the shape key, which is why a shape-keyed compile
+        cache keeps hitting where the structural-hash decode cache
+        misses.
+        """
+        nodes = self.nodes
+        connections = self.connections
+        signature = "".join(
+            [
+                f"n|{key}|{nodes[key].activation}|{nodes[key].aggregation}\n"
+                for key in sorted(nodes)
+            ]
+            + [
+                f"c|{key[0]}|{key[1]}\n"
+                for key in sorted(connections)
+                if connections[key].enabled
+            ]
+        )
+        return hashlib.sha256(signature.encode()).hexdigest()
+
     # ---------------------------------------------------------- mutation
     def mutate(
         self,
@@ -317,7 +358,16 @@ class Genome:
 
     # ------------------------------------------------------ serialization
     def to_dict(self) -> dict:
-        """JSON-serializable snapshot of the genome."""
+        """JSON-serializable snapshot of the genome.
+
+        Genes are emitted in the genome's live insertion order, NOT
+        sorted: crossover and mutation iterate the gene dicts in that
+        order while consuming the population RNG, so a checkpoint that
+        re-sorted genes would silently change every post-resume RNG
+        draw and fork the resumed trajectory away from the continuous
+        one.  ``from_dict`` preserves file order, making
+        live -> dict -> live an exact round trip.
+        """
         return {
             "key": self.key,
             "fitness": self.fitness,
@@ -328,7 +378,7 @@ class Genome:
                     "activation": n.activation,
                     "aggregation": n.aggregation,
                 }
-                for n in sorted(self.nodes.values(), key=lambda n: n.key)
+                for n in self.nodes.values()
             ],
             "connections": [
                 {
@@ -338,7 +388,7 @@ class Genome:
                     "enabled": c.enabled,
                     "innovation": c.innovation,
                 }
-                for c in sorted(self.connections.values(), key=lambda c: c.key)
+                for c in self.connections.values()
             ],
         }
 

@@ -231,9 +231,25 @@ class PopulationEvaluator:
     REBUILD_FRACTION = 0.6
 
     def __init__(self, nets: list[VectorizedNetwork]):
-        if not nets:
+        self._init_from_plans([net.plan for net in nets])
+
+    @classmethod
+    def from_plans(cls, plans: "list[_NetPlan]") -> "PopulationEvaluator":
+        """Build directly from compiled plans (no network wrappers).
+
+        The structural-batching compiler (:mod:`repro.compile`) produces
+        per-member plans that *share* structure arrays and carry only
+        per-member weight/bias views; this constructor lets it reuse the
+        flattened lock-step engine without fabricating
+        :class:`VectorizedNetwork` objects.
+        """
+        evaluator = cls.__new__(cls)
+        evaluator._init_from_plans(list(plans))
+        return evaluator
+
+    def _init_from_plans(self, plans: "list[_NetPlan]") -> None:
+        if not plans:
             raise ValueError("PopulationEvaluator needs at least one network")
-        plans = [net.plan for net in nets]
         num_inputs = {p.num_inputs for p in plans}
         num_outputs = {p.num_outputs for p in plans}
         if len(num_inputs) != 1 or len(num_outputs) != 1:
@@ -261,30 +277,32 @@ class PopulationEvaluator:
         depth = max(len(plan.layers) for plan in plans)
         layers: list[_LayerPlan] = []
         for level in range(depth):
-            sources, weights, biases, slots = [], [], [], []
+            live = [
+                (i, plan.layers[level])
+                for i, plan in enumerate(plans)
+                if len(plan.layers) > level
+            ]
+            fan_in = max(
+                (layer.sources.shape[1] for _, layer in live), default=0
+            )
+            total_rows = sum(layer.sources.shape[0] for _, layer in live)
+            # one preallocated tensor per level, filled by slice — not a
+            # concatenate over hundreds of per-member scratch arrays,
+            # which dominated build time for large populations.  Padding
+            # columns read slot 0 with weight 0, contributing exactly 0.
+            sources = np.zeros((total_rows, fan_in), dtype=np.intp)
+            weights = np.zeros((total_rows, fan_in))
+            biases = np.empty(total_rows)
+            slots = np.empty(total_rows, dtype=np.intp)
             act_rows: dict[int, tuple] = {}
             row = 0
-            fan_in = max(
-                (
-                    plan.layers[level].sources.shape[1]
-                    for plan in plans
-                    if len(plan.layers) > level
-                ),
-                default=0,
-            )
-            for i, plan in enumerate(plans):
-                if len(plan.layers) <= level:
-                    continue
-                layer = plan.layers[level]
+            for i, layer in live:
                 rows, terms = layer.sources.shape
-                src = np.zeros((rows, fan_in), dtype=np.intp)
-                wgt = np.zeros((rows, fan_in))
-                src[:, :terms] = layer.sources + offsets[i]
-                wgt[:, :terms] = layer.weights
-                sources.append(src)
-                weights.append(wgt)
-                biases.append(layer.biases)
-                slots.append(layer.slots + offsets[i])
+                block = slice(row, row + rows)
+                sources[block, :terms] = layer.sources + offsets[i]
+                weights[block, :terms] = layer.weights
+                biases[block] = layer.biases
+                slots[block] = layer.slots + offsets[i]
                 for fn, local_rows in layer.act_groups:
                     bucket = act_rows.setdefault(id(fn), (fn, []))
                     bucket[1].extend(local_rows + row)
@@ -294,13 +312,7 @@ class PopulationEvaluator:
                 for fn, r in act_rows.values()
             ]
             layers.append(
-                _LayerPlan(
-                    np.concatenate(sources),
-                    np.concatenate(weights),
-                    np.concatenate(biases),
-                    act_groups,
-                    np.concatenate(slots),
-                )
+                _LayerPlan(sources, weights, biases, act_groups, slots)
             )
 
         self._built = list(members)

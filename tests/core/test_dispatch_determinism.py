@@ -8,16 +8,22 @@ per-genome fitness on every backend."""
 import numpy as np
 import pytest
 
-from repro.core.backends import CPUBackend, FastCPUBackend, INAXBackend
+from repro.core.backends import (
+    CompiledCPUBackend,
+    CPUBackend,
+    FastCPUBackend,
+    INAXBackend,
+)
 from repro.inax.accelerator import INAXConfig
 from repro.inax.pipeline import PipelineConfig
 from repro.neat.config import NEATConfig
 from repro.neat.innovation import InnovationTracker
+from repro.resilience.faults import FaultPlan
 
 from tests.conftest import evolved_genome
 
 ENVS = ["cartpole", "lunar_lander"]
-BACKENDS = ["cpu", "cpu-fast", "inax"]
+BACKENDS = ["cpu", "cpu-fast", "cpu-compiled", "inax"]
 
 
 def _cfg(env_name):
@@ -41,6 +47,8 @@ def _backend(name, env_name, cfg, pipeline=None):
         return CPUBackend(env_name, cfg, pipeline=pipeline, **kwargs)
     if name == "cpu-fast":
         return FastCPUBackend(env_name, cfg, pipeline=pipeline, **kwargs)
+    if name == "cpu-compiled":
+        return CompiledCPUBackend(env_name, cfg, pipeline=pipeline, **kwargs)
     return INAXBackend(
         env_name,
         cfg,
@@ -95,3 +103,80 @@ def test_permutations_and_lpt_are_bit_identical(env_name, backend_name):
             trial,
             "second generation (lpt-packed)",
         )
+
+
+class TestQuarantinedCostPrediction:
+    """A quarantined episode's length must not feed next-gen LPT costs.
+
+    ``env.reward_nan`` ends an episode wherever the fault fired, so the
+    recorded length says nothing about the genome's real cost.  Before
+    the fix, that poisoned length flowed into ``predict_costs`` and the
+    wave packer priced the genome off a fault artifact; quarantine now
+    drops the key from the length history so the next generation packs
+    it in arrival order (prediction ``None``), exactly like a genome
+    never seen before.
+    """
+
+    def _faulty_backend(self):
+        cfg = _cfg("cartpole")
+        return cfg, INAXBackend(
+            "cartpole",
+            cfg,
+            inax_config=INAXConfig(
+                num_pus=3, num_pes_per_pu=cfg.num_outputs
+            ),
+            base_seed=1,
+            fault_plan=FaultPlan.parse("seed=11,env.reward_nan@0.4"),
+            pipeline=PipelineConfig(schedule="lpt"),
+        )
+
+    def test_quarantined_keys_predict_none_next_generation(self):
+        cfg, backend = self._faulty_backend()
+        try:
+            first = _genomes(cfg)
+            backend.evaluate(first)
+            backend.drain()
+            quarantined = backend.quarantine_count
+            assert 0 < quarantined < len(first), (
+                "fault seed must quarantine some but not all genomes "
+                "for this test to discriminate"
+            )
+            # the poisoned lengths were dropped at quarantine time
+            surviving = set(backend._last_lengths)
+            assert len(surviving) == len(first) - quarantined
+
+            backend.evaluate(_genomes(cfg))
+            backend.drain()
+            predicted = backend.records[1].predicted_costs
+            assert predicted is not None
+        finally:
+            backend.close()
+
+        # same keys next generation: survivors price off history, the
+        # quarantined fall back to arrival-order placement
+        assert sum(cost is None for cost in predicted) == quarantined
+        known = [cost for cost in predicted if cost is not None]
+        assert len(known) == len(surviving)
+        assert all(cost > 0.0 for cost in known)
+
+    def test_clean_run_predicts_every_key(self):
+        cfg = _cfg("cartpole")
+        backend = INAXBackend(
+            "cartpole",
+            cfg,
+            inax_config=INAXConfig(
+                num_pus=3, num_pes_per_pu=cfg.num_outputs
+            ),
+            base_seed=1,
+            pipeline=PipelineConfig(schedule="lpt"),
+        )
+        try:
+            backend.evaluate(_genomes(cfg))
+            backend.drain()
+            backend.evaluate(_genomes(cfg))
+            backend.drain()
+            predicted = backend.records[1].predicted_costs
+        finally:
+            backend.close()
+        assert predicted is not None
+        assert all(cost is not None for cost in predicted)

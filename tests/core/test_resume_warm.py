@@ -1,0 +1,132 @@
+"""Resume must not restart with cold structural caches.
+
+``load_checkpoint`` restores the population but no cache state; before
+the fix, the first post-resume generation silently re-decoded (or
+re-compiled) every genome, so "resumed" benchmark numbers lied and the
+decode/compile phase paid a full-population cold start.  The resume
+path now warms the structural caches from the restored population, and
+this roundtrip pins the contract:
+
+* fitness stays bit-identical to the continuous run (warming is purely
+  a cache effect);
+* the first post-resume generation misses **zero** times — its genomes
+  are exactly the ones the caches were warmed from;
+* the post-resume hit rate is at least the continuous run's over the
+  same generations (warm entries land as ``warmed``, never as
+  hits/misses, so the rates compare honestly).
+"""
+
+import numpy as np
+
+from repro.core.backends import CompiledCPUBackend, FastCPUBackend
+from repro.neat.checkpoint import load_checkpoint, save_checkpoint
+from repro.neat.config import NEATConfig
+from repro.neat.population import Population
+
+SPLIT = 3  # generations before the checkpoint
+TAIL = 2  # generations after it
+
+
+def _cfg():
+    return NEATConfig(num_inputs=4, num_outputs=2, population_size=8)
+
+
+def _info(backend, kind):
+    return (
+        backend.compile_cache_info()
+        if kind == "compile"
+        else backend.cache_info()
+    )
+
+
+def _run(backend, population, generations):
+    for _ in range(generations):
+        population.advance(backend.evaluate)
+
+
+def _roundtrip(tmp_path, backend_cls, kind):
+    path = str(tmp_path / "run.json")
+
+    # continuous reference: SPLIT + TAIL generations on one backend
+    continuous = backend_cls("cartpole", _cfg(), base_seed=1)
+    population = Population(_cfg(), seed=7)
+    try:
+        _run(continuous, population, SPLIT)
+        save_checkpoint(population, path)
+        before_tail = _info(continuous, kind)
+        _run(continuous, population, TAIL)
+        continuous_tail = _info(continuous, kind)
+    finally:
+        continuous.close()
+    continuous_history = [row.best_fitness for row in population.history]
+    tail_hits = continuous_tail["hits"] - before_tail["hits"]
+    tail_misses = continuous_tail["misses"] - before_tail["misses"]
+
+    # resumed run: fresh backend, caches warmed from the checkpoint
+    restored = load_checkpoint(path)
+    resumed = backend_cls("cartpole", _cfg(), base_seed=1)
+    try:
+        warmed = resumed.warm_caches(restored.population)
+        assert warmed >= 1
+        assert _info(resumed, kind)["warmed"] == warmed
+        # warming is bookkept separately, not as lookup traffic
+        assert _info(resumed, kind)["hits"] == 0
+        assert _info(resumed, kind)["misses"] == 0
+
+        restored.advance(resumed.evaluate)
+        first = _info(resumed, kind)
+        # the first post-resume generation is exactly the warm set:
+        # nothing may rebuild
+        assert first["misses"] == 0, (
+            "cold cache after resume: first generation re-decoded"
+        )
+        _run(resumed, restored, TAIL - 1)
+        resumed_tail = _info(resumed, kind)
+    finally:
+        resumed.close()
+
+    # checkpoints do not carry history, so the restored run's rows start
+    # at the split point
+    resumed_history = [row.best_fitness for row in restored.history]
+    assert resumed_history == continuous_history[SPLIT:], (
+        "resume changed the fitness trajectory"
+    )
+
+    # hit-rate parity over the tail: the warm cache can only do better
+    # than the continuous run's organically-filled one
+    lookups = resumed_tail["hits"] + resumed_tail["misses"]
+    continuous_rate = tail_hits / (tail_hits + tail_misses)
+    resumed_rate = resumed_tail["hits"] / lookups
+    assert resumed_rate >= continuous_rate
+
+
+class TestResumeWarmStart:
+    def test_decode_cache_roundtrip(self, tmp_path):
+        _roundtrip(tmp_path, FastCPUBackend, "decode")
+
+    def test_compile_cache_roundtrip(self, tmp_path):
+        _roundtrip(tmp_path, CompiledCPUBackend, "compile")
+
+    def test_cold_resume_shows_the_bug(self, tmp_path):
+        """Without warming, the first resumed generation re-decodes the
+        entire population — the regression this suite guards against."""
+        path = str(tmp_path / "run.json")
+        backend = FastCPUBackend("cartpole", _cfg(), base_seed=1)
+        population = Population(_cfg(), seed=7)
+        try:
+            _run(backend, population, SPLIT)
+            save_checkpoint(population, path)
+        finally:
+            backend.close()
+
+        restored = load_checkpoint(path)
+        cold = FastCPUBackend("cartpole", _cfg(), base_seed=1)
+        try:
+            restored.advance(cold.evaluate)
+            info = cold.cache_info()
+        finally:
+            cold.close()
+        distinct = len({g.structural_hash() for g in restored.population})
+        assert info["misses"] == distinct, (
+            "cold resume should re-decode every distinct structure"
+        )

@@ -8,7 +8,7 @@ never double-count cache or metric deltas."""
 import numpy as np
 import pytest
 
-from repro.core.backends import FastCPUBackend
+from repro.core.backends import CompiledCPUBackend, FastCPUBackend
 from repro.neat.config import NEATConfig
 from repro.neat.innovation import InnovationTracker
 from repro.resilience.faults import FaultPlan
@@ -126,3 +126,109 @@ class TestCrashRetryAccounting:
         assert info["hits"] + info["misses"] == (
             clean_info["hits"] + clean_info["misses"]
         )
+
+
+class TestShardSizeAccounting:
+    """Cache *sizes* are absolute snapshots, not deltas.
+
+    Before the fix, ``_merge_shard_telemetry`` folded each payload's
+    ``cache_size`` in arrival order, so the reported aggregate
+    depended on which shard's payload happened to land last.  The
+    contract is now: size = sum over shard slots of each slot's most
+    recent report, which is order-independent and survives retries,
+    fallbacks, and duplicate deliveries.
+    """
+
+    def _backend(self, workers=0, cls=FastCPUBackend):
+        return cls("cartpole", _cfg(), base_seed=1, workers=workers)
+
+    def test_size_is_order_independent_sum_over_slots(self):
+        payloads = [
+            _payload("gen=0|shard=0|attempt=0", size=5),
+            _payload("gen=0|shard=1|attempt=0", size=7),
+        ]
+        sizes = []
+        for ordering in (payloads, payloads[::-1]):
+            backend = self._backend()
+            try:
+                backend._merge_shard_telemetry(list(ordering))
+                sizes.append(backend.cache_info()["size"])
+            finally:
+                backend.close()
+        assert sizes == [12, 12], "aggregate size must not depend on order"
+
+    def test_duplicate_delivery_does_not_change_size(self):
+        backend = self._backend()
+        try:
+            payload = _payload("gen=0|shard=0|attempt=0", size=5)
+            backend._merge_shard_telemetry([payload, dict(payload)])
+            assert backend.cache_info()["size"] == 5
+        finally:
+            backend.close()
+
+    def test_retry_attempt_replaces_same_slot(self):
+        """A respawned shard's report supersedes the dead attempt's —
+        the slot is the shard index, not the attempt."""
+        backend = self._backend()
+        try:
+            backend._merge_shard_telemetry(
+                [
+                    _payload("gen=0|shard=0|attempt=0", size=5),
+                    _payload("gen=0|shard=1|attempt=0", size=7),
+                    _payload("gen=0|shard=0|attempt=1", size=9),
+                ]
+            )
+            assert backend.cache_info()["size"] == 9 + 7
+        finally:
+            backend.close()
+
+    def test_next_generation_report_replaces_slot(self):
+        backend = self._backend()
+        try:
+            backend._merge_shard_telemetry(
+                [_payload("gen=0|shard=0|attempt=0", size=5)]
+            )
+            backend._merge_shard_telemetry(
+                [_payload("gen=1|shard=0|attempt=0", size=11)]
+            )
+            assert backend.cache_info()["size"] == 11
+        finally:
+            backend.close()
+
+    def test_fallback_payload_keeps_previous_size(self):
+        """In-parent degradation did not touch the dead worker's cache,
+        so its fallback payload must not zero the slot's size."""
+        backend = self._backend()
+        try:
+            backend._merge_shard_telemetry(
+                [
+                    _payload("gen=0|shard=0|attempt=0", size=5),
+                    _payload("gen=0|shard=1|attempt=0", size=7),
+                ]
+            )
+            backend._merge_shard_telemetry(
+                [
+                    _payload("gen=1|shard=0|fallback", size=0),
+                    _payload("gen=1|shard=1|attempt=0", size=8),
+                ]
+            )
+            assert backend.cache_info()["size"] == 5 + 8
+        finally:
+            backend.close()
+
+    def test_compile_sizes_follow_the_same_contract(self):
+        backend = self._backend(cls=CompiledCPUBackend)
+        try:
+            first = _payload("gen=0|shard=0|attempt=0", size=0)
+            first["compile_delta"] = {"hits": 2, "misses": 1}
+            first["compile_size"] = 4
+            second = _payload("gen=0|shard=1|attempt=0", size=0)
+            second["compile_delta"] = {"hits": 1, "misses": 2}
+            second["compile_size"] = 6
+            backend._merge_shard_telemetry([second, first, dict(first)])
+            info = backend.compile_cache_info()
+            assert info["size"] == 10
+            assert info["hits"] == 3
+            assert info["misses"] == 3
+        finally:
+            backend.close()
