@@ -1,0 +1,95 @@
+"""Record the repo's bench outputs into the perf trajectory.
+
+Thin binding of :mod:`repro.obs.trajectory` to this repo's layout:
+reads every ``benchmarks/output/BENCH_*.json`` (the trajectory store
+itself excluded), stamps entries with the current git commit, and
+appends them to ``benchmarks/BENCH_trajectory.json`` — the committed
+baseline the ``repro bench-diff`` CI gate compares against.
+
+Run after the bench suites::
+
+    PYTHONPATH=src python benchmarks/trajectory.py            # record
+    PYTHONPATH=src python benchmarks/trajectory.py --check    # diff only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.trajectory import (
+    bench_diff,
+    format_comparisons,
+    load_trajectory,
+    record,
+    save_trajectory,
+)
+from repro.telemetry.manifest import git_revision
+
+BENCH_DIR = Path(__file__).parent / "output"
+TRAJECTORY_PATH = Path(__file__).parent / "BENCH_trajectory.json"
+
+
+def collect_results(bench_dir: Path) -> dict[str, dict]:
+    """Parse every BENCH_*.json in a directory, keyed by bench name."""
+    results: dict[str, dict] = {}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_") :]
+        if name == "trajectory":
+            continue
+        results[name] = json.loads(path.read_text())
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench-dir", type=Path, default=BENCH_DIR,
+        help="directory holding BENCH_*.json outputs",
+    )
+    parser.add_argument(
+        "--trajectory", type=Path, default=TRAJECTORY_PATH,
+        help="trajectory store to append to",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="diff against the recorded baseline instead of recording",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.1,
+        help="relative regression bar for --check (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    results = collect_results(args.bench_dir)
+    if not results:
+        print(f"no BENCH_*.json files under {args.bench_dir}", file=sys.stderr)
+        return 2
+    trajectory = load_trajectory(args.trajectory)
+    commit, dirty = git_revision()
+
+    if args.check:
+        comparisons = bench_diff(
+            trajectory, results, threshold=args.threshold,
+            exclude_commit=commit or None,
+        )
+        print(format_comparisons(comparisons))
+        return 3 if any(c.regressed for c in comparisons) else 0
+
+    written = 0
+    for bench in sorted(results):
+        written += len(
+            record(trajectory, bench, results[bench], commit or "unknown",
+                   dirty)
+        )
+    save_trajectory(args.trajectory, trajectory)
+    print(f"recorded {written} metric(s) at commit "
+          f"{(commit or 'unknown')[:12]}{' (dirty)' if dirty else ''} "
+          f"into {args.trajectory}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands cover the platform's day-to-day workflows::
+Eleven subcommands cover the platform's day-to-day workflows::
 
     python -m repro envs                       # list benchmark tasks
     python -m repro run --env cartpole ...     # evolve on a backend
@@ -10,14 +10,19 @@ Nine subcommands cover the platform's day-to-day workflows::
     python -m repro resources --pus 50 --pes 4 # FPGA sizing
     python -m repro dot --checkpoint ...       # champion topology as DOT
     python -m repro trace-summary out.jsonl    # phase/PU table from a trace
+    python -m repro doctor out.jsonl           # replay health detectors
+    python -m repro bench-diff ...             # perf-trajectory gate
     python -m repro lint src/repro             # static contract linter
 
 ``run``, ``resume``, and ``compare`` accept ``--trace PATH`` /
 ``--metrics PATH`` to record the run's telemetry: ``--trace`` writes
 schema-checked JSONL spans plus a ``chrome://tracing`` trace-event file
 alongside it, ``--metrics`` writes the metrics-registry snapshot as
-JSON.  Every command prints plain-text tables (the same formatters the
-benchmark harness uses) and exits non-zero on invalid input.
+JSON.  ``run`` and ``resume`` also accept ``--health PATH`` to attach
+the run-health watchtower (``docs/observability.md``) and write its
+deterministic ``health.json`` verdict.  Every command prints plain-text
+tables (the same formatters the benchmark harness uses) and exits
+non-zero on invalid input.
 """
 
 from __future__ import annotations
@@ -112,6 +117,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_summary.add_argument(
         "path", help="JSONL trace file written by --trace"
+    )
+    trace_summary.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output instead of the text tables",
+    )
+
+    # ----------------------------------------------------------- doctor
+    doctor = sub.add_parser(
+        "doctor",
+        help="post-mortem health diagnosis of an exported trace JSONL",
+    )
+    doctor.add_argument(
+        "path", help="JSONL trace file written by --trace"
+    )
+    doctor.add_argument(
+        "--json", action="store_true",
+        help="machine-readable diagnosis instead of the text tables",
+    )
+    doctor.add_argument(
+        "--health-out", default=None, metavar="PATH",
+        help="also write the replayed health.json here",
+    )
+
+    # ------------------------------------------------------- bench-diff
+    bench_diff = sub.add_parser(
+        "bench-diff",
+        help="judge fresh BENCH_*.json outputs against the recorded "
+        "perf trajectory (exit 3 on regression)",
+    )
+    bench_diff.add_argument(
+        "--trajectory", default="benchmarks/BENCH_trajectory.json",
+        help="trajectory store (BENCH_trajectory.json)",
+    )
+    bench_diff.add_argument(
+        "--bench-dir", default="benchmarks/output",
+        help="directory holding the fresh BENCH_*.json outputs",
+    )
+    bench_diff.add_argument(
+        "--threshold", type=float, default=0.1,
+        help="relative regression bar (default 0.10; doubled for "
+        "wall-clock-derived metrics)",
+    )
+    bench_diff.add_argument(
+        "--record", action="store_true",
+        help="append the fresh results to the trajectory after diffing",
+    )
+    bench_diff.add_argument(
+        "--json", action="store_true",
+        help="machine-readable comparisons instead of the text table",
     )
 
     # ------------------------------------------------------------ sweep
@@ -244,15 +298,18 @@ def _add_telemetry_args(command) -> None:
         "--metrics", default=None,
         help="write the metrics-registry snapshot to this JSON file",
     )
+    command.add_argument(
+        "--health", default=None, metavar="PATH",
+        help="attach the run-health watchtower and write its "
+        "deterministic health.json verdict here",
+    )
 
 
-def _telemetry_session(args, command: str):
-    """Build a TelemetrySession when --trace/--metrics were given."""
-    if not (getattr(args, "trace", None) or getattr(args, "metrics", None)):
-        return None
-    from repro.telemetry import RunManifest, TelemetrySession
+def _run_manifest(args, command: str):
+    """Collect a RunManifest from the parsed CLI flags."""
+    from repro.telemetry import RunManifest
 
-    manifest = RunManifest.collect(
+    return RunManifest.collect(
         command=command,
         env=getattr(args, "env", ""),
         backend=getattr(args, "backend", ""),
@@ -260,8 +317,46 @@ def _telemetry_session(args, command: str):
         population=getattr(args, "population", 0),
         generations=getattr(args, "generations", 0),
         seed=getattr(args, "seed", 0),
+        schedule=getattr(args, "schedule", "arrival"),
+        prefetch=bool(getattr(args, "prefetch", False)),
+        overlap=bool(getattr(args, "overlap", False)),
     )
-    return TelemetrySession(manifest=manifest)
+
+
+def _telemetry_session(args, command: str):
+    """Build a TelemetrySession when --trace/--metrics were given."""
+    if not (getattr(args, "trace", None) or getattr(args, "metrics", None)):
+        return None
+    from repro.telemetry import TelemetrySession
+
+    return TelemetrySession(manifest=_run_manifest(args, command))
+
+
+def _health_monitor(args):
+    """Build a HealthMonitor when --health was given."""
+    if not getattr(args, "health", None):
+        return None
+    from repro.obs.monitor import HealthMonitor
+
+    return HealthMonitor()
+
+
+def _write_health(monitor, args, command: str) -> None:
+    """Write health.json (deterministic run attribution) and report."""
+    if monitor is None:
+        return
+    from repro.obs.monitor import run_attribution
+
+    report = monitor.write(
+        args.health, run=run_attribution(_run_manifest(args, command).to_dict())
+    )
+    counts = report.severity_counts()
+    print(
+        f"health: {report.verdict} over {report.generations} "
+        f"generation(s) ({counts['critical']} critical, "
+        f"{counts['warning']} warning, {counts['info']} info) "
+        f"written to {args.health}"
+    )
 
 
 def _export_telemetry(session, args) -> None:
@@ -360,6 +455,7 @@ def _cmd_run(args) -> int:
     from repro.neat.reporters import ConsoleReporter, CSVReporter
 
     session = _telemetry_session(args, "run")
+    monitor = _health_monitor(args)
     platform = E3(
         args.env,
         backend=args.backend,
@@ -367,6 +463,7 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         workers=args.workers,
         telemetry=session,
+        health=monitor,
         **_pipeline_kwargs(args),
         **_resilience_kwargs(args),
     )
@@ -400,6 +497,7 @@ def _cmd_run(args) -> int:
     )
     _print_cache_summary(platform.backend)
     _print_resilience_summary(platform.backend)
+    _write_health(monitor, args, "run")
     _export_telemetry(session, args)
     return 0 if result.solved else 2
 
@@ -462,6 +560,9 @@ def _cmd_resume(args) -> int:
         # timings into the session's registry
         population.profiler = session.phase_timer
         session.install()
+    monitor = _health_monitor(args)
+    if monitor is not None:
+        monitor.attach(population, backend)
 
     start_generation = population.generation
     drain = backend.drain if backend.pipeline.overlap else None
@@ -473,6 +574,8 @@ def _cmd_resume(args) -> int:
             drain=drain,
         )
     finally:
+        if monitor is not None:
+            monitor.finalize()
         if session is not None:
             session.uninstall()
     backend.close()
@@ -487,6 +590,7 @@ def _cmd_resume(args) -> int:
     )
     _print_cache_summary(backend)
     _print_resilience_summary(backend)
+    _write_health(monitor, args, "resume")
     _export_telemetry(session, args)
     return 0 if result.solved else 2
 
@@ -536,6 +640,8 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_trace_summary(args) -> int:
+    import json
+
     from repro.telemetry.export import (
         format_trace_summary,
         summarize_trace,
@@ -553,8 +659,89 @@ def _cmd_trace_summary(args) -> int:
         if len(errors) > 10:
             print(f"error: ... and {len(errors) - 10} more", file=sys.stderr)
         return 2
-    print(format_trace_summary(summarize_trace(args.path)))
+    summary = summarize_trace(args.path)
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_trace_summary(summary))
     return 0
+
+
+#: doctor exit codes by verdict (0 = healthy; 2 is reserved for bad input)
+_VERDICT_EXIT = {"healthy": 0, "degraded": 3, "critical": 4}
+
+
+def _cmd_doctor(args) -> int:
+    import json
+
+    from repro.obs.doctor import diagnose, format_diagnosis
+
+    try:
+        diagnosis = diagnose(args.path)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diagnosis.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_diagnosis(diagnosis))
+    if args.health_out:
+        from pathlib import Path
+
+        Path(args.health_out).write_text(diagnosis.report.to_json())
+        if not args.json:
+            print(f"\nhealth report written to {args.health_out}")
+    return _VERDICT_EXIT.get(diagnosis.report.verdict, 2)
+
+
+def _cmd_bench_diff(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.trajectory import (
+        bench_diff,
+        format_comparisons,
+        load_trajectory,
+        record,
+        save_trajectory,
+    )
+    from repro.telemetry.manifest import git_revision
+
+    bench_dir = Path(args.bench_dir)
+    results = {}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        if name == "trajectory":
+            continue
+        results[name] = json.loads(path.read_text())
+    if not results:
+        print(f"error: no BENCH_*.json under {bench_dir}", file=sys.stderr)
+        return 2
+    try:
+        trajectory = load_trajectory(args.trajectory)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    commit, dirty = git_revision()
+    comparisons = bench_diff(
+        trajectory, results, threshold=args.threshold,
+        exclude_commit=commit or None,
+    )
+    if args.json:
+        print(json.dumps(
+            [c.to_dict() for c in comparisons], indent=2, sort_keys=True
+        ))
+    else:
+        print(format_comparisons(comparisons))
+    if args.record:
+        written = 0
+        for bench in sorted(results):
+            written += len(record(
+                trajectory, bench, results[bench], commit or "unknown", dirty
+            ))
+        save_trajectory(args.trajectory, trajectory)
+        print(f"recorded {written} metric(s) into {args.trajectory}")
+    return 3 if any(c.regressed for c in comparisons) else 0
 
 
 def _cmd_sweep(args) -> int:
@@ -679,6 +866,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "resources": _cmd_resources,
     "trace-summary": _cmd_trace_summary,
+    "doctor": _cmd_doctor,
+    "bench-diff": _cmd_bench_diff,
     "lint": _cmd_lint,
 }
 

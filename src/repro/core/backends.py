@@ -1333,6 +1333,19 @@ class INAXBackend(EvaluationBackend):
         )
         # the functional device's own report supersedes the analytic one
         record.cycle_report = self.device.report
+        self._publish_cycle_gauges(record.cycle_report)
+
+    def _publish_cycle_gauges(self, report) -> None:
+        """Per-generation pipeline gauges (watchtower detector inputs)."""
+        registry = get_metrics()
+        if registry is None:
+            return
+        registry.gauge("inax.wave_occupancy").set(report.packing_efficiency)
+        registry.gauge("inax.waves").set(float(report.waves))
+        registry.gauge("inax.setup_cycles").set(report.setup_cycles)
+        registry.gauge("inax.prefetch_hidden_cycles").set(
+            report.prefetch_hidden_cycles
+        )
 
     def _publish_oversize(self) -> None:
         registry = get_metrics()

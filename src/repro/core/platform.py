@@ -80,6 +80,7 @@ class E3:
         fallback: str | None = None,
         supervisor=None,
         pipeline: PipelineConfig | None = None,
+        health=None,
     ):
         """``env_kwargs`` override the environment's physics (the
         model-tuning plant perturbation); ``seed_genome`` warm-starts
@@ -103,7 +104,13 @@ class E3:
         selects the generation-pipelining policies: LPT wave packing,
         double-buffered DMA/decode prefetch, and evolve/evaluate
         overlap — all default to the paper's sequential baseline and
-        none of them can change a fitness bit."""
+        none of them can change a fitness bit.
+
+        ``health`` attaches a :class:`~repro.obs.monitor.HealthMonitor`
+        (the run-health watchtower, ``docs/observability.md``): it is
+        wired in as a population reporter and probes this backend each
+        generation; call ``health.write(path)`` after :meth:`run` for
+        the ``health.json`` verdict."""
         env_spec = spec(env_name)  # validates the name early
         env_kwargs = dict(env_kwargs or {})
         env = make(env_name, **env_kwargs)
@@ -161,6 +168,9 @@ class E3:
         )
         if hasattr(self.backend, "reporter_columns"):
             self.population.stat_sources.append(self.backend.reporter_columns)
+        self.health = health
+        if health is not None:
+            health.attach(self.population, self.backend)
 
     # ------------------------------------------------------------- run
     def run(
@@ -197,6 +207,10 @@ class E3:
                 drain=drain,
             )
         finally:
+            if self.health is not None:
+                # before uninstall, so end-of-run detector events still
+                # land in this session's trace
+                self.health.finalize()
             if session is not None:
                 self._publish_backend_telemetry(session)
                 session.uninstall()

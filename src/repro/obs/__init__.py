@@ -1,0 +1,53 @@
+"""repro.obs — the run-health watchtower.
+
+Three pieces, one determinism contract:
+
+* :mod:`repro.obs.monitor` — the streaming :class:`HealthMonitor`, a
+  population reporter evaluating the detector registry every
+  generation and writing the per-run ``health.json`` verdict;
+* :mod:`repro.obs.doctor` — ``repro doctor``, replaying an exported
+  trace offline through the *same* detectors with per-phase / per-PU
+  hot-spot attribution;
+* :mod:`repro.obs.trajectory` — the ``BENCH_trajectory.json`` store
+  and the ``repro bench-diff`` regression gate.
+
+Health evaluation is a pure function of the per-generation sample
+stream, so a replayed seeded run (chaos plans included) produces a
+byte-identical health report — see ``docs/observability.md``.
+"""
+
+from repro.obs.detectors import (
+    DETECTOR_REGISTRY,
+    Detector,
+    GenerationSample,
+    HealthConfig,
+    build_detectors,
+    evaluate_samples,
+)
+from repro.obs.doctor import Diagnosis, diagnose, format_diagnosis
+from repro.obs.events import (
+    HEALTH_SCHEMA,
+    HealthEvent,
+    HealthReport,
+    validate_health_report,
+)
+from repro.obs.monitor import HealthMonitor, build_sample, run_attribution
+
+__all__ = [
+    "DETECTOR_REGISTRY",
+    "Detector",
+    "GenerationSample",
+    "HealthConfig",
+    "build_detectors",
+    "evaluate_samples",
+    "Diagnosis",
+    "diagnose",
+    "format_diagnosis",
+    "HEALTH_SCHEMA",
+    "HealthEvent",
+    "HealthReport",
+    "validate_health_report",
+    "HealthMonitor",
+    "build_sample",
+    "run_attribution",
+]

@@ -1,0 +1,344 @@
+"""Bench-regression tracking: the perf trajectory store.
+
+PRs 1/5/6 emit ``BENCH_*.json`` files that were, until now, write-only
+— every CI run overwrote the last, so a silent perf regression would
+never be noticed.  This module gives them a trajectory:
+
+* :func:`record` appends each bench result to ``BENCH_trajectory.json``
+  keyed by ``(bench, metric, commit)`` (same-key re-runs replace, so a
+  rebuilt commit does not duplicate history);
+* :func:`bench_diff` compares fresh bench outputs against the most
+  recent recorded baseline and flags relative regressions beyond a
+  threshold — wall-clock-derived ("noisy") metrics get a wider bar
+  than analytic cycle-model metrics, so CI machine jitter does not
+  cry wolf while a genuine 20% drop still fails the gate.
+
+``repro bench-diff`` wraps this as a CLI with exit code 3 on
+regression (the CI gate), and ``benchmarks/trajectory.py`` binds the
+repo's default paths.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "TRAJECTORY_SCHEMA",
+    "MetricSpec",
+    "METRIC_SPECS",
+    "Comparison",
+    "extract_metrics",
+    "load_trajectory",
+    "save_trajectory",
+    "record",
+    "latest_baseline",
+    "bench_diff",
+    "format_comparisons",
+]
+
+#: schema tag stamped into every BENCH_trajectory.json
+TRAJECTORY_SCHEMA = "repro.bench-trajectory/v1"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """How to read and judge one bench metric.
+
+    ``path`` walks the bench payload (dots for nesting).  ``noisy``
+    marks wall-clock-derived values whose run-to-run jitter warrants a
+    wider regression bar (the threshold is doubled) than analytic
+    cycle-model values, which must not move at all between identical
+    commits.
+    """
+
+    path: str
+    higher_is_better: bool = True
+    noisy: bool = False
+
+
+#: curated metrics per bench (bench name = BENCH_<name>.json stem)
+METRIC_SPECS: dict[str, dict[str, MetricSpec]] = {
+    "pipeline": {
+        # analytic cycle model: deterministic, tight bar
+        "reduction_vs_arrival": MetricSpec(
+            "reduction_vs_arrival", higher_is_better=True, noisy=False
+        ),
+    },
+    "compile": {
+        # wall-clock speedups: real but jittery on shared CI runners
+        "prep_speedup": MetricSpec(
+            "prep_speedup", higher_is_better=True, noisy=True
+        ),
+        "total_speedup": MetricSpec(
+            "total_speedup", higher_is_better=True, noisy=True
+        ),
+    },
+    "telemetry_overhead": {
+        "overhead_fraction": MetricSpec(
+            "overhead_fraction", higher_is_better=False, noisy=True
+        ),
+    },
+    "health_overhead": {
+        "overhead_fraction": MetricSpec(
+            "overhead_fraction", higher_is_better=False, noisy=True
+        ),
+    },
+}
+
+#: name-substring heuristics for benches without curated specs
+_HIGHER_HINTS = ("speedup", "reduction", "efficiency", "hit_rate", "rate")
+_LOWER_HINTS = ("seconds", "overhead", "cycles", "misses", "fraction")
+_NOISY_HINTS = ("seconds", "speedup", "overhead", "wall")
+
+
+def _walk(payload: Mapping[str, Any], path: str) -> Any:
+    value: Any = payload
+    for part in path.split("."):
+        if not isinstance(value, Mapping) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def extract_metrics(
+    bench: str, payload: Mapping[str, Any]
+) -> dict[str, tuple[float, MetricSpec]]:
+    """Pull the tracked metrics out of one bench payload.
+
+    Curated benches use :data:`METRIC_SPECS`; unknown benches fall
+    back to a name heuristic over top-level numeric fields so a new
+    ``BENCH_*.json`` gets trajectory coverage on day one.
+    """
+    specs = METRIC_SPECS.get(bench)
+    out: dict[str, tuple[float, MetricSpec]] = {}
+    if specs is not None:
+        for name in sorted(specs):
+            spec = specs[name]
+            value = _walk(payload, spec.path)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[name] = (float(value), spec)
+        return out
+    for name in sorted(payload):
+        value = payload[name]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        lowered = name.lower()
+        if any(hint in lowered for hint in _HIGHER_HINTS):
+            higher = True
+        elif any(hint in lowered for hint in _LOWER_HINTS):
+            higher = False
+        else:
+            continue  # no direction hint: not judgeable, skip
+        noisy = any(hint in lowered for hint in _NOISY_HINTS)
+        out[name] = (
+            float(value),
+            MetricSpec(name, higher_is_better=higher, noisy=noisy),
+        )
+    return out
+
+
+# ----------------------------------------------------------------- store
+def load_trajectory(path: str | Path) -> dict[str, Any]:
+    """Load (or initialise) a trajectory store."""
+    path = Path(path)
+    if not path.exists():
+        return {"schema": TRAJECTORY_SCHEMA, "entries": []}
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != TRAJECTORY_SCHEMA:
+        raise ValueError(
+            f"{path} is not a bench trajectory "
+            f"(schema={payload.get('schema')!r})"
+        )
+    return payload
+
+
+def save_trajectory(path: str | Path, trajectory: Mapping[str, Any]) -> None:
+    Path(path).write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def record(
+    trajectory: dict[str, Any],
+    bench: str,
+    payload: Mapping[str, Any],
+    commit: str,
+    dirty: bool = False,
+) -> list[dict[str, Any]]:
+    """Append one bench run's metrics; returns the entries written.
+
+    Entries are keyed by ``(bench, metric, commit)`` — re-recording the
+    same commit replaces in place, so rebuilt CI runs do not inflate
+    history.  Append order is the baseline order (newest last).
+    """
+    entries = trajectory.setdefault("entries", [])
+    written: list[dict[str, Any]] = []
+    metrics = extract_metrics(bench, payload)
+    for metric in sorted(metrics):
+        value, spec = metrics[metric]
+        entry = {
+            "bench": bench,
+            "metric": metric,
+            "commit": commit,
+            "dirty": bool(dirty),
+            "value": value,
+            "higher_is_better": spec.higher_is_better,
+            "noisy": spec.noisy,
+        }
+        for existing in entries:
+            if (
+                existing.get("bench") == bench
+                and existing.get("metric") == metric
+                and existing.get("commit") == commit
+            ):
+                existing.update(entry)
+                break
+        else:
+            entries.append(entry)
+        written.append(entry)
+    return written
+
+
+def latest_baseline(
+    trajectory: Mapping[str, Any],
+    bench: str,
+    metric: str,
+    exclude_commit: str | None = None,
+) -> dict[str, Any] | None:
+    """The most recently recorded entry for (bench, metric).
+
+    ``exclude_commit`` skips the commit under test so a diff against a
+    store that already contains the current run still compares against
+    genuine history.
+    """
+    found: dict[str, Any] | None = None
+    for entry in trajectory.get("entries", []):
+        if entry.get("bench") != bench or entry.get("metric") != metric:
+            continue
+        if exclude_commit is not None and entry.get("commit") == exclude_commit:
+            continue
+        found = entry  # append order: last match is newest
+    return found
+
+
+# ------------------------------------------------------------------ diff
+@dataclass
+class Comparison:
+    """One metric's current value judged against its baseline."""
+
+    bench: str
+    metric: str
+    current: float
+    baseline: float | None
+    baseline_commit: str | None
+    higher_is_better: bool
+    threshold: float
+    #: relative change in the *bad* direction (positive = worse)
+    regression: float = 0.0
+    regressed: bool = False
+    notes: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "bench": self.bench,
+            "metric": self.metric,
+            "current": self.current,
+            "baseline": self.baseline,
+            "baseline_commit": self.baseline_commit,
+            "higher_is_better": self.higher_is_better,
+            "threshold": self.threshold,
+            "regression": self.regression,
+            "regressed": self.regressed,
+            "notes": list(self.notes),
+        }
+
+
+#: noisy (wall-clock) metrics get double the regression bar
+NOISY_THRESHOLD_MULTIPLIER = 2.0
+
+
+def bench_diff(
+    trajectory: Mapping[str, Any],
+    results: Mapping[str, Mapping[str, Any]],
+    threshold: float = 0.1,
+    exclude_commit: str | None = None,
+) -> list[Comparison]:
+    """Judge fresh bench payloads against the recorded trajectory.
+
+    ``results`` maps bench name -> parsed ``BENCH_<name>.json``
+    payload.  Returns one :class:`Comparison` per tracked metric; a
+    metric with no recorded baseline compares as not-regressed (first
+    run seeds the trajectory instead of failing it).
+    """
+    comparisons: list[Comparison] = []
+    for bench in sorted(results):
+        payload = results[bench]
+        metrics = extract_metrics(bench, payload)
+        for metric in sorted(metrics):
+            value, spec = metrics[metric]
+            bar = threshold * (
+                NOISY_THRESHOLD_MULTIPLIER if spec.noisy else 1.0
+            )
+            comparison = Comparison(
+                bench=bench,
+                metric=metric,
+                current=value,
+                baseline=None,
+                baseline_commit=None,
+                higher_is_better=spec.higher_is_better,
+                threshold=bar,
+            )
+            base = latest_baseline(
+                trajectory, bench, metric, exclude_commit=exclude_commit
+            )
+            if base is None:
+                comparison.notes.append("no baseline recorded yet")
+            else:
+                baseline = float(base["value"])
+                comparison.baseline = baseline
+                comparison.baseline_commit = str(base.get("commit", ""))
+                scale = max(abs(baseline), 1e-12)
+                if spec.higher_is_better:
+                    comparison.regression = (baseline - value) / scale
+                else:
+                    comparison.regression = (value - baseline) / scale
+                comparison.regressed = comparison.regression > bar
+                if spec.noisy:
+                    comparison.notes.append("noisy metric (widened bar)")
+            comparisons.append(comparison)
+    return comparisons
+
+
+def format_comparisons(comparisons: Iterable[Comparison]) -> str:
+    """Render a bench-diff as plain text (what ``repro bench-diff``
+    prints)."""
+    from repro.core.results import format_table
+
+    rows = []
+    for c in comparisons:
+        if c.baseline is None:
+            change = "new"
+        else:
+            # positive = improved, negative = worse, regardless of the
+            # metric's direction
+            change = f"{-c.regression * 100:+.1f}%"
+        rows.append(
+            [
+                "REGRESSED" if c.regressed else "ok",
+                c.bench,
+                c.metric,
+                f"{c.current:.4g}",
+                "-" if c.baseline is None else f"{c.baseline:.4g}",
+                change,
+                f"{c.threshold * 100:.0f}%",
+            ]
+        )
+    return format_table(
+        ["status", "bench", "metric", "current", "baseline", "change",
+         "bar"],
+        rows,
+        title="bench trajectory diff",
+    )

@@ -267,6 +267,22 @@ class TraceSummary:
             return 0.0
         return min((row["setup"] + row["active"]) / provisioned, 1.0)
 
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable form (``repro trace-summary --json``)."""
+        return {
+            "manifest": dict(self.manifest) if self.manifest else None,
+            "phase_seconds": dict(self.phase_seconds),
+            "phase_fractions": self.phase_fractions(),
+            "pu_cycles": {
+                track: dict(row) for track, row in self.pu_cycles.items()
+            },
+            "pu_utilization": {
+                track: self.pu_utilization(track) for track in self.pu_cycles
+            },
+            "span_count": self.span_count,
+            "metric_count": self.metric_count,
+        }
+
 
 def summarize_trace(
     path_or_rows: str | Path | Iterable[dict[str, Any]],

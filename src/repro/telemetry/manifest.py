@@ -10,12 +10,13 @@ trace and embedded in every metrics JSON file.
 from __future__ import annotations
 
 import platform as _platform
+import subprocess
 import sys
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Any
 
-__all__ = ["RunManifest"]
+__all__ = ["RunManifest", "git_revision"]
 
 
 def _numpy_version() -> str:
@@ -25,6 +26,34 @@ def _numpy_version() -> str:
         return numpy.__version__
     except Exception:  # pragma: no cover - numpy is a hard dependency
         return "unavailable"
+
+
+def git_revision(cwd: str | None = None) -> tuple[str, bool]:
+    """The checkout's ``(commit_sha, dirty)``, or ``("", False)``.
+
+    Attribution only — never load-bearing: outside a git checkout (or
+    without the git binary) runs proceed with an empty commit field.
+    """
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=10,
+            check=True,
+        ).stdout
+        return commit, bool(status.strip())
+    except Exception:
+        return "", False
 
 
 @dataclass
@@ -39,6 +68,11 @@ class RunManifest:
     generations: int = 0
     episodes_per_genome: int = 1
     seed: int = 0
+    #: generation-pipelining config (wave schedule, DMA/decode
+    #: prefetch, evolve/evaluate overlap) — the paper-baseline defaults
+    schedule: str = "arrival"
+    prefetch: bool = False
+    overlap: bool = False
     #: free-form extras (checkpoint path, sweep axis, ...)
     extra: dict[str, Any] = field(default_factory=dict)
     # -- captured automatically at collection time --
@@ -46,15 +80,22 @@ class RunManifest:
     platform: str = ""
     numpy_version: str = ""
     created_unix: float = 0.0
+    #: exact code state (health.json / bench-trajectory attribution);
+    #: empty commit = not a git checkout
+    git_commit: str = ""
+    git_dirty: bool = False
 
     @classmethod
     def collect(cls, **fields: Any) -> "RunManifest":
-        """Build a manifest, filling the platform fields automatically."""
+        """Build a manifest, filling platform + git state automatically."""
+        commit, dirty = git_revision()
         return cls(
             python_version=sys.version.split()[0],
             platform=_platform.platform(),
             numpy_version=_numpy_version(),
             created_unix=time.time(),
+            git_commit=commit,
+            git_dirty=dirty,
             **fields,
         )
 

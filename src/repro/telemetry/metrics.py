@@ -17,6 +17,7 @@ metric, so disabled telemetry costs one global read per site.
 from __future__ import annotations
 
 import bisect
+import math
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Protocol, Sequence, TypeVar, cast
@@ -123,6 +124,39 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Deterministic bucket-resolution quantile estimate.
+
+        Walks the cumulative counts to the bucket holding the q-th
+        observation and returns that bucket's upper bound, clamped to
+        the observed ``min``/``max`` (the overflow bucket reports
+        ``max``).  Pure integer/float arithmetic over recorded state —
+        two identical observation streams always summarize identically.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return None
+        # rank of the q-th observation, 1-based (nearest-rank method)
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index >= len(self.buckets):  # overflow bucket
+                    return self.max
+                bound = self.buckets[index]
+                return min(max(bound, self.min), self.max)
+        return self.max  # pragma: no cover - count guarantees a hit
+
+    def quantiles(self) -> dict[str, float | None]:
+        """The snapshot's tail-latency summary: p50 / p95 / p99."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "kind": self.kind,
@@ -132,6 +166,7 @@ class Histogram:
             "count": self.count,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            "quantiles": self.quantiles(),
         }
 
 

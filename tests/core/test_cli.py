@@ -299,3 +299,189 @@ class TestDotCommand:
             ["dot", "--checkpoint", str(checkpoint), "--out", str(out_file)]
         ) == 0
         assert out_file.read_text().startswith("digraph champion {")
+
+
+class TestHealthFlag:
+    def test_run_writes_health_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.events import validate_health_report
+
+        health = tmp_path / "health.json"
+        code = main(
+            [
+                "run", "--env", "cartpole", "--population", "24",
+                "--generations", "2", "--seed", "1", "--quiet",
+                "--health", str(health),
+            ]
+        )
+        assert code in (0, 2)
+        assert "health:" in capsys.readouterr().out
+        payload = json.loads(health.read_text())
+        assert validate_health_report(payload) == []
+        assert payload["generations"] >= 1  # may solve before the cap
+        assert payload["run"]["command"] == "run"
+        assert payload["run"]["seed"] == 1
+
+    def test_health_json_replay_identical(self, tmp_path, capsys):
+        def run_once(name):
+            path = tmp_path / name
+            main(
+                [
+                    "run", "--env", "cartpole", "--population", "20",
+                    "--generations", "2", "--seed", "4", "--quiet",
+                    "--health", str(path),
+                ]
+            )
+            return path.read_bytes()
+
+        assert run_once("a.json") == run_once("b.json")
+
+
+class TestDoctorCommand:
+    def _trace(self, tmp_path, with_health=True):
+        trace = tmp_path / "trace.jsonl"
+        argv = [
+            "run", "--env", "cartpole", "--population", "24",
+            "--generations", "2", "--seed", "1", "--quiet",
+            "--trace", str(trace),
+        ]
+        if with_health:
+            argv += ["--health", str(tmp_path / "live.json")]
+        main(argv)
+        return trace
+
+    def test_doctor_healthy_run(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        capsys.readouterr()
+        code = main(["doctor", str(trace)])
+        out = capsys.readouterr().out
+        assert code in (0, 3, 4)
+        assert "verdict:" in out
+        assert "hot spots: host phases" in out
+
+    def test_doctor_health_out_matches_live(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        replayed = tmp_path / "replayed.json"
+        main(["doctor", str(trace), "--health-out", str(replayed)])
+        assert replayed.read_bytes() == (tmp_path / "live.json").read_bytes()
+
+    def test_doctor_json_output(self, tmp_path, capsys):
+        import json
+
+        trace = self._trace(tmp_path)
+        capsys.readouterr()
+        main(["doctor", str(trace), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["schema"] == "repro.health/v1"
+        assert "hotspots" in payload
+
+    def test_doctor_invalid_input(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["doctor", str(empty)]) == 2
+        assert "error" in capsys.readouterr().err
+        assert main(["doctor", str(tmp_path / "missing.jsonl")]) == 2
+
+
+class TestBenchDiffCommand:
+    def _seed_store(self, tmp_path, value):
+        import json
+
+        from repro.obs.trajectory import load_trajectory, record, \
+            save_trajectory
+
+        bench_dir = tmp_path / "output"
+        bench_dir.mkdir()
+        (bench_dir / "BENCH_pipeline.json").write_text(
+            json.dumps({"workload": "skewed", "reduction_vs_arrival": 0.6})
+        )
+        store = tmp_path / "BENCH_trajectory.json"
+        trajectory = load_trajectory(store)
+        record(
+            trajectory, "pipeline",
+            {"reduction_vs_arrival": value}, "baseline-commit",
+        )
+        save_trajectory(store, trajectory)
+        return store, bench_dir
+
+    def test_regression_exits_three(self, tmp_path, capsys):
+        store, bench_dir = self._seed_store(tmp_path, 0.75)
+        code = main(
+            [
+                "bench-diff", "--trajectory", str(store),
+                "--bench-dir", str(bench_dir), "--threshold", "0.1",
+            ]
+        )
+        assert code == 3
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_within_threshold_passes(self, tmp_path, capsys):
+        store, bench_dir = self._seed_store(tmp_path, 0.62)
+        code = main(
+            [
+                "bench-diff", "--trajectory", str(store),
+                "--bench-dir", str(bench_dir), "--threshold", "0.1",
+            ]
+        )
+        assert code == 0
+
+    def test_record_appends_current_commit(self, tmp_path, capsys):
+        import json
+
+        store, bench_dir = self._seed_store(tmp_path, 0.62)
+        code = main(
+            [
+                "bench-diff", "--trajectory", str(store),
+                "--bench-dir", str(bench_dir), "--record",
+            ]
+        )
+        assert code == 0
+        entries = json.loads(store.read_text())["entries"]
+        assert len(entries) == 2  # baseline + the freshly recorded run
+
+    def test_no_bench_files_is_usage_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(
+            [
+                "bench-diff", "--trajectory",
+                str(tmp_path / "BENCH_trajectory.json"),
+                "--bench-dir", str(empty),
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        store, bench_dir = self._seed_store(tmp_path, 0.62)
+        main(
+            [
+                "bench-diff", "--trajectory", str(store),
+                "--bench-dir", str(bench_dir), "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["metric"] == "reduction_vs_arrival"
+
+
+class TestTraceSummaryJson:
+    def test_json_flag_emits_machine_form(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "out.jsonl"
+        main(
+            [
+                "run", "--env", "cartpole", "--population", "24",
+                "--generations", "2", "--seed", "1", "--quiet",
+                "--trace", str(trace),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace-summary", str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["manifest"]["command"] == "run"
+        assert "evaluate" in payload["phase_fractions"]
+        assert payload["span_count"] > 0

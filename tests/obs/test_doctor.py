@@ -1,0 +1,139 @@
+"""The post-mortem doctor: exact replay from health.sample markers,
+partial reconstruction from bare traces, and hot-spot attribution."""
+
+import pytest
+
+from repro.core.platform import E3
+from repro.neat.config import NEATConfig
+from repro.obs.doctor import (
+    diagnose,
+    format_diagnosis,
+    samples_from_trace,
+)
+from repro.obs.monitor import HealthMonitor, run_attribution
+from repro.telemetry import TelemetrySession
+from repro.telemetry.export import read_trace_jsonl
+
+
+def _traced_run(tmp_path, monitor=None, generations=2):
+    session = TelemetrySession()
+    platform = E3(
+        "cartpole",
+        backend="inax",
+        neat_config=NEATConfig(population_size=16),
+        seed=7,
+        telemetry=session,
+        health=monitor,
+    )
+    platform.run(max_generations=generations)
+    trace = tmp_path / "trace.jsonl"
+    session.export(trace_path=str(trace))
+    return trace, session
+
+
+class TestExactReplay:
+    def test_samples_round_trip_through_trace(self, tmp_path):
+        monitor = HealthMonitor()
+        trace, _ = _traced_run(tmp_path, monitor)
+        samples, reconstructed = samples_from_trace(read_trace_jsonl(trace))
+        assert not reconstructed
+        assert samples == monitor.samples
+
+    def test_doctor_reproduces_live_health_json(self, tmp_path):
+        monitor = HealthMonitor()
+        trace, session = _traced_run(tmp_path, monitor)
+        live = monitor.report(
+            run=run_attribution(session.manifest.to_dict())
+            if session.manifest
+            else None
+        ).to_json()
+        diagnosis = diagnose(trace)
+        assert not diagnosis.reconstructed
+        assert diagnosis.report.to_json() == live
+
+    def test_diagnose_twice_is_identical(self, tmp_path):
+        monitor = HealthMonitor()
+        trace, _ = _traced_run(tmp_path, monitor)
+        assert (
+            diagnose(trace).report.to_json()
+            == diagnose(trace).report.to_json()
+        )
+
+
+class TestReconstruction:
+    def _rows(self):
+        return [
+            {"type": "span", "name": "phase.evaluate", "track": "host",
+             "start": 0.0, "dur": 1.0, "span_id": 1,
+             "attrs": {"generation": 0, "population": 20}},
+            {"type": "span", "name": "resilience.quarantine.nonfinite",
+             "track": "host", "start": 0.5, "dur": 0.0, "span_id": 2,
+             "attrs": {"site": "gen=0|genome=3"}},
+            {"type": "span", "name": "resilience.quarantine.nonfinite",
+             "track": "host", "start": 0.6, "dur": 0.0, "span_id": 3,
+             "attrs": {"site": "gen=0|genome=4"}},
+            {"type": "span", "name": "phase.evaluate", "track": "host",
+             "start": 2.0, "dur": 1.0, "span_id": 4,
+             "attrs": {"generation": 1, "population": 20}},
+            {"type": "span", "name": "resilience.shard.degraded",
+             "track": "host", "start": 2.5, "dur": 0.0, "span_id": 5,
+             "attrs": {"site": "gen=1|shard=0|attempt=2"}},
+        ]
+
+    def test_rebuilds_cumulative_counters(self):
+        samples, reconstructed = samples_from_trace(self._rows())
+        assert reconstructed
+        assert len(samples) == 2
+        assert samples[0].population_size == 20
+        assert samples[0].quarantined == 2.0
+        assert samples[1].quarantined == 2.0  # cumulative carries over
+        assert samples[1].shard_degraded == 1.0
+        assert samples[0].best_fitness is None  # unrecoverable: skipped
+
+    def test_diagnosis_flags_reconstructed_events(self):
+        diagnosis = diagnose(self._rows())
+        assert diagnosis.reconstructed
+        detectors = {e.detector for e in diagnosis.report.events}
+        assert "quarantine.storm" in detectors
+        assert "shard.instability" in detectors
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="no health.sample"):
+            diagnose([{"type": "metric", "name": "x", "kind": "counter",
+                       "value": 1}])
+
+    def test_site_without_generation_skipped(self):
+        rows = [
+            {"type": "span", "name": "resilience.pool.respawn",
+             "track": "host", "start": 0.0, "dur": 0.0, "span_id": 1,
+             "attrs": {"site": "workers=2"}},
+        ]
+        samples, _ = samples_from_trace(rows)
+        assert samples == []
+
+
+class TestHotspots:
+    def test_phase_and_pu_attribution(self, tmp_path):
+        trace, _ = _traced_run(tmp_path, HealthMonitor())
+        diagnosis = diagnose(trace)
+        phases = [r for r in diagnosis.hotspots if r["kind"] == "phase"]
+        pus = [r for r in diagnosis.hotspots if r["kind"] == "pu"]
+        assert phases and pus
+        # largest share first, fractions sum to ~1 within each kind
+        assert phases[0]["value"] == max(r["value"] for r in phases)
+        assert sum(r["fraction"] for r in phases) == pytest.approx(1.0)
+        assert sum(r["fraction"] for r in pus) == pytest.approx(1.0)
+        assert all(0.0 <= r["utilization"] <= 1.0 for r in pus)
+
+    def test_format_renders_tables(self, tmp_path):
+        trace, _ = _traced_run(tmp_path, HealthMonitor())
+        text = format_diagnosis(diagnose(trace))
+        assert "verdict:" in text
+        assert "hot spots: host phases" in text
+        assert "hot spots: INAX PUs" in text
+
+    def test_to_dict_shape(self, tmp_path):
+        trace, _ = _traced_run(tmp_path, HealthMonitor())
+        payload = diagnose(trace).to_dict()
+        assert set(payload) == {"report", "hotspots", "reconstructed"}
+        assert payload["report"]["schema"] == "repro.health/v1"

@@ -1,0 +1,211 @@
+"""The bench-trajectory store and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs.trajectory import (
+    Comparison,
+    MetricSpec,
+    bench_diff,
+    extract_metrics,
+    format_comparisons,
+    latest_baseline,
+    load_trajectory,
+    record,
+    save_trajectory,
+)
+
+PIPELINE_PAYLOAD = {
+    "workload": "skewed",
+    "reduction_vs_arrival": 0.6,
+    "policies": {"arrival": {"total_cycles": 100.0}},
+}
+COMPILE_PAYLOAD = {
+    "prep_speedup": 5.0,
+    "total_speedup": 2.5,
+    "bit_identical": True,
+}
+
+
+class TestExtractMetrics:
+    def test_curated_pipeline(self):
+        metrics = extract_metrics("pipeline", PIPELINE_PAYLOAD)
+        assert set(metrics) == {"reduction_vs_arrival"}
+        value, spec = metrics["reduction_vs_arrival"]
+        assert value == 0.6
+        assert spec.higher_is_better and not spec.noisy
+
+    def test_curated_compile_is_noisy(self):
+        metrics = extract_metrics("compile", COMPILE_PAYLOAD)
+        assert set(metrics) == {"prep_speedup", "total_speedup"}
+        assert all(spec.noisy for _, spec in metrics.values())
+
+    def test_heuristic_for_unknown_bench(self):
+        payload = {
+            "decode_speedup": 3.0,
+            "run_seconds": 1.5,
+            "label": "x",
+            "count": 5,
+        }
+        metrics = extract_metrics("mystery", payload)
+        assert metrics["decode_speedup"][1].higher_is_better
+        assert not metrics["run_seconds"][1].higher_is_better
+        assert metrics["run_seconds"][1].noisy
+        assert "label" not in metrics
+        assert "count" not in metrics  # no direction hint
+
+    def test_missing_curated_field_skipped(self):
+        metrics = extract_metrics("pipeline", {"workload": "x"})
+        assert metrics == {}
+
+
+class TestStore:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        trajectory = load_trajectory(path)
+        written = record(trajectory, "pipeline", PIPELINE_PAYLOAD, "c1")
+        assert len(written) == 1
+        save_trajectory(path, trajectory)
+        reloaded = load_trajectory(path)
+        assert reloaded["entries"][0]["value"] == 0.6
+        assert reloaded["entries"][0]["commit"] == "c1"
+
+    def test_same_commit_replaces(self):
+        trajectory = load_trajectory("/nonexistent/none.json")
+        record(trajectory, "pipeline", PIPELINE_PAYLOAD, "c1")
+        record(
+            trajectory, "pipeline",
+            dict(PIPELINE_PAYLOAD, reduction_vs_arrival=0.7), "c1",
+        )
+        assert len(trajectory["entries"]) == 1
+        assert trajectory["entries"][0]["value"] == 0.7
+
+    def test_latest_baseline_is_newest(self):
+        trajectory = load_trajectory("/nonexistent/none.json")
+        record(trajectory, "pipeline", PIPELINE_PAYLOAD, "c1")
+        record(
+            trajectory, "pipeline",
+            dict(PIPELINE_PAYLOAD, reduction_vs_arrival=0.65), "c2",
+        )
+        base = latest_baseline(trajectory, "pipeline", "reduction_vs_arrival")
+        assert base["commit"] == "c2"
+        excluded = latest_baseline(
+            trajectory, "pipeline", "reduction_vs_arrival",
+            exclude_commit="c2",
+        )
+        assert excluded["commit"] == "c1"
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other", "entries": []}))
+        with pytest.raises(ValueError, match="not a bench trajectory"):
+            load_trajectory(path)
+
+
+class TestBenchDiff:
+    def _trajectory(self, value=0.75, commit="base"):
+        trajectory = load_trajectory("/nonexistent/none.json")
+        record(
+            trajectory, "pipeline",
+            dict(PIPELINE_PAYLOAD, reduction_vs_arrival=value), commit,
+        )
+        return trajectory
+
+    def test_twenty_percent_regression_flagged(self):
+        # baseline 0.75 -> current 0.6 is a 20% drop against a 10% bar
+        comparisons = bench_diff(
+            self._trajectory(0.75), {"pipeline": PIPELINE_PAYLOAD},
+            threshold=0.1,
+        )
+        assert len(comparisons) == 1
+        assert comparisons[0].regressed
+        assert comparisons[0].regression == pytest.approx(0.2)
+
+    def test_within_threshold_passes(self):
+        comparisons = bench_diff(
+            self._trajectory(0.63), {"pipeline": PIPELINE_PAYLOAD},
+            threshold=0.1,
+        )
+        assert not comparisons[0].regressed
+
+    def test_improvement_never_regresses(self):
+        comparisons = bench_diff(
+            self._trajectory(0.5), {"pipeline": PIPELINE_PAYLOAD},
+            threshold=0.1,
+        )
+        assert not comparisons[0].regressed
+        assert comparisons[0].regression < 0
+
+    def test_noisy_metric_gets_doubled_bar(self):
+        trajectory = load_trajectory("/nonexistent/none.json")
+        record(
+            trajectory, "compile",
+            dict(COMPILE_PAYLOAD, prep_speedup=6.0, total_speedup=2.5),
+            "base",
+        )
+        comparisons = bench_diff(
+            trajectory, {"compile": COMPILE_PAYLOAD}, threshold=0.1
+        )
+        by_name = {c.metric: c for c in comparisons}
+        # 6.0 -> 5.0 is a 16.7% drop: over a 10% bar, under the 20%
+        # noisy bar
+        assert by_name["prep_speedup"].threshold == pytest.approx(0.2)
+        assert not by_name["prep_speedup"].regressed
+
+    def test_lower_is_better_direction(self):
+        trajectory = load_trajectory("/nonexistent/none.json")
+        record(
+            trajectory, "health_overhead", {"overhead_fraction": 0.01},
+            "base",
+        )
+        worse = bench_diff(
+            trajectory, {"health_overhead": {"overhead_fraction": 0.02}},
+            threshold=0.1,
+        )
+        assert worse[0].regressed  # overhead doubled
+
+    def test_no_baseline_is_not_a_regression(self):
+        comparisons = bench_diff(
+            load_trajectory("/nonexistent/none.json"),
+            {"pipeline": PIPELINE_PAYLOAD},
+        )
+        assert not comparisons[0].regressed
+        assert "no baseline recorded yet" in comparisons[0].notes
+
+    def test_exclude_commit_skips_self(self):
+        trajectory = self._trajectory(0.75, commit="self")
+        comparisons = bench_diff(
+            trajectory, {"pipeline": PIPELINE_PAYLOAD},
+            exclude_commit="self",
+        )
+        assert comparisons[0].baseline is None
+
+    def test_format_renders(self):
+        comparisons = [
+            Comparison(
+                bench="pipeline", metric="m", current=0.6, baseline=0.75,
+                baseline_commit="c", higher_is_better=True, threshold=0.1,
+                regression=0.2, regressed=True,
+            )
+        ]
+        text = format_comparisons(comparisons)
+        assert "REGRESSED" in text
+        assert "-20.0%" in text
+
+
+class TestRepoWrapper:
+    def test_collect_results_skips_trajectory(self, tmp_path):
+        from benchmarks.trajectory import collect_results
+
+        (tmp_path / "BENCH_alpha.json").write_text('{"x_speedup": 2.0}')
+        (tmp_path / "BENCH_trajectory.json").write_text('{"entries": []}')
+        results = collect_results(tmp_path)
+        assert set(results) == {"alpha"}
+
+    def test_committed_seed_baseline_is_loadable(self):
+        from benchmarks.trajectory import TRAJECTORY_PATH
+
+        trajectory = load_trajectory(TRAJECTORY_PATH)
+        benches = {e["bench"] for e in trajectory["entries"]}
+        assert {"pipeline", "compile"} <= benches

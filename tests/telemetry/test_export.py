@@ -171,3 +171,31 @@ class TestSummary:
         assert summary.phase_fractions() == {}
         text = format_trace_summary(summary)
         assert "no phase spans" in text
+
+    def test_to_dict_is_json_ready(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(
+            path, _loaded_tracer(),
+            manifest=RunManifest.collect(command="run", backend="inax"),
+            metrics=_registry(),
+        )
+        payload = summarize_trace(path).to_dict()
+        assert set(payload) == {
+            "manifest", "phase_seconds", "phase_fractions", "pu_cycles",
+            "pu_utilization", "span_count", "metric_count",
+        }
+        assert payload["manifest"]["backend"] == "inax"
+        assert payload["phase_fractions"]["evaluate"] == 1.0
+        assert payload["pu_utilization"]["pu0"] == (200 + 800) / 1400
+        # round-trips through json unchanged
+        assert json.loads(json.dumps(payload, sort_keys=True)) == json.loads(
+            json.dumps(payload, sort_keys=True)
+        )
+
+    def test_to_dict_empty_trace(self):
+        payload = summarize_trace([]).to_dict()
+        assert payload["manifest"] is None
+        assert payload["phase_seconds"] == {}
+        assert payload["span_count"] == 0

@@ -31,3 +31,36 @@ class TestRunManifest:
         row["future_field"] = 123
         restored = RunManifest.from_dict(row)
         assert restored == original
+
+
+class TestGitAndPipelineAttribution:
+    def test_collect_captures_git_state(self):
+        # the repo under test *is* a git checkout, so collect() must
+        # resolve a 40-hex commit for it
+        manifest = RunManifest.collect(command="run", backend="cpu")
+        assert len(manifest.git_commit) == 40
+        assert all(c in "0123456789abcdef" for c in manifest.git_commit)
+        assert isinstance(manifest.git_dirty, bool)
+
+    def test_git_revision_outside_checkout(self, tmp_path):
+        from repro.telemetry.manifest import git_revision
+
+        commit, dirty = git_revision(cwd=str(tmp_path))
+        assert commit == ""
+        assert dirty is False
+
+    def test_pipeline_config_fields(self):
+        manifest = RunManifest.collect(
+            command="run", backend="inax",
+            schedule="lpt", prefetch=True, overlap=True,
+        )
+        row = manifest.to_dict()
+        assert row["schedule"] == "lpt"
+        assert row["prefetch"] is True
+        assert row["overlap"] is True
+
+    def test_pipeline_defaults_are_paper_baseline(self):
+        manifest = RunManifest()
+        assert manifest.schedule == "arrival"
+        assert manifest.prefetch is False
+        assert manifest.overlap is False

@@ -158,3 +158,58 @@ class TestGlobalRegistry:
         finally:
             assert set_metrics(None) is registry
         assert get_metrics() is None
+
+
+class TestHistogramQuantiles:
+    def test_nearest_rank_bucket_resolution(self):
+        hist = Histogram("h", buckets=(1, 10, 100))
+        for value in (0.5, 2, 3, 20, 50, 500):
+            hist.observe(value)
+        # ranks: p50 -> 3rd obs (bucket <=10), p95/p99 -> overflow -> max
+        assert hist.quantile(0.5) == 10.0
+        assert hist.quantile(0.95) == 500
+        assert hist.quantile(0.99) == 500
+
+    def test_clamped_to_observed_range(self):
+        hist = Histogram("h", buckets=(100,))
+        hist.observe(3)
+        hist.observe(7)
+        # the bucket bound (100) far exceeds anything observed
+        assert hist.quantile(0.5) == 7
+        assert hist.quantile(0.0) == 7  # same bucket, same clamped bound
+
+    def test_empty_histogram_returns_none(self):
+        hist = Histogram("h")
+        assert hist.quantile(0.5) is None
+        assert hist.quantiles() == {"p50": None, "p95": None, "p99": None}
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_deterministic_across_identical_streams(self):
+        def build():
+            hist = Histogram("h", buckets=(0.001, 0.01, 0.1, 1.0))
+            for i in range(1000):
+                hist.observe((i % 97) / 100.0)
+            return hist.quantiles()
+
+        assert build() == build()
+
+    def test_quantiles_in_snapshot_export(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("phase.evaluate_seconds")
+        for value in (0.01, 0.02, 0.03):
+            hist.observe(value)
+        state = registry.snapshot()["phase.evaluate_seconds"]
+        assert set(state["quantiles"]) == {"p50", "p95", "p99"}
+        assert state["quantiles"]["p50"] is not None
+
+    def test_merge_snapshot_recomputes_quantiles(self):
+        source = MetricsRegistry()
+        for value in (1, 2, 3, 200):
+            source.histogram("h", buckets=(10, 100)).observe(value)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        merged = target.snapshot()["h"]
+        assert merged["quantiles"] == source.snapshot()["h"]["quantiles"]
