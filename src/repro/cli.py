@@ -50,13 +50,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--env", required=True, help="environment name")
     run.add_argument(
         "--backend", default="inax",
-        choices=("cpu", "cpu-fast", "cpu-compiled", "gpu", "inax"),
+        choices=("cpu", "cpu-fast", "cpu-compiled", "gpu", "inax", "fabric"),
         help="where the evaluate phase runs",
     )
     run.add_argument(
         "--workers", type=int, default=0,
         help="worker processes for the cpu-fast backend (0 = in-process)",
     )
+    _add_fabric_args(run)
     run.add_argument("--population", type=int, default=100)
     run.add_argument("--generations", type=int, default=20)
     run.add_argument("--seed", type=int, default=0)
@@ -82,7 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--env", required=True, help="environment name")
     resume.add_argument(
         "--backend", default="inax",
-        choices=("cpu", "cpu-fast", "cpu-compiled", "gpu", "inax"),
+        choices=("cpu", "cpu-fast", "cpu-compiled", "gpu", "inax", "fabric"),
+    )
+    resume.add_argument(
+        "--devices", type=int, default=1,
+        help="fabric backend: number of simulated INAX farm devices",
     )
     resume.add_argument(
         "--workers", type=int, default=0,
@@ -210,6 +215,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_fabric_args(command) -> None:
+    command.add_argument(
+        "--devices", type=int, default=1,
+        help="fabric backend: number of simulated INAX farm devices "
+        "(>1 auto-upgrades --backend inax to fabric; see docs/fabric.md)",
+    )
+    command.add_argument(
+        "--islands", type=int, default=1,
+        help="evolve this many independent island sub-populations over "
+        "the farm (island i is homed on device i %% devices)",
+    )
+    command.add_argument(
+        "--migration-interval", type=int, default=0, metavar="G",
+        help="islands: exchange champions around the ring every G "
+        "generations (0 = never)",
+    )
+    command.add_argument(
+        "--migration-size", type=int, default=0, metavar="N",
+        help="islands: champions each island sends per migration barrier",
+    )
+
+
 def _add_pipeline_args(command) -> None:
     command.add_argument(
         "--schedule", default="arrival", choices=("arrival", "lpt"),
@@ -320,7 +347,23 @@ def _run_manifest(args, command: str):
         schedule=getattr(args, "schedule", "arrival"),
         prefetch=bool(getattr(args, "prefetch", False)),
         overlap=bool(getattr(args, "overlap", False)),
+        devices=getattr(args, "devices", 1),
+        islands=getattr(args, "islands", 1),
+        migration_interval=getattr(args, "migration_interval", 0),
+        migration_size=getattr(args, "migration_size", 0),
+        supervisor=_supervisor_dict(args),
     )
+
+
+def _supervisor_dict(args) -> dict:
+    """The manifest's record of the shared recovery policy."""
+    from dataclasses import asdict
+
+    from repro.resilience.supervisor import SupervisorConfig
+
+    if getattr(args, "shard_timeout", None) is not None:
+        return asdict(SupervisorConfig(shard_timeout=args.shard_timeout))
+    return asdict(SupervisorConfig())
 
 
 def _telemetry_session(args, command: str):
@@ -392,6 +435,16 @@ def _print_resilience_summary(backend) -> None:
             f"{supervisor.retries} shard retries / "
             f"{supervisor.respawns} pool respawns"
         )
+    fabric = getattr(backend, "fabric", None)
+    if fabric is not None and (
+        fabric.device_evictions or fabric.device_readmissions
+    ):
+        parts.append(
+            f"{fabric.device_evictions} device evictions / "
+            f"{fabric.device_readmissions} re-admissions "
+            f"({len(fabric.alive())}/{fabric.num_devices} devices up, "
+            f"{fabric.repacked_waves} waves re-packed)"
+        )
     if parts:
         print("resilience: " + ", ".join(parts))
 
@@ -454,16 +507,27 @@ def _cmd_run(args) -> int:
     from repro.neat.config import NEATConfig
     from repro.neat.reporters import ConsoleReporter, CSVReporter
 
+    backend = args.backend
+    if args.devices > 1 and backend == "inax":
+        # a farm of one kind of device is still the inax path — just
+        # the distributed flavour of it
+        backend = args.backend = "fabric"
+    if args.devices > 1 and backend != "fabric":
+        print(f"error: --devices needs the fabric backend, not {backend!r}")
+        return 2
+    if args.islands > 1:
+        return _cmd_run_islands(args)
     session = _telemetry_session(args, "run")
     monitor = _health_monitor(args)
     platform = E3(
         args.env,
-        backend=args.backend,
+        backend=backend,
         neat_config=NEATConfig(population_size=args.population),
         seed=args.seed,
         workers=args.workers,
         telemetry=session,
         health=monitor,
+        devices=args.devices,
         **_pipeline_kwargs(args),
         **_resilience_kwargs(args),
     )
@@ -502,11 +566,84 @@ def _cmd_run(args) -> int:
     return 0 if result.solved else 2
 
 
+def _cmd_run_islands(args) -> int:
+    """The ``run --islands K`` path: island-model NEAT over the farm."""
+    from repro.fabric import FarmTopology, IslandModel
+    from repro.neat.config import NEATConfig
+    from repro.neat.network import FeedForwardNetwork
+    from repro.neat.reporters import ConsoleReporter, CSVReporter
+
+    if args.checkpoint:
+        # island state is K populations + migration counters; the
+        # single-population checkpoint format cannot represent it
+        print("error: --checkpoint is not supported with --islands > 1")
+        return 2
+    topology = FarmTopology(
+        devices=max(args.devices, 1),
+        islands=args.islands,
+        migration_interval=args.migration_interval,
+        migration_size=args.migration_size,
+    )
+    session = _telemetry_session(args, "run")
+    monitor = _health_monitor(args)
+    model = IslandModel(
+        args.env,
+        topology,
+        neat_config=NEATConfig(population_size=args.population),
+        seed=args.seed,
+        telemetry=session,
+        health=monitor,
+        **_pipeline_kwargs(args),
+        **_resilience_kwargs(args),
+    )
+    if not args.quiet:
+        model.reporters.add(ConsoleReporter())
+    csv_reporter = None
+    if args.csv:
+        csv_reporter = CSVReporter(args.csv)
+        model.reporters.add(csv_reporter)
+
+    result = model.run(max_generations=args.generations)
+    model.backend.close()
+    if csv_reporter is not None:
+        csv_reporter.close()
+
+    champion = FeedForwardNetwork.create(
+        result.best_genome, model.neat_config
+    )
+    print(
+        f"\n{args.env}: solved={result.solved} "
+        f"best={result.best_fitness:.1f} "
+        f"(required {model.required_fitness}) "
+        f"in {result.generations} generations "
+        f"[island {result.best_island} of {topology.islands}, "
+        f"{topology.devices} device(s)]"
+    )
+    print(
+        f"champion: {champion.num_evaluated_nodes} nodes, "
+        f"{champion.num_macs} connections"
+    )
+    if model.migrations or model.migrations_skipped:
+        print(
+            f"migration: {model.migrations} edges exchanged, "
+            f"{model.migrations_skipped} skipped"
+        )
+    _print_resilience_summary(model.backend)
+    _write_health(monitor, args, "run")
+    _export_telemetry(session, args)
+    return 0 if result.solved else 2
+
+
 def _cmd_resume(args) -> int:
     from repro.core.backends import BACKENDS, FastCPUBackend
     from repro.envs.registry import spec
     from repro.neat.checkpoint import load_checkpoint, save_checkpoint
     from repro.neat.reporters import ConsoleReporter, CSVReporter
+
+    if args.devices > 1 and args.backend == "inax":
+        args.backend = "fabric"
+    if args.backend == "fabric":
+        import repro.fabric.backend  # noqa: F401  (registers the backend)
 
     population = load_checkpoint(args.checkpoint)
     env_spec = spec(args.env)
@@ -533,8 +670,12 @@ def _cmd_resume(args) -> int:
         kwargs["workers"] = args.workers
         if "supervisor" in resilience:
             kwargs["supervisor"] = resilience["supervisor"]
-    if args.backend == "inax" and "fallback" in resilience:
+    if args.backend in ("inax", "fabric") and "fallback" in resilience:
         kwargs["fallback"] = resilience["fallback"]
+    if args.backend == "fabric":
+        kwargs["devices"] = args.devices
+        if "supervisor" in resilience:
+            kwargs["supervisor"] = resilience["supervisor"]
     backend = backend_cls(args.env, population.config, **kwargs)
     # the checkpoint restores genomes but no cache state; warming the
     # structural caches from the restored population keeps post-resume

@@ -1250,11 +1250,16 @@ class INAXBackend(EvaluationBackend):
             return False
         return True
 
-    def _evaluate(self, genomes: list[Genome]) -> None:
-        assert self.inax_config is not None
-        all_configs = [compile_genome(g, self.neat_config) for g in genomes]
+    def _gate_oversize(
+        self, genomes: list[Genome]
+    ) -> tuple[list[Genome], list[HWNetConfig]]:
+        """Compile and apply the buffer-capacity gate (§IV-D).
 
-        # buffer-capacity gate (§IV-D: finite weight/value buffers)
+        Returns the runnable (genome, config) subset; oversized genomes
+        are resolved here (software fallback or penalty) per
+        ``oversize_policy``.
+        """
+        all_configs = [compile_genome(g, self.neat_config) for g in genomes]
         runnable: list[Genome] = []
         configs: list[HWNetConfig] = []
         for genome, config in zip(genomes, all_configs):
@@ -1286,6 +1291,12 @@ class INAXBackend(EvaluationBackend):
                     "inax.oversize", site,
                     penalty=self.oversize_penalty,
                 )
+        return runnable, configs
+
+    def _evaluate(self, genomes: list[Genome]) -> None:
+        assert self.inax_config is not None
+        # buffer-capacity gate (§IV-D: finite weight/value buffers)
+        runnable, configs = self._gate_oversize(genomes)
 
         lengths = [0] * len(runnable)
         rewards = [0.0] * len(runnable)
@@ -1411,6 +1422,27 @@ class INAXBackend(EvaluationBackend):
 
         return run_lockstep(envs, infer, seeds=seeds)
 
+    def _device_wave_episode(
+        self,
+        device: INAX,
+        genomes: list[Genome],
+        configs: list[HWNetConfig],
+        episode: int,
+        prefetched: bool = False,
+    ):
+        """One wave's episode on one device; raises on device faults.
+
+        The fresh-env + per-(genome, episode) seed discipline lives
+        here, so any device (the single INAX or any fabric farm member)
+        produces bit-identical episode records for the same wave.
+        """
+        device.begin_wave(configs, prefetched=prefetched)
+        envs = [self._make_env() for _ in genomes]
+        seeds = [self._episode_seed(genome, episode) for genome in genomes]
+        episode_records = run_lockstep(envs, device.step, seeds=seeds)
+        device.end_wave()
+        return episode_records
+
     def _run_wave_episode(
         self,
         indices: list[int],
@@ -1425,13 +1457,9 @@ class INAXBackend(EvaluationBackend):
         population index, so any packing order lands results on the
         right individual."""
         try:
-            self.device.begin_wave(configs, prefetched=prefetched)
-            envs = [self._make_env() for _ in genomes]
-            seeds = [
-                self._episode_seed(genome, episode) for genome in genomes
-            ]
-            episode_records = run_lockstep(envs, self.device.step, seeds=seeds)
-            self.device.end_wave()
+            episode_records = self._device_wave_episode(
+                self.device, genomes, configs, episode, prefetched=prefetched
+            )
         except (DeviceFault, BufferOverflowError) as error:
             self.device.abort_wave()
             if self.fallback is None:

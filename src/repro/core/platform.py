@@ -9,7 +9,7 @@ task's required fitness is reached.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.core.backends import (
     BACKENDS,
@@ -81,6 +81,7 @@ class E3:
         supervisor=None,
         pipeline: PipelineConfig | None = None,
         health=None,
+        devices: int = 1,
     ):
         """``env_kwargs`` override the environment's physics (the
         model-tuning plant perturbation); ``seed_genome`` warm-starts
@@ -97,8 +98,12 @@ class E3:
         arms a seeded :class:`~repro.resilience.faults.FaultPlan` for
         chaos runs; ``fallback`` (``"cpu-fast"`` or ``"cpu"``) lets the
         ``inax`` backend degrade faulted waves to the software path;
-        ``supervisor`` tunes the ``cpu-fast`` shard watchdog
-        (:class:`~repro.resilience.supervisor.SupervisorConfig`).
+        ``supervisor`` tunes the ``cpu-fast`` shard watchdog *and* the
+        fabric device supervisor — the shared
+        :class:`~repro.resilience.supervisor.SupervisorConfig`.
+
+        ``devices`` sizes the ``fabric`` backend's simulated INAX farm
+        (``docs/fabric.md``); the other backends ignore it.
 
         ``pipeline`` (a :class:`~repro.inax.pipeline.PipelineConfig`)
         selects the generation-pipelining policies: LPT wave packing,
@@ -146,8 +151,12 @@ class E3:
                 kwargs["workers"] = workers
                 if supervisor is not None:
                     kwargs["supervisor"] = supervisor
-            if backend == "inax":
+            if backend in ("inax", "fabric"):
                 kwargs["fallback"] = fallback
+            if backend == "fabric":
+                kwargs["devices"] = devices
+                if supervisor is not None:
+                    kwargs["supervisor"] = supervisor
             self.backend = backend_cls(env_name, self.neat_config, **kwargs)
         else:
             names = ", ".join(repr(n) for n in sorted(BACKENDS))
@@ -182,6 +191,9 @@ class E3:
         session = self.telemetry
         if session is not None:
             if session.manifest is None:
+                supervisor_config = getattr(
+                    self.backend, "supervisor_config", None
+                )
                 session.manifest = RunManifest.collect(
                     command="e3.run",
                     env=self.env_name,
@@ -191,6 +203,12 @@ class E3:
                     generations=max_generations or 0,
                     episodes_per_genome=self.backend.episodes_per_genome,
                     seed=self.seed,
+                    devices=getattr(self.backend, "num_devices", 1),
+                    supervisor=(
+                        asdict(supervisor_config)
+                        if supervisor_config is not None
+                        else {}
+                    ),
                 )
             session.install()
         backend_pipeline = getattr(self.backend, "pipeline", None)
@@ -250,3 +268,14 @@ class E3:
             )
         if getattr(backend, "fallback_waves", 0):
             registry.gauge("inax.fallback_waves").set(backend.fallback_waves)
+        fabric = getattr(backend, "fabric", None)
+        if fabric is not None:
+            for name, value in fabric.counters().items():
+                registry.gauge(f"fabric.{name}").set(value)
+
+
+# bottom import, deliberately: registering the fabric backend pulls in
+# repro.fabric, which itself imports repro.core submodules — importing
+# it after this module's definitions keeps the cycle harmless whichever
+# package is imported first
+import repro.fabric.backend  # noqa: E402,F401  (registers BACKENDS["fabric"])

@@ -1,0 +1,41 @@
+"""The fault-tolerant distributed INAX fabric.
+
+An N-device simulated INAX farm running island-model NEAT, built so
+that recovery is a pure function of ``(seed, farm topology,
+FaultPlan)``:
+
+* :mod:`repro.fabric.topology` — the farm shape and the deterministic
+  LPT wave-to-device assignment;
+* :mod:`repro.fabric.supervisor` — per-device heartbeat/eviction/
+  probation health supervision;
+* :mod:`repro.fabric.backend` — the ``fabric`` evaluation backend
+  (registers itself in :data:`repro.core.backends.BACKENDS`);
+* :mod:`repro.fabric.islands` — the K-island evolution driver with
+  seeded, skip-and-log ring migration.
+
+See ``docs/fabric.md`` for the topology, the eviction ladder, and the
+migration determinism contract.
+"""
+
+from repro.fabric.backend import FabricINAXBackend, price_farm
+from repro.fabric.islands import (
+    KEY_STRIDE,
+    IslandModel,
+    IslandRunResult,
+    island_seed,
+)
+from repro.fabric.supervisor import DeviceState, FabricSupervisor
+from repro.fabric.topology import FarmTopology, assign_waves
+
+__all__ = [
+    "FarmTopology",
+    "assign_waves",
+    "DeviceState",
+    "FabricSupervisor",
+    "FabricINAXBackend",
+    "price_farm",
+    "IslandModel",
+    "IslandRunResult",
+    "KEY_STRIDE",
+    "island_seed",
+]

@@ -32,7 +32,13 @@ from repro.inax.pu import ProcessingUnit, PUCosts, _static_step_cycles
 from repro.inax.timing import CycleReport
 from repro.telemetry.spans import get_tracer
 
-__all__ = ["INAXConfig", "INAX", "schedule_generation", "waves_required"]
+__all__ = [
+    "INAXConfig",
+    "INAX",
+    "schedule_generation",
+    "schedule_waves",
+    "waves_required",
+]
 
 
 @dataclass(frozen=True)
@@ -87,6 +93,9 @@ class INAX:
         #: optional :class:`repro.resilience.injectors.DeviceFaultInjector`;
         #: ``None`` (the default) keeps every hook on the zero-cost path
         self.fault_injector = fault_injector
+        #: prepended to every emitted span track (the fabric sets
+        #: ``"dev0."`` etc. so per-device timelines stay distinct)
+        self.track_prefix = ""
         self.pus = [
             ProcessingUnit(
                 config.num_pes_per_pu,
@@ -327,11 +336,11 @@ class INAX:
                 "inax.prefetch",
                 (setup_start - hidden) * scale,
                 hidden * scale,
-                track="inax",
+                track=f"{self.track_prefix}inax",
                 cycles=hidden,
             )
         for slot, cfg in enumerate(self._wave_slots):
-            track = f"pu{slot}"
+            track = f"{self.track_prefix}pu{slot}"
             tracer.add_span(
                 "pu.setup",
                 setup_start * scale,
@@ -364,7 +373,7 @@ class INAX:
             "inax.wave",
             setup_start * scale,
             (wave_end - setup_start) * scale,
-            track="inax",
+            track=f"{self.track_prefix}inax",
             individuals=len(self._wave_slots),
             cycles=wave_end - setup_start,
         )
@@ -438,12 +447,45 @@ def schedule_generation(
             for c, length in zip(net_configs, episode_lengths)
         ]
     waves = pack_waves(costs, num_pus, pipeline.schedule)
+    schedule_waves(
+        config, net_configs, episode_lengths, waves, report,
+        step_cycles_fn=step_cycles_fn, pe_active_fn=pe_active_fn,
+        prefetch=pipeline.prefetch,
+    )
+    return report
 
+
+def schedule_waves(
+    config: INAXConfig,
+    net_configs: list[HWNetConfig],
+    episode_lengths: list[int],
+    waves: list[list[int]],
+    report: CycleReport | None = None,
+    step_cycles_fn=None,
+    pe_active_fn=None,
+    prefetch: bool = False,
+) -> CycleReport:
+    """Price an explicit wave sequence (index lists) into a report.
+
+    The device-subset entry point behind :func:`schedule_generation`:
+    the fabric prices each farm device's assigned waves through here so
+    multi-device scaling numbers use the exact single-device wave
+    semantics (including per-device prefetch windows).
+    """
+    if step_cycles_fn is None:
+        step_cycles_fn = lambda c: _static_step_cycles(  # noqa: E731
+            c, config.num_pes_per_pu, config.pe_costs, config.pu_costs
+        )
+    if pe_active_fn is None:
+        pe_active_fn = lambda c: _static_pe_active(c, config.pe_costs)  # noqa: E731
+    if report is None:
+        report = CycleReport()
+        report.individuals = sum(len(indices) for indices in waves)
     prev_compute = 0.0
     for ordinal, indices in enumerate(waves):
         wave = [net_configs[i] for i in indices]
         lengths = [episode_lengths[i] for i in indices]
-        window = prev_compute if (pipeline.prefetch and ordinal > 0) else 0.0
+        window = prev_compute if (prefetch and ordinal > 0) else 0.0
         prev_compute = _schedule_wave(
             config, wave, lengths, report, step_cycles_fn, pe_active_fn,
             prefetch_window=window,

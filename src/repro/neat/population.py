@@ -86,14 +86,22 @@ class Population:
         seed: int | None = None,
         profiler: PhaseRecorder | None = None,
         seed_genome: Genome | None = None,
+        key_offset: int = 0,
     ):
         """``seed_genome`` warm-starts the population from a deployed
         champion (the model-tuning use-case, §I) instead of from the
-        minimal two-layer topology."""
+        minimal two-layer topology.
+
+        ``key_offset`` shifts this population's genome key space — the
+        island model gives each island a disjoint stride so genome keys
+        (and therefore per-(genome, episode) evaluation seeds) never
+        collide across islands."""
         self.config = config
         self.rng = np.random.default_rng(seed)
         self.tracker = InnovationTracker(config.num_outputs)
         self.reproduction = Reproduction(config, self.tracker)
+        if key_offset:
+            self.reproduction._next_genome_key = key_offset
         self.species_set = SpeciesSet(config)
         self.generation = 0
         self.profiler: PhaseRecorder = profiler or _NullRecorder()
@@ -181,6 +189,21 @@ class Population:
             evaluate(self.population)
         self.profiler.record("evaluate", time.perf_counter() - t0)
 
+        best = self.observe_evaluated()
+        if drain is None:
+            self._evolve()
+        else:
+            self._evolve_overlapped(drain)
+        return best
+
+    def observe_evaluated(self) -> Genome:
+        """Book the just-evaluated generation; returns its best genome.
+
+        The first half of :meth:`advance`, exposed so drivers that
+        evaluate several populations together (the island model) can
+        observe each population between the shared evaluate call and
+        the per-population :meth:`evolve`.
+        """
         missing = [g.key for g in self.population if g.fitness is None]
         if missing:
             raise RuntimeError(
@@ -196,11 +219,55 @@ class Population:
             self.best_genome = best.copy()
 
         self._record_stats(best)
-        if drain is None:
-            self._evolve()
-        else:
-            self._evolve_overlapped(drain)
         return best
+
+    def evolve(self) -> None:
+        """Run the evolve phase alone (the second half of
+        :meth:`advance`); island drivers call this after migration."""
+        self._evolve()
+
+    # --------------------------------------------------------- migration
+    def emigrants(self, count: int) -> list[Genome]:
+        """Copies of the ``count`` fittest members (migration payload).
+
+        Deterministic order: fitness descending, genome key ascending
+        as the tie-break.  Returns copies so the donor island keeps its
+        champions — migration *spreads* genes, it never drains them.
+        """
+        ranked = sorted(
+            (g for g in self.population if g.fitness is not None),
+            key=lambda g: (-g.fitness, g.key),  # type: ignore[operator]
+        )
+        return [g.copy() for g in ranked[:count]]
+
+    def admit(self, immigrants: list[Genome]) -> None:
+        """Replace the worst residents with ``immigrants`` (cloned into
+        this island's key space), then re-speciate.
+
+        Victims are the lowest-fitness members (unevaluated first,
+        key-descending tie-break — newest duplicates go first).
+        Re-speciation is mandatory: species member lists hold object
+        references, and a stale reference to a replaced resident would
+        corrupt the next evolve.  ``speciate`` draws nothing from the
+        RNG, so admitting immigrants does not perturb the island's
+        random stream.
+        """
+        if not immigrants:
+            return
+        victims = sorted(
+            self.population,
+            key=lambda g: (
+                g.fitness if g.fitness is not None else float("-inf"),
+                -g.key,
+            ),
+        )[: len(immigrants)]
+        for immigrant, victim in zip(immigrants, victims):
+            clone = immigrant.copy(self.reproduction.fresh_key())
+            for index, resident in enumerate(self.population):
+                if resident is victim:
+                    self.population[index] = clone
+                    break
+        self.species_set.speciate(self.population, self.generation, self.rng)
 
     def _evolve_overlapped(self, drain: Callable[[], None]) -> None:
         """Evolve while the backend drains; re-raise drain errors here."""

@@ -28,6 +28,8 @@ name                         fires when
 ``shard.instability``        shard retries burst / shards degrade in-process
 ``inax.occupancy``           wave packing efficiency sinks below the floor
 ``inax.prefetch``            prefetch stops hiding set-up behind compute
+``fabric.instability``       farm devices get evicted / the farm degrades to one
+``fabric.eviction_storm``    evictions cluster inside a short window
 ===========================  ====================================================
 """
 
@@ -78,6 +80,10 @@ class HealthConfig:
     occupancy_floor: float = 0.25
     #: fraction of set-up cycles prefetch must hide (later waves)
     prefetch_hiding_floor: float = 0.25
+    #: ``fabric.eviction_storm``: this many device evictions inside the
+    #: window is a storm (flapping hardware, not isolated failures)
+    eviction_storm_window: int = 5
+    eviction_storm_count: int = 3
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -120,6 +126,15 @@ class GenerationSample:
     setup_cycles: float | None = None
     prefetch_hidden_cycles: float | None = None
     prefetch_enabled: bool | None = None
+    #: farm health (fabric backend): alive-device gauge + cumulative
+    #: eviction/re-admission/re-pack counters
+    devices_up: float | None = None
+    device_evictions: float | None = None
+    device_readmissions: float | None = None
+    repacked_waves: float | None = None
+    #: island migration outcomes (cumulative)
+    migrations: float | None = None
+    migrations_skipped: float | None = None
 
     def to_attrs(self) -> dict[str, Any]:
         """Flat span-attribute dict; ``None`` fields are omitted."""
@@ -666,6 +681,114 @@ class PrefetchHidingDetector(Detector):
                 floor=floor,
                 hidden_cycles=hidden,
                 exposed_setup_cycles=setup,
+            )
+        ]
+
+
+# ------------------------------------------------------------ fabric health
+@register_detector
+class FabricInstabilityDetector(Detector):
+    """Farm devices get evicted, or the farm degrades to one device.
+
+    Each evicted device shifts its waves onto the survivors (correct
+    but slower — the re-pack is fitness-invisible, the cycles are not);
+    warn per eviction burst.  When the alive-device count collapses to
+    one from a larger farm, the run has silently become single-device:
+    critical, fired on the transition.
+    """
+
+    name = "fabric.instability"
+
+    def __init__(self, config: HealthConfig) -> None:
+        super().__init__(config)
+        self._previous_evictions: float | None = None
+        self._peak_up: float | None = None
+        self._degraded = False
+
+    def observe(self, sample: GenerationSample) -> list[HealthEvent]:
+        events: list[HealthEvent] = []
+        evictions = _delta(
+            sample.device_evictions, self._previous_evictions
+        )
+        if sample.device_evictions is not None:
+            self._previous_evictions = sample.device_evictions
+        if evictions is not None and evictions > 0:
+            events.append(
+                self._event(
+                    "warning",
+                    f"gen={sample.generation}",
+                    f"{int(evictions)} device(s) evicted this generation",
+                    evictions=evictions,
+                    devices_up=sample.devices_up,
+                )
+            )
+        up = sample.devices_up
+        if up is not None:
+            if self._peak_up is None or up > self._peak_up:
+                self._peak_up = up
+            if up > 1:
+                self._degraded = False
+            elif self._peak_up > 1 and not self._degraded:
+                self._degraded = True
+                events.append(
+                    self._event(
+                        "critical",
+                        f"gen={sample.generation}",
+                        f"farm degraded to 1 device "
+                        f"(peak {int(self._peak_up)})",
+                        devices_up=up,
+                        peak=self._peak_up,
+                    )
+                )
+        return events
+
+
+@register_detector
+class EvictionStormDetector(Detector):
+    """Device evictions cluster inside a short window.
+
+    Isolated evictions are the supervisor doing its job; a storm —
+    ``eviction_storm_count`` evictions inside
+    ``eviction_storm_window`` generations — means the farm is flapping
+    (bad power rail, thermal runaway) and probation keeps re-admitting
+    devices that immediately fail again.  Fired on the transition into
+    the storm regime.
+    """
+
+    name = "fabric.eviction_storm"
+
+    def __init__(self, config: HealthConfig) -> None:
+        super().__init__(config)
+        self._previous: float | None = None
+        self._window: list[float] = []
+        self._alerted = False
+
+    def observe(self, sample: GenerationSample) -> list[HealthEvent]:
+        delta = _delta(sample.device_evictions, self._previous)
+        if sample.device_evictions is not None:
+            self._previous = sample.device_evictions
+        if delta is None:
+            return []
+        self._window.append(delta)
+        window = self.config.eviction_storm_window
+        if len(self._window) > window:
+            self._window = self._window[-window:]
+        total = sum(self._window)
+        if total < self.config.eviction_storm_count:
+            self._alerted = False
+            return []
+        if self._alerted:
+            return []
+        self._alerted = True
+        return [
+            self._event(
+                "critical",
+                f"gen={sample.generation}",
+                f"{int(total)} device evictions in the last "
+                f"{len(self._window)} generation(s) — the farm is flapping",
+                evictions_in_window=total,
+                window=window,
+                threshold=self.config.eviction_storm_count,
             )
         ]
 

@@ -9,11 +9,13 @@ Sample recovery prefers the monitor's ``health.sample`` marker spans
 (bit-exact round trip: the doctor then reproduces the live run's
 ``health.json`` byte for byte).  Traces recorded *without* ``--health``
 still get a partial diagnosis: per-generation samples are
-reconstructed from ``phase.evaluate`` spans (generation, population)
-and ``resilience.*`` marker spans (quarantines, fallback waves, shard
-churn keyed by the ``gen=N`` site convention) — fitness/cache/INAX
-detectors simply see ``None`` for the fields a bare trace cannot
-recover, and skip.
+reconstructed from ``phase.evaluate`` spans (generation, population),
+``resilience.*`` marker spans (quarantines, fallback waves, shard
+churn, skipped migrations keyed by the ``gen=N`` site convention) and
+the fabric backend's ``fabric.gen`` markers (devices up, evictions,
+re-admissions, re-packed waves — cumulative snapshots carried as span
+attrs) — fitness/cache/INAX detectors simply see ``None`` for the
+fields a bare trace cannot recover, and skip.
 """
 
 from __future__ import annotations
@@ -52,7 +54,16 @@ _RESILIENCE_FIELDS = {
     "resilience.shard.timeout": "shard_retries",
     "resilience.shard.error": "shard_retries",
     "resilience.shard.degraded": "shard_degraded",
+    "resilience.fabric.migration_skip": "migrations_skipped",
 }
+
+#: ``fabric.gen`` span attrs copied verbatim (already cumulative)
+_FABRIC_GEN_FIELDS = (
+    "devices_up",
+    "device_evictions",
+    "device_readmissions",
+    "repacked_waves",
+)
 
 
 @dataclass
@@ -109,6 +120,12 @@ def samples_from_trace(
             entry = generations.setdefault(gen, {"generation": gen})
             if "population" in attrs:
                 entry["population_size"] = int(attrs["population"])
+        elif name == "fabric.gen" and "generation" in attrs:
+            gen = int(attrs["generation"])
+            entry = generations.setdefault(gen, {"generation": gen})
+            for key in _FABRIC_GEN_FIELDS:
+                if key in attrs:
+                    entry[key] = float(attrs[key])
         elif name in _RESILIENCE_FIELDS:
             match = _GEN_IN_SITE.search(str(attrs.get("site", "")))
             if match is None:
@@ -122,7 +139,8 @@ def samples_from_trace(
     # resilience fields are cumulative in live samples; accumulate the
     # per-generation marker counts the same way
     running = {"quarantined": 0.0, "fallback_waves": 0.0,
-               "shard_retries": 0.0, "shard_degraded": 0.0}
+               "shard_retries": 0.0, "shard_degraded": 0.0,
+               "migrations_skipped": 0.0}
     samples: list[GenerationSample] = []
     all_gens = sorted(set(generations) | set(per_gen_counts))
     for gen in all_gens:

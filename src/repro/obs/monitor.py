@@ -59,6 +59,10 @@ _RUN_KEYS = (
     "schedule",
     "prefetch",
     "overlap",
+    "devices",
+    "islands",
+    "migration_interval",
+    "migration_size",
 )
 
 #: cumulative reporter-column extras copied verbatim into samples
@@ -68,6 +72,12 @@ _EXTRA_KEYS = (
     "shard_degraded",
     "oversize",
     "fallback_waves",
+    "devices_up",
+    "device_evictions",
+    "device_readmissions",
+    "repacked_waves",
+    "migrations",
+    "migrations_skipped",
 )
 
 

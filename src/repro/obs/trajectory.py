@@ -86,6 +86,12 @@ METRIC_SPECS: dict[str, dict[str, MetricSpec]] = {
             "overhead_fraction", higher_is_better=False, noisy=True
         ),
     },
+    "fabric": {
+        # analytic farm pricing (price_farm): deterministic, tight bar
+        "speedup_4dev": MetricSpec(
+            "speedup_4dev", higher_is_better=True, noisy=False
+        ),
+    },
 }
 
 #: name-substring heuristics for benches without curated specs

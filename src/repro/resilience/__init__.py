@@ -23,6 +23,7 @@ results — see ``docs/resilience.md``.
 """
 
 from repro.resilience.faults import (
+    DEVICE_DROP,
     DEVICE_KINDS,
     DEVICE_WEDGE,
     DMA_INPUT_DROP,
@@ -31,7 +32,10 @@ from repro.resilience.faults import (
     ENV_OBS_INF,
     ENV_OBS_NAN,
     ENV_REWARD_NAN,
+    FABRIC_KINDS,
+    HEARTBEAT_DELAY,
     KNOWN_KINDS,
+    MIGRATION_CORRUPT,
     PU_STALL,
     VALUE_BITFLIP,
     WEIGHT_BITFLIP,
@@ -52,6 +56,7 @@ from repro.resilience.injectors import (
     DeviceFaultInjector,
     has_device_faults,
     has_env_faults,
+    has_fabric_faults,
     has_worker_faults,
     wrap_env,
 )
@@ -83,6 +88,7 @@ __all__ = [
     "maybe_fail_worker",
     "has_device_faults",
     "has_env_faults",
+    "has_fabric_faults",
     "has_worker_faults",
     "QUARANTINE",
     "DEFAULT_PENALTY",
@@ -90,6 +96,7 @@ __all__ = [
     "WORKER_KINDS",
     "DEVICE_KINDS",
     "ENV_KINDS",
+    "FABRIC_KINDS",
     "WORKER_CRASH",
     "WORKER_HANG",
     "WORKER_ERROR",
@@ -102,4 +109,7 @@ __all__ = [
     "ENV_OBS_NAN",
     "ENV_OBS_INF",
     "ENV_REWARD_NAN",
+    "DEVICE_DROP",
+    "HEARTBEAT_DELAY",
+    "MIGRATION_CORRUPT",
 ]

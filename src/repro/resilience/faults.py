@@ -35,6 +35,9 @@ kind                         effect
 ``env.obs_nan``              env observation element becomes NaN
 ``env.obs_inf``              env observation element becomes ±inf
 ``env.reward_nan``           env step reward becomes NaN
+``fabric.device_drop``       a farm device misses a heartbeat probe outright
+``fabric.heartbeat_delay``   a farm device answers its probe late (cycle penalty)
+``fabric.migration_corrupt`` one island-migration edge is dropped (skip-and-log)
 ===========================  ====================================================
 """
 
@@ -66,10 +69,14 @@ __all__ = [
     "ENV_OBS_NAN",
     "ENV_OBS_INF",
     "ENV_REWARD_NAN",
+    "DEVICE_DROP",
+    "HEARTBEAT_DELAY",
+    "MIGRATION_CORRUPT",
     "KNOWN_KINDS",
     "WORKER_KINDS",
     "DEVICE_KINDS",
     "ENV_KINDS",
+    "FABRIC_KINDS",
     "DeviceFault",
     "InjectedWorkerError",
     "FaultSpec",
@@ -93,6 +100,9 @@ DMA_OUTPUT_CORRUPT = "dma.output_corrupt"
 ENV_OBS_NAN = "env.obs_nan"
 ENV_OBS_INF = "env.obs_inf"
 ENV_REWARD_NAN = "env.reward_nan"
+DEVICE_DROP = "fabric.device_drop"
+HEARTBEAT_DELAY = "fabric.heartbeat_delay"
+MIGRATION_CORRUPT = "fabric.migration_corrupt"
 
 #: kinds that target cpu-fast worker processes (detected by supervision)
 WORKER_KINDS = (WORKER_CRASH, WORKER_HANG, WORKER_ERROR)
@@ -107,7 +117,9 @@ DEVICE_KINDS = (
 )
 #: kinds that target environment observations/rewards (quarantine path)
 ENV_KINDS = (ENV_OBS_NAN, ENV_OBS_INF, ENV_REWARD_NAN)
-KNOWN_KINDS = WORKER_KINDS + DEVICE_KINDS + ENV_KINDS
+#: kinds that target the device farm (handled by the fabric supervisor)
+FABRIC_KINDS = (DEVICE_DROP, HEARTBEAT_DELAY, MIGRATION_CORRUPT)
+KNOWN_KINDS = WORKER_KINDS + DEVICE_KINDS + ENV_KINDS + FABRIC_KINDS
 
 #: default sleep for ``worker.hang`` when the spec carries no param —
 #: long enough that only the shard watchdog can end it

@@ -24,6 +24,7 @@ from typing import Any
 import numpy as np
 
 from repro.resilience.faults import (
+    DEVICE_DROP,
     DEVICE_KINDS,
     DEVICE_WEDGE,
     DMA_INPUT_DROP,
@@ -32,6 +33,9 @@ from repro.resilience.faults import (
     ENV_OBS_INF,
     ENV_OBS_NAN,
     ENV_REWARD_NAN,
+    FABRIC_KINDS,
+    HEARTBEAT_DELAY,
+    MIGRATION_CORRUPT,
     PU_STALL,
     VALUE_BITFLIP,
     WEIGHT_BITFLIP,
@@ -46,11 +50,14 @@ __all__ = [
     "wrap_env",
     "has_device_faults",
     "has_env_faults",
+    "has_fabric_faults",
     "has_worker_faults",
 ]
 
 #: default extra cycles for ``inax.pu_stall`` when the spec has no param
 _DEFAULT_STALL_CYCLES = 1000
+#: default heartbeat penalty base cycles when the spec has no param
+_DEFAULT_HEARTBEAT_CYCLES = 256
 
 
 def has_device_faults(plan: FaultPlan | None) -> bool:
@@ -59,6 +66,10 @@ def has_device_faults(plan: FaultPlan | None) -> bool:
 
 def has_env_faults(plan: FaultPlan | None) -> bool:
     return plan is not None and plan.has(*ENV_KINDS)
+
+
+def has_fabric_faults(plan: FaultPlan | None) -> bool:
+    return plan is not None and plan.has(*FABRIC_KINDS)
 
 
 def has_worker_faults(plan: FaultPlan | None) -> bool:
@@ -87,15 +98,23 @@ def wrap_env(env: Any, plan: FaultPlan | None) -> Any:
 
 
 class DeviceFaultInjector:
-    """INAX-facing fault hooks, all keyed by (wave, step, slot) sites."""
+    """INAX-facing fault hooks, all keyed by (wave, step, slot) sites.
 
-    def __init__(self, plan: FaultPlan) -> None:
+    ``site_prefix`` namespaces every site string (the fabric prepends
+    ``dev=N|`` per device, so two devices probing the same wave/step
+    coordinates draw independently).  The ``fabric.*`` hooks at the
+    bottom are farm-level — the :class:`~repro.fabric.supervisor.
+    FabricSupervisor` calls them with generation-scoped sites.
+    """
+
+    def __init__(self, plan: FaultPlan, site_prefix: str = "") -> None:
         self.plan = plan
+        self.site_prefix = site_prefix
 
     # ------------------------------------------------------------ wave load
     def on_load(self, pu: Any, wave: int, slot: int) -> None:
         """Maybe flip one weight/bias bit in the PU's just-loaded config."""
-        site = f"wave={wave}|slot={slot}"
+        site = f"{self.site_prefix}wave={wave}|slot={slot}"
         if not self.plan.fires(WEIGHT_BITFLIP, site):
             return
         detail = pu.flip_weight_bit(self.plan.rng_for(WEIGHT_BITFLIP, site))
@@ -105,7 +124,7 @@ class DeviceFaultInjector:
     # ------------------------------------------------------------ lock-step
     def check_wedge(self, wave: int, step: int) -> None:
         """Raise :class:`DeviceFault` when the device wedges this step."""
-        site = f"wave={wave}|step={step}"
+        site = f"{self.site_prefix}wave={wave}|step={step}"
         if self.plan.fires(DEVICE_WEDGE, site):
             self.plan.record(DEVICE_WEDGE, site)
             raise DeviceFault(f"injected inax.wedge at {site}")
@@ -115,7 +134,7 @@ class DeviceFaultInjector:
         spec = self.plan.spec(PU_STALL)
         if spec is None:
             return 0
-        site = f"wave={wave}|step={step}|slot={slot}"
+        site = f"{self.site_prefix}wave={wave}|step={step}|slot={slot}"
         if not self.plan.fires(PU_STALL, site):
             return 0
         cycles = int(spec.param) if spec.param > 0 else _DEFAULT_STALL_CYCLES
@@ -124,7 +143,7 @@ class DeviceFaultInjector:
 
     def input_retries(self, wave: int, step: int) -> int:
         """Dropped input DMA transfers this step (each one is re-sent)."""
-        site = f"wave={wave}|step={step}"
+        site = f"{self.site_prefix}wave={wave}|step={step}"
         if self.plan.fires(DMA_INPUT_DROP, site):
             self.plan.record(DMA_INPUT_DROP, site)
             return 1
@@ -152,7 +171,7 @@ class DeviceFaultInjector:
         self, values: np.ndarray, wave: int, step: int, slot: int
     ) -> np.ndarray:
         """Maybe flip one bit in a slot's input value buffer."""
-        site = f"wave={wave}|step={step}|slot={slot}|in"
+        site = f"{self.site_prefix}wave={wave}|step={step}|slot={slot}|in"
         if not self.plan.fires(VALUE_BITFLIP, site):
             return values
         return self._flip_element(values, VALUE_BITFLIP, site)
@@ -161,7 +180,51 @@ class DeviceFaultInjector:
         self, values: np.ndarray, wave: int, step: int, slot: int
     ) -> np.ndarray:
         """Maybe flip one bit in a slot's DMA'd output."""
-        site = f"wave={wave}|step={step}|slot={slot}|out"
+        site = f"{self.site_prefix}wave={wave}|step={step}|slot={slot}|out"
         if not self.plan.fires(DMA_OUTPUT_CORRUPT, site):
             return values
         return self._flip_element(values, DMA_OUTPUT_CORRUPT, site)
+
+    # --------------------------------------------------------- fabric hooks
+    def device_drops(self, gen: int, device: int, dispatch: "int | str") -> bool:
+        """Does this device miss its heartbeat probe outright?
+
+        ``dispatch`` counts probes within the generation (a re-probed
+        device gets a fresh draw); the probationary re-admission probe
+        passes the literal ``"probe"`` so it draws independently of the
+        dispatch stream.
+        """
+        site = f"{self.site_prefix}gen={gen}|device={device}|dispatch={dispatch}"
+        if self.plan.fires(DEVICE_DROP, site):
+            self.plan.record(DEVICE_DROP, site)
+            return True
+        return False
+
+    def heartbeat_delay_cycles(
+        self, gen: int, device: int, dispatch: int, misses: int,
+        backoff_factor: float = 2.0,
+    ) -> int:
+        """Penalty cycles a late-heartbeat device burns at this probe.
+
+        The penalty grows exponentially with the device's consecutive
+        miss count (capped), mirroring the shard supervisor's retry
+        backoff in the cycle domain.
+        """
+        spec = self.plan.spec(HEARTBEAT_DELAY)
+        if spec is None:
+            return 0
+        site = f"{self.site_prefix}gen={gen}|device={device}|dispatch={dispatch}"
+        if not self.plan.fires(HEARTBEAT_DELAY, site):
+            return 0
+        base = int(spec.param) if spec.param > 0 else _DEFAULT_HEARTBEAT_CYCLES
+        cycles = int(base * backoff_factor ** min(misses, 10))
+        self.plan.record(HEARTBEAT_DELAY, site, cycles=cycles, misses=misses)
+        return cycles
+
+    def migration_corrupted(self, gen: int, src: int, dst: int) -> bool:
+        """Is the island-migration edge ``src -> dst`` dropped this barrier?"""
+        site = f"{self.site_prefix}gen={gen}|edge={src}->{dst}"
+        if self.plan.fires(MIGRATION_CORRUPT, site):
+            self.plan.record(MIGRATION_CORRUPT, site)
+            return True
+        return False

@@ -40,13 +40,24 @@ __all__ = ["SupervisorConfig", "ShardSupervisor", "shutdown_pool"]
 
 @dataclass(frozen=True)
 class SupervisorConfig:
-    """Tuning knobs for shard supervision (all times in seconds)."""
+    """Recovery-policy knobs shared by shard and fabric supervision.
+
+    One frozen config covers both supervisors so a run's recovery
+    policy is a single recordable value (``RunManifest.supervisor``):
+    the shard watchdog reads the timeout/backoff knobs in the
+    wall-clock domain, the fabric supervisor reads ``max_retries``/
+    ``backoff_factor`` in the heartbeat/cycle domain plus its own
+    ``probation_generations``.
+    """
 
     #: watchdog: one attempt's shards must all finish within this window
     shard_timeout: float = 120.0
-    #: retries per generation before failed shards degrade in-process
+    #: shard retries per generation before failed shards degrade
+    #: in-process; fabric heartbeat misses per generation before a
+    #: device is evicted
     max_retries: int = 2
-    #: backoff delay = min(base * factor**attempt, max)
+    #: backoff delay = min(base * factor**attempt, max); the fabric
+    #: reuses ``backoff_factor`` to scale heartbeat penalty cycles
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
     backoff_max: float = 2.0
@@ -54,6 +65,9 @@ class SupervisorConfig:
     join_timeout: float = 5.0
     #: consecutive degraded generations before sharding is disabled
     disable_after: int = 3
+    #: generations an evicted fabric device sits out before its
+    #: probationary re-admission probe
+    probation_generations: int = 1
 
 
 def shutdown_pool(pool: Any, join_timeout: float = 5.0) -> bool:

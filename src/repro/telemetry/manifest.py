@@ -73,6 +73,14 @@ class RunManifest:
     schedule: str = "arrival"
     prefetch: bool = False
     overlap: bool = False
+    #: fabric farm topology (single-device runs keep the defaults)
+    devices: int = 1
+    islands: int = 1
+    migration_interval: int = 0
+    migration_size: int = 0
+    #: the shared supervisor recovery policy (shard + fabric), as a
+    #: plain dict so chaos runs are attributable from the trace alone
+    supervisor: dict[str, Any] = field(default_factory=dict)
     #: free-form extras (checkpoint path, sweep axis, ...)
     extra: dict[str, Any] = field(default_factory=dict)
     # -- captured automatically at collection time --

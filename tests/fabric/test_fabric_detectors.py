@@ -1,0 +1,158 @@
+"""Fabric health detectors, live and reconstructed from bare traces."""
+
+from repro.obs.detectors import (
+    EvictionStormDetector,
+    FabricInstabilityDetector,
+    GenerationSample,
+    HealthConfig,
+    build_detectors,
+)
+from repro.obs.doctor import diagnose, samples_from_trace
+
+
+def _sample(generation, up, evictions, **kwargs):
+    return GenerationSample(
+        generation=generation,
+        devices_up=float(up),
+        device_evictions=float(evictions),
+        **kwargs,
+    )
+
+
+class TestFabricInstabilityDetector:
+    def test_quiet_farm_fires_nothing(self):
+        detector = FabricInstabilityDetector(HealthConfig())
+        for generation in range(5):
+            assert detector.observe(_sample(generation, 4, 0)) == []
+
+    def test_eviction_delta_warns(self):
+        detector = FabricInstabilityDetector(HealthConfig())
+        assert detector.observe(_sample(0, 4, 0)) == []
+        events = detector.observe(_sample(1, 3, 1))
+        assert [e.severity for e in events] == ["warning"]
+        # the counter is cumulative: no new eviction, no new event
+        assert detector.observe(_sample(2, 3, 1)) == []
+
+    def test_collapse_to_single_device_is_critical_once(self):
+        detector = FabricInstabilityDetector(HealthConfig())
+        detector.observe(_sample(0, 3, 0))
+        events = detector.observe(_sample(1, 1, 2))
+        severities = sorted(e.severity for e in events)
+        assert severities == ["critical", "warning"]
+        # still degraded: fired on the transition only
+        assert detector.observe(_sample(2, 1, 2)) == []
+        # recovery re-arms the transition
+        detector.observe(_sample(3, 3, 2))
+        events = detector.observe(_sample(4, 1, 4))
+        assert any(e.severity == "critical" for e in events)
+
+    def test_single_device_farm_never_degrades(self):
+        detector = FabricInstabilityDetector(HealthConfig())
+        for generation in range(4):
+            assert detector.observe(_sample(generation, 1, 0)) == []
+
+    def test_absent_fields_skip(self):
+        detector = FabricInstabilityDetector(HealthConfig())
+        assert detector.observe(GenerationSample(generation=0)) == []
+
+
+class TestEvictionStormDetector:
+    def test_spread_out_evictions_stay_quiet(self):
+        config = HealthConfig(
+            eviction_storm_window=3, eviction_storm_count=3
+        )
+        detector = EvictionStormDetector(config)
+        cumulative = 0
+        for generation in range(9):
+            if generation % 4 == 0:
+                cumulative += 1
+            assert detector.observe(_sample(generation, 4, cumulative)) == []
+
+    def test_clustered_evictions_fire_once(self):
+        config = HealthConfig(
+            eviction_storm_window=5, eviction_storm_count=3
+        )
+        detector = EvictionStormDetector(config)
+        assert detector.observe(_sample(0, 8, 1)) == []
+        assert detector.observe(_sample(1, 7, 2)) == []
+        events = detector.observe(_sample(2, 6, 3))
+        assert [e.severity for e in events] == ["critical"]
+        # still storming: transition-fired, not repeated
+        assert detector.observe(_sample(3, 5, 4)) == []
+
+    def test_registered_in_default_registry(self):
+        names = {d.name for d in build_detectors(HealthConfig())}
+        assert {"fabric.instability", "fabric.eviction_storm"} <= names
+
+
+def _fabric_gen_row(generation, up, evictions, readmissions=0, repacked=0):
+    return {
+        "type": "span",
+        "name": "fabric.gen",
+        "attrs": {
+            "site": f"gen={generation}",
+            "generation": generation,
+            "wall_cycles": 1000.0,
+            "devices_up": float(up),
+            "device_evictions": float(evictions),
+            "device_readmissions": float(readmissions),
+            "repacked_waves": float(repacked),
+        },
+    }
+
+
+def _phase_row(generation, population=12):
+    return {
+        "type": "span",
+        "name": "phase.evaluate",
+        "dur": 0.01,
+        "attrs": {"generation": generation, "population": population},
+    }
+
+
+class TestDoctorReconstruction:
+    def test_fabric_gen_markers_rebuild_samples(self):
+        rows = [
+            _phase_row(0), _fabric_gen_row(0, 2, 0),
+            _phase_row(1), _fabric_gen_row(1, 1, 1, repacked=2),
+        ]
+        samples, reconstructed = samples_from_trace(rows)
+        assert reconstructed
+        assert [s.generation for s in samples] == [0, 1]
+        assert samples[0].devices_up == 2.0
+        assert samples[1].device_evictions == 1.0
+        assert samples[1].repacked_waves == 2.0
+        assert samples[0].population_size == 12
+
+    def test_migration_skip_markers_accumulate(self):
+        rows = [
+            _phase_row(0),
+            _phase_row(1),
+            {
+                "type": "span",
+                "name": "resilience.fabric.migration_skip",
+                "attrs": {"site": "gen=1|edge=0->1"},
+            },
+            {
+                "type": "span",
+                "name": "resilience.fabric.migration_skip",
+                "attrs": {"site": "gen=1|edge=1->0"},
+            },
+        ]
+        samples, _ = samples_from_trace(rows)
+        assert samples[0].migrations_skipped is None
+        assert samples[1].migrations_skipped == 2.0
+
+    def test_diagnose_fires_fabric_detectors_from_bare_trace(self):
+        rows = [_phase_row(0), _fabric_gen_row(0, 4, 0)]
+        for generation in (1, 2, 3):
+            rows.append(_phase_row(generation))
+            rows.append(
+                _fabric_gen_row(generation, 4 - generation, generation)
+            )
+        diagnosis = diagnose(rows)
+        assert diagnosis.reconstructed
+        detectors = {e.detector for e in diagnosis.report.events}
+        assert "fabric.instability" in detectors
+        assert "fabric.eviction_storm" in detectors
+        assert diagnosis.report.verdict == "critical"

@@ -103,7 +103,9 @@ class TestPackWaves:
         lpt_total = sum(max(costs[i] for i in wave) for wave in waves)
         arrival = pack_waves(costs, capacity, "arrival")
         arrival_total = sum(max(costs[i] for i in wave) for wave in arrival)
-        assert lpt_total <= arrival_total + 1e-9
+        # relative slack: both totals sum the same values in different
+        # orders at capacity=1, and float addition is not associative
+        assert lpt_total <= arrival_total * (1.0 + 1e-12) + 1e-9
 
 
 class TestPredictCosts:

@@ -33,6 +33,8 @@ EXPECTED_DETECTORS = {
     "shard.instability",
     "inax.occupancy",
     "inax.prefetch",
+    "fabric.instability",
+    "fabric.eviction_storm",
 }
 
 

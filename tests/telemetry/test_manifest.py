@@ -64,3 +64,33 @@ class TestGitAndPipelineAttribution:
         assert manifest.schedule == "arrival"
         assert manifest.prefetch is False
         assert manifest.overlap is False
+
+
+class TestFabricAttribution:
+    def test_fabric_fields(self):
+        from dataclasses import asdict
+
+        from repro.resilience.supervisor import SupervisorConfig
+
+        manifest = RunManifest.collect(
+            command="islands.run", backend="fabric",
+            devices=4, islands=4, migration_interval=5, migration_size=2,
+            supervisor=asdict(SupervisorConfig()),
+        )
+        row = manifest.to_dict()
+        assert row["devices"] == 4
+        assert row["islands"] == 4
+        assert row["migration_interval"] == 5
+        assert row["migration_size"] == 2
+        assert row["supervisor"]["max_retries"] == 2
+        assert row["supervisor"]["probation_generations"] == 1
+        row["type"] = "manifest"
+        assert RunManifest.from_dict(row) == manifest
+
+    def test_fabric_defaults_are_single_device(self):
+        manifest = RunManifest()
+        assert manifest.devices == 1
+        assert manifest.islands == 1
+        assert manifest.migration_interval == 0
+        assert manifest.migration_size == 0
+        assert manifest.supervisor == {}
