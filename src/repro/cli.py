@@ -212,6 +212,46 @@ def build_parser() -> argparse.ArgumentParser:
     resources.add_argument("--pus", type=int, required=True)
     resources.add_argument("--pes", type=int, required=True)
 
+    # ------------------------------------------------------------ serve
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant evolution service daemon "
+        "(docs/serve.md)",
+    )
+    serve.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="Unix socket path to listen on (JSON-lines protocol)",
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=4, metavar="N",
+        help="run at most N jobs at once (default 4)",
+    )
+    serve.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="directory for per-job checkpoints and traces "
+        "(omit to disable both)",
+    )
+    serve.add_argument(
+        "--keep-checkpoints", type=int, default=2, metavar="K",
+        help="rotated checkpoint copies per job (default 2)",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=256,
+        help="admission control: total queued-job ceiling",
+    )
+    serve.add_argument(
+        "--max-queued-per-tenant", type=int, default=64,
+        help="admission control: queued jobs one tenant may hold",
+    )
+    serve.add_argument(
+        "--max-running-per-tenant", type=int, default=4,
+        help="dispatch control: running jobs one tenant may hold",
+    )
+    serve.add_argument(
+        "--max-population", type=int, default=512,
+        help="admission control: largest population a spec may ask for",
+    )
+
     return parser
 
 
@@ -998,6 +1038,47 @@ def _cmd_resources(args) -> int:
     return 0 if fits else 3
 
 
+def _cmd_serve(args) -> int:
+    """Boot the evolution-service daemon and serve until shutdown.
+
+    Runs until a client sends the ``shutdown`` op or the process gets
+    SIGINT/SIGTERM (both trigger a draining shutdown: running jobs
+    finish and checkpoint, queued jobs are cancelled).
+    """
+    import asyncio
+    import signal
+
+    from repro.serve import EvolutionService, QuotaConfig, SocketServer
+
+    quotas = QuotaConfig(
+        max_queue_depth=args.max_queue_depth,
+        max_queued_per_tenant=args.max_queued_per_tenant,
+        max_running_per_tenant=args.max_running_per_tenant,
+        max_population=args.max_population,
+    )
+    service = EvolutionService(
+        max_concurrent=args.max_concurrent,
+        quotas=quotas,
+        data_dir=args.data_dir,
+        keep_checkpoints=args.keep_checkpoints,
+    )
+    server = SocketServer(service, args.socket)
+
+    async def run() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, server.request_shutdown)
+        print(f"serving on {args.socket} "
+              f"(max_concurrent={args.max_concurrent})")
+        sys.stdout.flush()
+        await server.serve_until_shutdown()
+
+    asyncio.run(run())
+    print("serve: clean shutdown")
+    return 0
+
+
 _COMMANDS = {
     "envs": _cmd_envs,
     "run": _cmd_run,
@@ -1010,6 +1091,7 @@ _COMMANDS = {
     "doctor": _cmd_doctor,
     "bench-diff": _cmd_bench_diff,
     "lint": _cmd_lint,
+    "serve": _cmd_serve,
 }
 
 

@@ -218,6 +218,29 @@ class EvaluationBackend:
     def close(self) -> None:
         """Release any resources (worker pools, devices). Idempotent."""
 
+    def reset_run_state(self, base_seed: int | None = None) -> None:
+        """Clear per-run accumulators so the instance can host a new run.
+
+        The serve-layer :class:`~repro.serve.pool.BackendPool` leases
+        backends across jobs; this resets everything a run accumulates
+        — generation records, the generation counter, LPT cost history,
+        quarantine/resilience accounting — while deliberately keeping
+        the *structural* caches (decoded networks, compiled shapes,
+        live worker pools).  Those are keyed purely on genome content
+        and cannot change fitness bits, so a reused backend is
+        bit-identical to a fresh one but skips cold-start decode and
+        pool-spawn costs.  ``base_seed`` rebinds the run seed (it feeds
+        every per-episode seed draw) when the next job differs.
+        """
+        self.records = []
+        self._generation = 0
+        self._last_lengths = {}
+        self._pending_drain = []
+        self.quarantine_count = 0
+        self.resilience_events = []
+        if base_seed is not None:
+            self.base_seed = base_seed
+
     # ---------------------------------------------------------- helpers
     def _episode_seed(self, genome: Genome, episode: int) -> int:
         """Deterministic per (run, genome, episode); independent of backend.
@@ -446,8 +469,29 @@ class _DecodeCache:
 
 
 # ------------------------------------------------------------------ pool
-# Per-worker-process state for FastCPUBackend's multiprocessing shards.
-_WORKER_BACKEND: "FastCPUBackend | None" = None
+class _WorkerState:
+    """One worker process's state for FastCPUBackend's shards.
+
+    Bundles the worker-local backend with the cumulative cache counters
+    it has already reported, so each shard result ships a *delta* the
+    parent can sum regardless of which worker the shard landed on.  The
+    whole object is rebuilt by :func:`_fastcpu_worker_init` every time a
+    pool (re)initializes its workers — counters can never leak between
+    successive or concurrent runs in one process the way the former
+    module-level dicts did.
+    """
+
+    __slots__ = ("backend", "reported_cache", "reported_compile")
+
+    def __init__(self, backend: "FastCPUBackend") -> None:
+        self.backend = backend
+        self.reported_cache = {"hits": 0, "misses": 0}
+        self.reported_compile = {"hits": 0, "misses": 0}
+
+
+# per-process handle, set only inside pool worker processes by the pool
+# initializer; replaced wholesale on every pool (re)spawn
+_WORKER_STATE: _WorkerState | None = None
 
 
 def _shard_slot(site: str) -> str:
@@ -473,28 +517,22 @@ def _fastcpu_worker_init(
     fault_plan: FaultPlan | None = None,
     backend_cls: "type[FastCPUBackend] | None" = None,
 ) -> None:
-    global _WORKER_BACKEND
+    global _WORKER_STATE
     # workers run the parent's own class (cpu-compiled shards must use
     # the compiled path), minus sharding — classes pickle by reference
     cls = backend_cls if backend_cls is not None else FastCPUBackend
-    _WORKER_BACKEND = cls(
-        env_name,
-        neat_config,
-        episodes_per_genome=episodes_per_genome,
-        base_seed=base_seed,
-        env_kwargs=env_kwargs,
-        workers=0,
-        cache_size=cache_size,
-        fault_plan=fault_plan,
+    _WORKER_STATE = _WorkerState(
+        cls(
+            env_name,
+            neat_config,
+            episodes_per_genome=episodes_per_genome,
+            base_seed=base_seed,
+            env_kwargs=env_kwargs,
+            workers=0,
+            cache_size=cache_size,
+            fault_plan=fault_plan,
+        )
     )
-
-
-#: cumulative cache counters already reported by this worker process, so
-#: each result ships a *delta* the parent can sum regardless of which
-#: worker a shard landed on
-_WORKER_REPORTED_CACHE = {"hits": 0, "misses": 0}
-#: same, for the compiled backend's shape-keyed compile cache
-_WORKER_REPORTED_COMPILE = {"hits": 0, "misses": 0}
 
 
 def _fastcpu_worker_evaluate(
@@ -514,26 +552,28 @@ def _fastcpu_worker_evaluate(
     so a supervised retry of a crashed shard gets a fresh chance.
     """
     genomes, want_metrics, fault_site = task
-    assert _WORKER_BACKEND is not None, "worker pool not initialized"
-    maybe_fail_worker(_WORKER_BACKEND.fault_plan, fault_site)
+    state = _WORKER_STATE
+    assert state is not None, "worker pool not initialized"
+    backend = state.backend
+    maybe_fail_worker(backend.fault_plan, fault_site)
     from repro.telemetry.metrics import MetricsRegistry, set_metrics
 
     registry = MetricsRegistry() if want_metrics else None
     previous = set_metrics(registry) if want_metrics else None
     t0 = time.perf_counter()
     try:
-        fitnesses, lengths = _WORKER_BACKEND._fitness_for(genomes)
+        fitnesses, lengths = backend._fitness_for(genomes)
     finally:
         if want_metrics:
             set_metrics(previous)
     seconds = time.perf_counter() - t0
-    info = _WORKER_BACKEND.cache_info()
+    info = backend.cache_info()
     cache_delta = {
-        "hits": info["hits"] - _WORKER_REPORTED_CACHE["hits"],
-        "misses": info["misses"] - _WORKER_REPORTED_CACHE["misses"],
+        "hits": info["hits"] - state.reported_cache["hits"],
+        "misses": info["misses"] - state.reported_cache["misses"],
     }
-    _WORKER_REPORTED_CACHE["hits"] = info["hits"]
-    _WORKER_REPORTED_CACHE["misses"] = info["misses"]
+    state.reported_cache["hits"] = info["hits"]
+    state.reported_cache["misses"] = info["misses"]
     telemetry = {
         # the shard's unique site (gen=G|shard=I|attempt=A) rides along
         # so the parent can merge each payload exactly once even if a
@@ -545,17 +585,17 @@ def _fastcpu_worker_evaluate(
         "genomes": len(genomes),
         "metrics": registry.snapshot() if registry is not None else None,
     }
-    compile_cache = getattr(_WORKER_BACKEND, "_compile_cache", None)
+    compile_cache = getattr(backend, "_compile_cache", None)
     if compile_cache is not None:
         compile_info = compile_cache.info()
         telemetry["compile_delta"] = {
-            "hits": compile_info["hits"] - _WORKER_REPORTED_COMPILE["hits"],
+            "hits": compile_info["hits"] - state.reported_compile["hits"],
             "misses": (
-                compile_info["misses"] - _WORKER_REPORTED_COMPILE["misses"]
+                compile_info["misses"] - state.reported_compile["misses"]
             ),
         }
-        _WORKER_REPORTED_COMPILE["hits"] = compile_info["hits"]
-        _WORKER_REPORTED_COMPILE["misses"] = compile_info["misses"]
+        state.reported_compile["hits"] = compile_info["hits"]
+        state.reported_compile["misses"] = compile_info["misses"]
         telemetry["compile_size"] = compile_info["size"]
     rows = [
         (genome.key, fitness, length)
@@ -669,6 +709,34 @@ class FastCPUBackend(CPUBackend):
             self.close()
         except Exception:  # repro: noqa[RES001] -- interpreter teardown
             pass
+
+    def reset_run_state(self, base_seed: int | None = None) -> None:
+        """Reset run accumulators; keep decode cache + worker pool warm.
+
+        Cache *entries* survive (structural, content-keyed, bit-safe)
+        but the hit/miss/warmed counters restart so the next run's
+        cache stats cover only its own activity.  Worker-side sizes are
+        still live (the pool persists), so the aggregate ``size`` stays
+        truthful; worker deltas keep flowing against the workers' own
+        cumulative reported counters, which the run boundary does not
+        disturb.
+        """
+        super().reset_run_state(base_seed=base_seed)
+        self._cache.hits = 0
+        self._cache.misses = 0
+        self._cache.warmed = 0
+        self.shard_profiler = PhaseProfiler()
+        self._shard_cache = {
+            "hits": 0,
+            "misses": 0,
+            "size": sum(self._shard_sizes.values()),
+        }
+        self._shard_compile = {"hits": 0, "misses": 0}
+        if self._supervisor is not None:
+            # per-run resilience accounting; the pool itself stays warm
+            self._supervisor.retries = 0
+            self._supervisor.degraded_shards = 0
+            self._supervisor.events = []
 
     def cache_info(self) -> dict[str, int]:
         """Decode-cache statistics: hits, misses, current size.
@@ -1029,6 +1097,13 @@ class CompiledCPUBackend(FastCPUBackend):
         )
         self._compile_cache = CompileCache(cache_size)
 
+    def reset_run_state(self, base_seed: int | None = None) -> None:
+        super().reset_run_state(base_seed=base_seed)
+        # compiled structures survive across leased runs; counters don't
+        self._compile_cache.hits = 0
+        self._compile_cache.misses = 0
+        self._compile_cache.warmed = 0
+
     # ------------------------------------------------------------- stats
     def compile_cache_info(self) -> dict[str, int]:
         """Compile-cache statistics, shaped like :meth:`cache_info`.
@@ -1233,6 +1308,14 @@ class INAXBackend(EvaluationBackend):
         self.oversize_penalty = oversize_penalty
         self.oversize_count = 0
         self.fallback = fallback
+        self.fallback_waves = 0
+        self.fallback_genomes = 0
+
+    def reset_run_state(self, base_seed: int | None = None) -> None:
+        super().reset_run_state(base_seed=base_seed)
+        # the device itself carries no cross-generation run state (its
+        # report resets per wave batch); only the gate/fallback tallies do
+        self.oversize_count = 0
         self.fallback_waves = 0
         self.fallback_genomes = 0
 

@@ -29,13 +29,39 @@ from repro.neat.population import GenerationStats, Population
 from repro.telemetry import RunManifest, TelemetrySession
 from repro.telemetry.metrics import TeeRecorder
 
-__all__ = ["E3", "E3RunResult", "default_inax_config"]
+__all__ = [
+    "E3",
+    "E3RunResult",
+    "default_inax_config",
+    "effective_neat_config",
+]
 
 
 def default_inax_config(num_outputs: int, num_pus: int = 50) -> INAXConfig:
     """The paper's §VI-C configuration: PU=50, PE=#output nodes."""
     return INAXConfig(
         num_pus=num_pus, num_pes_per_pu=choose_num_pes(num_outputs)
+    )
+
+
+def effective_neat_config(
+    env_name: str, base: NEATConfig | None = None
+) -> NEATConfig:
+    """``base`` with the env's I/O dimensions and fitness threshold
+    applied — the exact config :class:`E3` runs with.
+
+    Factored out so the serve layer's :class:`~repro.serve.pool.
+    BackendPool` can key leased backends on the *same* config E3 will
+    use, guaranteeing a pooled backend and the job that leases it agree
+    on every decode-relevant field.
+    """
+    env_spec = spec(env_name)
+    env = make(env_name)
+    return replace(
+        base or NEATConfig(),
+        num_inputs=env.num_inputs,
+        num_outputs=env.num_outputs,
+        fitness_threshold=env_spec.required_fitness,
     )
 
 
@@ -82,6 +108,7 @@ class E3:
         pipeline: PipelineConfig | None = None,
         health=None,
         devices: int = 1,
+        population: Population | None = None,
     ):
         """``env_kwargs`` override the environment's physics (the
         model-tuning plant perturbation); ``seed_genome`` warm-starts
@@ -115,19 +142,39 @@ class E3:
         (the run-health watchtower, ``docs/observability.md``): it is
         wired in as a population reporter and probes this backend each
         generation; call ``health.write(path)`` after :meth:`run` for
-        the ``health.json`` verdict."""
+        the ``health.json`` verdict.
+
+        ``population`` adopts an existing :class:`Population` — a
+        checkpoint restored by :func:`~repro.neat.checkpoint.
+        load_checkpoint` (the serve layer's resume path) — instead of
+        creating a fresh one; its config must match the environment's
+        I/O dimensions, and ``neat_config``/``seed``/``seed_genome``
+        are ignored in favor of the adopted population's own state."""
         env_spec = spec(env_name)  # validates the name early
         env_kwargs = dict(env_kwargs or {})
         env = make(env_name, **env_kwargs)
         self.env_name = env_name
         self.required_fitness = env_spec.required_fitness
-        base = neat_config or NEATConfig()
-        self.neat_config = replace(
-            base,
-            num_inputs=env.num_inputs,
-            num_outputs=env.num_outputs,
-            fitness_threshold=env_spec.required_fitness,
-        )
+        if population is not None:
+            adopted = population.config
+            if (
+                adopted.num_inputs != env.num_inputs
+                or adopted.num_outputs != env.num_outputs
+            ):
+                raise ValueError(
+                    f"adopted population is {adopted.num_inputs}-in/"
+                    f"{adopted.num_outputs}-out but {env_name!r} needs "
+                    f"{env.num_inputs}-in/{env.num_outputs}-out"
+                )
+            self.neat_config = adopted
+        else:
+            base = neat_config or NEATConfig()
+            self.neat_config = replace(
+                base,
+                num_inputs=env.num_inputs,
+                num_outputs=env.num_outputs,
+                fitness_threshold=env_spec.required_fitness,
+            )
         if inax_config is None:
             inax_config = default_inax_config(env.num_outputs)
         self.inax_config = inax_config
@@ -169,12 +216,16 @@ class E3:
             if telemetry is None
             else TeeRecorder(self.profiler, telemetry.phase_timer)
         )
-        self.population = Population(
-            self.neat_config,
-            seed=seed,
-            profiler=recorder,
-            seed_genome=seed_genome,
-        )
+        if population is not None:
+            population.profiler = recorder
+            self.population = population
+        else:
+            self.population = Population(
+                self.neat_config,
+                seed=seed,
+                profiler=recorder,
+                seed_genome=seed_genome,
+            )
         if hasattr(self.backend, "reporter_columns"):
             self.population.stat_sources.append(self.backend.reporter_columns)
         self.health = health
@@ -186,8 +237,13 @@ class E3:
         self,
         max_generations: int | None = None,
         fitness_threshold: float | None = None,
+        stop=None,
     ) -> E3RunResult:
-        """Run evaluate/evolve until solved or out of generations."""
+        """Run evaluate/evolve until solved or out of generations.
+
+        ``stop`` (a zero-arg callable returning bool) is checked at
+        each generation boundary for cooperative cancellation — see
+        :meth:`Population.run`."""
         session = self.telemetry
         if session is not None:
             if session.manifest is None:
@@ -223,6 +279,7 @@ class E3:
                 max_generations=max_generations,
                 fitness_threshold=fitness_threshold,
                 drain=drain,
+                stop=stop,
             )
         finally:
             if self.health is not None:

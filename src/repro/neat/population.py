@@ -134,13 +134,22 @@ class Population:
         max_generations: int | None = None,
         fitness_threshold: float | None = None,
         drain: Callable[[], None] | None = None,
+        stop: Callable[[], bool] | None = None,
     ) -> RunResult:
         """Run evaluate/evolve loops until solved or out of generations.
 
         ``drain`` (optional) is the backend's deferred-bookkeeping hook:
         when given, each generation's evolve phase runs concurrently
         with it (the pipeline's evolve/evaluate overlap — see
-        :meth:`advance`)."""
+        :meth:`advance`).
+
+        ``stop`` (optional) is a cooperative cancellation probe checked
+        at each generation boundary (the serve layer passes the job's
+        cancel flag): when it returns True the loop exits cleanly with
+        the population in a checkpointable state.  A never-evaluated
+        population still runs one generation first, so the result
+        always carries a real champion.
+        """
         limit = (
             max_generations
             if max_generations is not None
@@ -153,6 +162,12 @@ class Population:
         )
         solved = False
         for _ in range(limit):
+            if (
+                stop is not None
+                and self.best_genome is not None
+                and stop()
+            ):
+                break
             best = self.advance(evaluate, drain=drain)
             if threshold is not None and best.fitness is not None:
                 if best.fitness >= threshold:

@@ -202,7 +202,10 @@ class ReporterSet:
         self._reporters: list[Reporter] = list(reporters or [])
 
     def add(self, reporter: Reporter) -> None:
-        self._reporters.append(reporter)
+        """Register a reporter; re-adding the same object is a no-op
+        (a re-attached monitor must not receive every event twice)."""
+        if not any(existing is reporter for existing in self._reporters):
+            self._reporters.append(reporter)
 
     def remove(self, reporter: Reporter) -> None:
         self._reporters.remove(reporter)

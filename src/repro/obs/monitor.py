@@ -167,8 +167,18 @@ class HealthMonitor:
     def attach(
         self, population: Population, backend: Any = None
     ) -> "HealthMonitor":
-        """Register as a reporter and remember the backend to probe."""
+        """Register as a reporter and remember the backend to probe.
+
+        Idempotent *and re-arming*: attaching the same monitor again (a
+        resumed or re-submitted job) neither double-registers the
+        reporter — which would double-emit ``health.sample`` spans and
+        double-count ``health.events.*`` — nor leaves a previously
+        finalized monitor refusing samples; the finalize latch re-opens
+        so the new run's generations are observed normally (and
+        :meth:`finalize` stays idempotent *per run*).
+        """
         self._backend = backend
+        self._finalized = False
         population.reporters.add(self)
         return self
 

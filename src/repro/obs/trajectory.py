@@ -86,6 +86,15 @@ METRIC_SPECS: dict[str, dict[str, MetricSpec]] = {
             "overhead_fraction", higher_is_better=False, noisy=True
         ),
     },
+    "serve": {
+        # wall-clock tail latency + throughput under a 120-job burst
+        "p95_seconds": MetricSpec(
+            "p95_seconds", higher_is_better=False, noisy=True
+        ),
+        "throughput_jobs_per_second": MetricSpec(
+            "throughput_jobs_per_second", higher_is_better=True, noisy=True
+        ),
+    },
     "fabric": {
         # analytic farm pricing (price_farm): deterministic, tight bar
         "speedup_4dev": MetricSpec(

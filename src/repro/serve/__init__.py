@@ -1,0 +1,50 @@
+"""Multi-tenant evolution service: many experiments, one process.
+
+The serve layer is ROADMAP item 2 — the "millions of users" posture
+GeneSys frames as continuous, always-on evolution-as-a-service.  It
+multiplexes concurrent experiments over the platform's pluggable
+backends:
+
+* :mod:`repro.serve.jobs` — the :class:`JobSpec`/:class:`Job` model
+  (submit / status / stream / cancel / resume-from-checkpoint);
+* :mod:`repro.serve.queue` — deterministic priority queue with
+  admission control and per-tenant quotas;
+* :mod:`repro.serve.pool` — :class:`BackendPool`, leasing warm (but
+  fully run-state-reset) backends to jobs;
+* :mod:`repro.serve.service` — :class:`EvolutionService`, the asyncio
+  scheduler tying them together;
+* :mod:`repro.serve.server` / :mod:`repro.serve.client` — the
+  ``repro serve`` daemon's JSON-lines Unix-socket front end and its
+  thin synchronous client.
+
+The package-wide rule (enforced by ``tests/serve/
+test_no_global_state.py``): **no module-level run state** — every
+mutable thing hangs off an instance, which is what makes interleaved
+jobs bit-identical to sequential ones.
+"""
+
+from __future__ import annotations
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import Job, JobSpec, JobState
+from repro.serve.pool import BackendLease, BackendPool, PoolExhausted
+from repro.serve.queue import AdmissionError, JobQueue, QuotaConfig
+from repro.serve.server import SocketServer
+from repro.serve.service import EvolutionService, percentiles
+
+__all__ = [
+    "Job",
+    "JobSpec",
+    "JobState",
+    "JobQueue",
+    "QuotaConfig",
+    "AdmissionError",
+    "BackendPool",
+    "BackendLease",
+    "PoolExhausted",
+    "EvolutionService",
+    "percentiles",
+    "SocketServer",
+    "ServeClient",
+    "ServeError",
+]

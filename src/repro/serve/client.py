@@ -1,0 +1,119 @@
+"""Thin synchronous client for the ``repro serve`` daemon.
+
+Speaks the JSON-lines protocol of :mod:`repro.serve.server` over a
+Unix socket.  One connection per call (the daemon is connection-cheap
+and the protocol stateless), except :meth:`stream`, which holds its
+connection open and yields events as they arrive.
+
+Usage::
+
+    client = ServeClient("/tmp/repro.sock")
+    job = client.submit({"env": "cartpole", "generations": 3, "seed": 7})
+    for event in client.stream(job):
+        print(event)
+    print(client.status(job)["state"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.serve.jobs import JobSpec
+
+__all__ = ["ServeError", "ServeClient"]
+
+
+class ServeError(RuntimeError):
+    """The daemon answered ``ok: false`` (or not at all)."""
+
+
+class ServeClient:
+    """Synchronous JSON-lines client (see module docstring)."""
+
+    def __init__(
+        self, socket_path: str | Path, timeout: float = 300.0
+    ) -> None:
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- wire
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self.socket_path)
+        return sock
+
+    def _request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        with self._connect() as sock:
+            with sock.makefile("rwb") as stream:
+                stream.write(json.dumps(payload).encode() + b"\n")
+                stream.flush()
+                line = stream.readline()
+        if not line:
+            raise ServeError("daemon closed the connection without answering")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServeError(str(response.get("error", "unknown error")))
+        return response
+
+    # -------------------------------------------------------------- ops
+    def ping(self) -> bool:
+        return bool(self._request({"op": "ping"}).get("pong"))
+
+    def submit(
+        self,
+        spec: JobSpec | dict[str, Any],
+        tenant: str = "default",
+        priority: int = 0,
+    ) -> str:
+        """Submit one job; returns its id (raises :class:`ServeError`
+        on a malformed spec or quota refusal)."""
+        payload = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+        response = self._request(
+            {"op": "submit", "spec": payload, "tenant": tenant,
+             "priority": priority}
+        )
+        return str(response["job"])
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return dict(self._request({"op": "status", "job": job_id})["status"])
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return list(self._request({"op": "jobs"})["jobs"])
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return dict(self._request({"op": "cancel", "job": job_id})["status"])
+
+    def wait(self, job_id: str) -> dict[str, Any]:
+        """Block until the job is terminal; returns its final status."""
+        return dict(self._request({"op": "wait", "job": job_id})["status"])
+
+    def stream(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Yield the job's events (history replay, then live) until the
+        terminal ``done`` event."""
+        with self._connect() as sock:
+            with sock.makefile("rwb") as stream:
+                stream.write(
+                    json.dumps({"op": "stream", "job": job_id}).encode()
+                    + b"\n"
+                )
+                stream.flush()
+                for line in stream:
+                    response = json.loads(line)
+                    if not response.get("ok"):
+                        raise ServeError(
+                            str(response.get("error", "unknown error"))
+                        )
+                    event = response["event"]
+                    yield event
+                    if event.get("event") == "done":
+                        return
+
+    def stats(self) -> dict[str, Any]:
+        return dict(self._request({"op": "stats"})["stats"])
+
+    def shutdown(self, drain: bool = True) -> None:
+        self._request({"op": "shutdown", "drain": drain})

@@ -1,0 +1,130 @@
+"""Priority job queue with admission control and per-tenant quotas.
+
+Admission happens at the door (:meth:`JobQueue.submit` raises
+:class:`AdmissionError` before the job is ever recorded), so a noisy
+tenant cannot fill the queue or starve others:
+
+* **global depth** — the queue holds at most ``max_queue_depth`` jobs;
+* **per-tenant queued cap** — one tenant can hold at most
+  ``max_queued_per_tenant`` queued slots;
+* **spec ceilings** — population / generation / worker counts above
+  the configured maxima are refused outright (an edge box serving many
+  tenants cannot let one of them submit a 100k-genome run);
+* **per-tenant running cap** — enforced at *dispatch* time:
+  :meth:`JobQueue.pop_eligible` skips jobs whose tenant already has
+  ``max_running_per_tenant`` running, without losing their place.
+
+Ordering is deterministic: higher ``priority`` first, FIFO within a
+priority level (a monotonic sequence number breaks ties — never a
+timestamp, never object identity).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.serve.jobs import Job
+
+__all__ = ["QuotaConfig", "AdmissionError", "JobQueue"]
+
+
+@dataclass(frozen=True)
+class QuotaConfig:
+    """Admission-control knobs (see module docstring for semantics)."""
+
+    max_queue_depth: int = 256
+    max_queued_per_tenant: int = 64
+    max_running_per_tenant: int = 4
+    max_population: int = 512
+    max_generations: int = 10_000
+    max_workers: int = 8
+
+
+class AdmissionError(RuntimeError):
+    """A job was refused at the door (quota or spec ceiling)."""
+
+
+class JobQueue:
+    """Deterministic priority queue over :class:`Job` records.
+
+    Single-threaded by design: every method runs on the service's
+    event loop thread, so there is no lock — and no hidden global
+    state; each service owns its own queue instance.
+    """
+
+    def __init__(self, quotas: QuotaConfig | None = None) -> None:
+        self.quotas = quotas if quotas is not None else QuotaConfig()
+        #: (-priority, seq, job) — heapq pops highest priority, FIFO
+        #: within a priority level
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def queued_for(self, tenant: str) -> int:
+        return sum(1 for _, _, job in self._heap if job.tenant == tenant)
+
+    # -------------------------------------------------------- admission
+    def submit(self, job: Job) -> None:
+        """Admit ``job`` or raise :class:`AdmissionError`."""
+        quotas = self.quotas
+        if len(self._heap) >= quotas.max_queue_depth:
+            raise AdmissionError(
+                f"queue full ({quotas.max_queue_depth} jobs)"
+            )
+        if self.queued_for(job.tenant) >= quotas.max_queued_per_tenant:
+            raise AdmissionError(
+                f"tenant {job.tenant!r} already has "
+                f"{quotas.max_queued_per_tenant} queued jobs"
+            )
+        spec = job.spec
+        if spec.population_size > quotas.max_population:
+            raise AdmissionError(
+                f"population_size {spec.population_size} exceeds quota "
+                f"{quotas.max_population}"
+            )
+        if spec.generations > quotas.max_generations:
+            raise AdmissionError(
+                f"generations {spec.generations} exceeds quota "
+                f"{quotas.max_generations}"
+            )
+        if spec.workers > quotas.max_workers:
+            raise AdmissionError(
+                f"workers {spec.workers} exceeds quota {quotas.max_workers}"
+            )
+        heapq.heappush(self._heap, (-job.priority, self._seq, job))
+        self._seq += 1
+
+    # --------------------------------------------------------- dispatch
+    def pop_eligible(self, running_per_tenant: Mapping[str, int]) -> Job | None:
+        """Pop the best job whose tenant is under its running cap.
+
+        Jobs skipped for tenant saturation keep their heap position
+        (priority and FIFO order) for the next dispatch round.
+        """
+        cap = self.quotas.max_running_per_tenant
+        skipped: list[tuple[int, int, Job]] = []
+        chosen: Job | None = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            job = entry[2]
+            if running_per_tenant.get(job.tenant, 0) >= cap:
+                skipped.append(entry)
+                continue
+            chosen = job
+            break
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        return chosen
+
+    def remove(self, job: Job) -> bool:
+        """Withdraw a queued job (the queued-cancel path)."""
+        for index, (_, _, queued) in enumerate(self._heap):
+            if queued is job:
+                self._heap.pop(index)
+                heapq.heapify(self._heap)
+                return True
+        return False

@@ -1,0 +1,177 @@
+"""JSON-lines socket front end for :class:`EvolutionService`.
+
+One request per line, one (or, for ``stream``, many) response lines
+back — a protocol a shell script, a CI smoke job, or the thin
+:class:`~repro.serve.client.ServeClient` can speak with nothing but a
+Unix socket.  Ops:
+
+========== =============================================== ==========
+op          request fields                                  response
+========== =============================================== ==========
+ping                                                        ``pong``
+submit      ``spec`` (JobSpec dict), ``tenant``,            ``job``
+            ``priority``
+status      ``job``                                         ``status``
+jobs                                                        ``jobs``
+cancel      ``job``                                         ``status``
+wait        ``job``                                         ``status``
+stream      ``job``                                         ``event``*
+stats                                                       ``stats``
+shutdown    ``drain`` (default true)                        ``ok``
+========== =============================================== ==========
+
+Every response carries ``ok``; failures carry ``error`` instead of
+data — client errors (bad spec, unknown job, quota refusal) never
+take the daemon down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.serve.jobs import JobSpec
+from repro.serve.queue import AdmissionError
+from repro.serve.service import EvolutionService
+
+__all__ = ["SocketServer"]
+
+
+class SocketServer:
+    """The daemon: one :class:`EvolutionService` behind a Unix socket."""
+
+    def __init__(
+        self, service: EvolutionService, socket_path: str | Path
+    ) -> None:
+        self.service = service
+        self.socket_path = Path(socket_path)
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown_requested: asyncio.Event | None = None
+        #: drain flag carried by the shutdown request
+        self._shutdown_drain = True
+
+    # --------------------------------------------------------- lifecycle
+    async def start(self) -> "SocketServer":
+        """Start the service and begin accepting connections."""
+        self._shutdown_requested = asyncio.Event()
+        await self.service.start()
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=str(self.socket_path)
+        )
+        return self
+
+    def request_shutdown(self, drain: bool = True) -> None:
+        assert self._shutdown_requested is not None
+        self._shutdown_drain = drain
+        self._shutdown_requested.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` op (or :meth:`request_shutdown`),
+        then drain per the request and tear everything down."""
+        assert self._shutdown_requested is not None
+        await self._shutdown_requested.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.shutdown(drain=self._shutdown_drain)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+
+    # ------------------------------------------------------- connections
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as error:
+                    await self._send(writer, {"ok": False,
+                                              "error": f"bad json: {error}"})
+                    continue
+                keep_open = await self._dispatch(request, writer)
+                if not keep_open:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            return  # client went away mid-request; nothing to clean up
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(
+        self, request: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> bool:
+        """Handle one request; returns False to close the connection."""
+        op = request.get("op")
+        service = self.service
+        try:
+            if op == "ping":
+                await self._send(writer, {"ok": True, "pong": True})
+            elif op == "submit":
+                spec = JobSpec.from_dict(request.get("spec") or {})
+                job_id = await service.submit(
+                    spec,
+                    tenant=str(request.get("tenant", "default")),
+                    priority=int(request.get("priority", 0)),
+                )
+                await self._send(writer, {"ok": True, "job": job_id})
+            elif op == "status":
+                await self._send(
+                    writer,
+                    {"ok": True,
+                     "status": service.status(str(request["job"]))},
+                )
+            elif op == "jobs":
+                await self._send(
+                    writer, {"ok": True, "jobs": service.list_jobs()}
+                )
+            elif op == "cancel":
+                status = await service.cancel(str(request["job"]))
+                await self._send(writer, {"ok": True, "status": status})
+            elif op == "wait":
+                status = await service.wait(str(request["job"]))
+                await self._send(writer, {"ok": True, "status": status})
+            elif op == "stream":
+                async for event in service.stream(str(request["job"])):
+                    await self._send(writer, {"ok": True, "event": event})
+            elif op == "stats":
+                await self._send(
+                    writer, {"ok": True, "stats": service.stats()}
+                )
+            elif op == "shutdown":
+                await self._send(writer, {"ok": True, "shutdown": True})
+                self.request_shutdown(drain=bool(request.get("drain", True)))
+                return False
+            else:
+                await self._send(
+                    writer, {"ok": False, "error": f"unknown op {op!r}"}
+                )
+        except (KeyError, ValueError, AdmissionError, RuntimeError) as error:
+            await self._send(
+                writer,
+                {"ok": False,
+                 "error": f"{type(error).__name__}: {error}"},
+            )
+        return True
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter, payload: dict[str, Any]
+    ) -> None:
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()

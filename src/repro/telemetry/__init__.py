@@ -18,14 +18,21 @@ instrumentation layer those artifacts flow through:
 
 Everything is **off by default**.  A :class:`TelemetrySession` bundles
 one tracer + one registry + one manifest; installing it sets the
-module-level globals the instrumentation sites check, and uninstalling
-restores whatever was there before.  Disabled sites cost one global
-``None`` check, and enabling telemetry never touches an RNG or a float
-path — deterministic runs stay bit-identical either way.
+context-local variables the instrumentation sites check, and
+uninstalling restores whatever was there before — even when sessions
+are torn down out of order (an outer session uninstalled while an
+inner one is still live leaves the inner session installed).  Disabled
+sites cost one context-local ``None`` check, and enabling telemetry
+never touches an RNG or a float path — deterministic runs stay
+bit-identical either way.  Because the tracer/registry live in
+:class:`~contextvars.ContextVar`\\ s, concurrent jobs in one process
+(threads, asyncio tasks) each install their own session without
+clobbering anyone else's.
 """
 
 from __future__ import annotations
 
+from contextvars import ContextVar
 from pathlib import Path
 
 from repro.telemetry.export import (
@@ -76,6 +83,15 @@ __all__ = [
 ]
 
 
+#: installed-session stack for the current execution context, inner
+#: sessions last.  Needed to restore correctly on *out-of-order*
+#: teardown: uninstalling an outer session while an inner one is live
+#: must not re-install the outer session's saved (now stale) state.
+_SESSIONS: ContextVar[tuple["TelemetrySession", ...]] = ContextVar(
+    "repro_telemetry_sessions", default=()
+)
+
+
 class TelemetrySession:
     """One run's telemetry: tracer + metrics registry + manifest.
 
@@ -106,18 +122,47 @@ class TelemetrySession:
         return self._previous is not None
 
     def install(self) -> "TelemetrySession":
-        """Route global instrumentation into this session (idempotent)."""
+        """Route this context's instrumentation here (idempotent)."""
         if self._previous is None:
             self._previous = (set_tracer(self.tracer), set_metrics(self.metrics))
+            _SESSIONS.set(_SESSIONS.get() + (self,))
         return self
 
     def uninstall(self) -> None:
-        """Restore whatever tracer/registry was installed before."""
-        if self._previous is not None:
-            previous_tracer, previous_metrics = self._previous
-            set_tracer(previous_tracer)
-            set_metrics(previous_metrics)
-            self._previous = None
+        """Restore whatever tracer/registry was installed before.
+
+        Handles out-of-order teardown: uninstalling an *outer* session
+        while an inner one is still installed must not re-install the
+        outer session's saved — now stale — tracer/registry over the
+        inner session's.  The installed-session stack tells us where
+        this session sits; a mid-stack uninstall just relinks the
+        session above it to our saved state and leaves the live
+        (innermost) session's installation untouched.
+        """
+        if self._previous is None:
+            return
+        stack = list(_SESSIONS.get())
+        saved_tracer, saved_metrics = self._previous
+        if self in stack:
+            index = stack.index(self)
+            if index == len(stack) - 1:
+                # LIFO teardown: we own the current installation.
+                set_tracer(saved_tracer)
+                set_metrics(saved_metrics)
+            else:
+                # Out-of-order: the session installed right after us
+                # saved *our* tracer/registry as its restore target;
+                # re-point it at ours so the chain skips this session.
+                stack[index + 1]._previous = self._previous
+            stack.pop(index)
+            _SESSIONS.set(tuple(stack))
+        else:
+            # Installed in a different context (e.g. another thread);
+            # best effort: restore only if we are still current there.
+            if get_tracer() is self.tracer:
+                set_tracer(saved_tracer)
+                set_metrics(saved_metrics)
+        self._previous = None
 
     def __enter__(self) -> "TelemetrySession":
         return self.install()

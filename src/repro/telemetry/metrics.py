@@ -20,6 +20,7 @@ import bisect
 import math
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Any, Callable, Iterator, Protocol, Sequence, TypeVar, cast
 
 __all__ = [
@@ -353,17 +354,22 @@ class TeeRecorder:
 
 
 # ------------------------------------------------------------------ global
-_METRICS: MetricsRegistry | None = None
+#: the installed registry, context-local for the same reason as the
+#: tracer: concurrent jobs each install their own without clobbering
+#: each other (see :mod:`repro.telemetry.spans`).
+_METRICS: ContextVar[MetricsRegistry | None] = ContextVar(
+    "repro_metrics", default=None
+)
 
 
 def get_metrics() -> MetricsRegistry | None:
     """The installed registry, or ``None`` when telemetry is disabled."""
-    return _METRICS
+    return _METRICS.get()
 
 
 def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry | None:
-    """Install (or clear) the global registry; returns the previous one."""
-    global _METRICS
-    previous = _METRICS
-    _METRICS = registry
+    """Install (or clear) the context's registry; returns the previous
+    one so callers can restore it."""
+    previous = _METRICS.get()
+    _METRICS.set(registry)
     return previous

@@ -18,10 +18,13 @@ Two clocks coexist in one trace:
   in a trace viewer.
 
 Instrumentation is **off by default**: the module-level :func:`span`
-helper checks a single global and returns a shared no-op context
-manager when no tracer is installed, so disabled telemetry costs one
-``None`` check per instrumented region (the guard benchmark in
-``benchmarks/test_telemetry_overhead.py`` keeps this honest).
+helper checks a single context-local variable and returns a shared
+no-op context manager when no tracer is installed, so disabled
+telemetry costs one ``None`` check per instrumented region (the guard
+benchmark in ``benchmarks/test_telemetry_overhead.py`` keeps this
+honest).  The tracer lives in a :class:`~contextvars.ContextVar`, so
+concurrent jobs in one process (threads or asyncio tasks) can each
+install their own tracer without interfering.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from contextlib import AbstractContextManager, contextmanager, nullcontext
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -183,26 +187,32 @@ class Tracer:
         return totals
 
 
-# ------------------------------------------------------------------ global
-#: the installed tracer; ``None`` means telemetry is disabled
-_TRACER: Tracer | None = None
+# ----------------------------------------------------------- context-local
+#: the installed tracer; ``None`` means telemetry is disabled.  A
+#: :class:`~contextvars.ContextVar` rather than a module global so
+#: concurrent runs (asyncio tasks, per-job service threads) each see
+#: their own tracer: a fresh thread or a copied asyncio context starts
+#: from the default and installs its own session without clobbering
+#: anyone else's.
+_TRACER: ContextVar[Tracer | None] = ContextVar("repro_tracer", default=None)
 #: shared reusable no-op context manager for the disabled fast path
 _NULL_SPAN: AbstractContextManager[None] = nullcontext()
 
 
 def get_tracer() -> Tracer | None:
     """The installed tracer, or ``None`` when telemetry is disabled."""
-    return _TRACER
+    return _TRACER.get()
 
 
 def set_tracer(tracer: Tracer | None) -> Tracer | None:
-    """Install (or clear, with ``None``) the global tracer.
+    """Install (or clear, with ``None``) the context's tracer.
 
     Returns the previously-installed tracer so callers can restore it.
+    The installation is scoped to the current execution context: other
+    threads and sibling asyncio tasks are unaffected.
     """
-    global _TRACER
-    previous = _TRACER
-    _TRACER = tracer
+    previous = _TRACER.get()
+    _TRACER.set(tracer)
     return previous
 
 
@@ -215,7 +225,7 @@ def span(
     installed tracer, or is a shared no-op context manager when none is
     installed.
     """
-    tracer = _TRACER
+    tracer = _TRACER.get()
     if tracer is None:
         return _NULL_SPAN
     return tracer.span(name, track=track, **attrs)

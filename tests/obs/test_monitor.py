@@ -121,6 +121,59 @@ class TestMonitorStreaming:
         assert payload["generations"] == 1
 
 
+class TestReattach:
+    """Satellite regression: resubmitted jobs reuse a monitor instance."""
+
+    def _population(self):
+        from repro.neat.population import Population
+
+        return Population(NEATConfig(population_size=8), seed=0)
+
+    def test_attach_twice_does_not_double_register(self):
+        population = self._population()
+        monitor = HealthMonitor()
+        monitor.attach(population)
+        monitor.attach(population)
+        registered = [
+            r for r in population.reporters._reporters if r is monitor
+        ]
+        assert len(registered) == 1
+        # one attach, one sample per generation — not two
+        session = TelemetrySession()
+        with session:
+            monitor.on_generation(_stats(generation=0))
+        names = [s.name for s in session.tracer.spans]
+        assert names.count(SAMPLE_SPAN) == 1
+
+    def test_reattach_after_finalize_rearms(self):
+        population = self._population()
+        monitor = HealthMonitor()
+        monitor.attach(population)
+        monitor.on_generation(_stats(generation=0))
+        monitor.finalize()
+        # a resubmitted job re-attaches the same monitor: the finalize
+        # latch must reopen instead of refusing the new run's samples
+        monitor.attach(population)
+        monitor.on_generation(_stats(generation=1))
+        assert len(monitor.samples) == 2
+        monitor.finalize()
+        monitor.finalize()  # still idempotent within the new run
+        assert monitor.report().generations == 2
+
+    def test_e3_rerun_with_same_monitor(self):
+        monitor = HealthMonitor()
+        for _ in range(2):
+            E3(
+                "cartpole",
+                backend="cpu",
+                neat_config=NEATConfig(population_size=12),
+                seed=5,
+                health=monitor,
+            ).run(max_generations=2)
+        # both runs observed, no double-registration doubling samples
+        assert len(monitor.samples) == 4
+
+
 class TestRunAttribution:
     def test_filters_to_deterministic_keys(self):
         manifest = {

@@ -1,0 +1,88 @@
+"""Acceptance gate: no module-level run state in ``repro.serve``.
+
+Walks every module in the package with ``ast`` and rejects
+module-level assignments that could hold mutable cross-job state —
+the process-global pattern this PR removed from telemetry and the
+worker pool must never creep into the serve layer.
+
+Allowed at module scope: imports, ``class``/``def``, docstrings,
+``__all__``, ``if TYPE_CHECKING`` blocks, and UPPER_CASE constants
+bound to immutable literals (str/int/float/bool/None, tuples of
+those) or ``frozenset(...)`` / ``ContextVar(...)`` calls.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+import repro.serve
+
+PACKAGE_DIR = Path(repro.serve.__file__).parent
+MODULES = sorted(PACKAGE_DIR.glob("*.py"))
+
+#: calls that produce immutable (or deliberately context-scoped) values
+ALLOWED_CALLS = {"frozenset", "ContextVar"}
+
+
+def is_immutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.Tuple):
+        return all(is_immutable_literal(item) for item in node.elts)
+    if isinstance(node, ast.UnaryOp):
+        return is_immutable_literal(node.operand)
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(
+            func, "attr", None
+        )
+        return name in ALLOWED_CALLS
+    return False
+
+
+def module_level_violations(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text())
+    violations: list[str] = []
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom, ast.ClassDef,
+                             ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.If)):
+            continue
+        if isinstance(node, ast.Expr):  # docstrings and bare expressions
+            continue
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            names = [
+                t.id for t in targets if isinstance(t, ast.Name)
+            ]
+            if names == ["__all__"]:
+                continue
+            value = node.value
+            if value is not None and is_immutable_literal(value):
+                # constants must *look* like constants
+                lowercase = [n for n in names if not n.isupper()]
+                if not lowercase:
+                    continue
+            violations.append(
+                f"{path.name}:{node.lineno}: module-level assignment "
+                f"to {', '.join(names) or '<target>'}"
+            )
+            continue
+        violations.append(
+            f"{path.name}:{node.lineno}: unexpected module-level "
+            f"{type(node).__name__}"
+        )
+    return violations
+
+
+def test_package_has_modules():
+    assert len(MODULES) >= 6  # jobs, queue, pool, service, server, client
+
+
+@pytest.mark.parametrize("path", MODULES, ids=lambda p: p.name)
+def test_no_module_level_run_state(path):
+    assert module_level_violations(path) == []

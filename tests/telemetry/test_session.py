@@ -45,6 +45,64 @@ class TestSessionLifecycle:
         assert get_tracer() is None
         assert get_metrics() is None
 
+    def test_nested_sessions_restore_in_lifo_order(self):
+        outer, inner = TelemetrySession(), TelemetrySession()
+        outer.install()
+        inner.install()
+        assert get_tracer() is inner.tracer
+        inner.uninstall()
+        assert get_tracer() is outer.tracer
+        assert get_metrics() is outer.metrics
+        outer.uninstall()
+        assert get_tracer() is None
+        assert get_metrics() is None
+
+    def test_out_of_order_teardown_does_not_resurrect(self):
+        """Regression: uninstalling sessions in non-LIFO order used to
+        re-install the inner session's (dead) tracer when the outer one
+        left, leaking spans from later work into a closed session."""
+        outer, inner = TelemetrySession(), TelemetrySession()
+        outer.install()
+        inner.install()
+        # non-LIFO: the *outer* session leaves first
+        outer.uninstall()
+        # the live inner session must stay active, not be clobbered
+        assert get_tracer() is inner.tracer
+        assert get_metrics() is inner.metrics
+        inner.uninstall()
+        # ...and the fully-unwound state is clean, not outer's tracer
+        assert get_tracer() is None
+        assert get_metrics() is None
+
+    def test_out_of_order_teardown_three_deep(self):
+        a, b, c = (TelemetrySession() for _ in range(3))
+        a.install()
+        b.install()
+        c.install()
+        b.uninstall()  # pull the middle out
+        assert get_tracer() is c.tracer
+        c.uninstall()
+        assert get_tracer() is a.tracer
+        a.uninstall()
+        assert get_tracer() is None
+        assert get_metrics() is None
+
+    def test_sessions_are_thread_local(self):
+        import threading
+
+        session = TelemetrySession()
+        seen: dict[str, object] = {}
+
+        def worker() -> None:
+            seen["tracer"] = get_tracer()
+
+        with session:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # a fresh thread starts from the default context: no tracer
+        assert seen["tracer"] is None
+
     def test_phase_timer_shares_registry(self):
         session = TelemetrySession()
         session.phase_timer.record("evaluate", 2.0)
